@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper table/figure: it times the experiment
+with pytest-benchmark and prints the resulting series (run with ``-s`` to
+see the tables inline; they also reach the captured-output section).
+"""
+
+import sys
+import pathlib
+
+# Make `tests.core.conftest`-free imports work when benchmarks run alone.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+
+def emit(result) -> None:
+    """Print an ExperimentResult table for the harness output."""
+    print()
+    print(result)

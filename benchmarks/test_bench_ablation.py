@@ -1,0 +1,48 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from benchmarks.conftest import emit
+from repro.experiments.ablations import (
+    ablation_fft_oversampling,
+    ablation_fine_vs_coarse,
+    ablation_preamble_accumulation,
+    ablation_sic_strategies,
+    ablation_splicing,
+)
+
+
+def test_ablation_fine_vs_coarse(benchmark):
+    result = benchmark(ablation_fine_vs_coarse, 4)
+    emit(result)
+    by_mode = {r["mode"]: r["mean_symbol_accuracy"] for r in result.rows}
+    assert by_mode["fine (refined)"] > by_mode["coarse only"] + 0.2
+
+
+def test_ablation_sic_strategies(benchmark):
+    result = benchmark(ablation_sic_strategies, 4)
+    emit(result)
+    by_mode = {r["strategy"]: r["weak_user_found"] for r in result.rows}
+    phased = int(by_mode["phased (multi-tier)"].split("/")[0])
+    single = int(by_mode["single tier"].split("/")[0])
+    assert phased >= single
+
+
+def test_ablation_fft_oversampling(benchmark):
+    result = benchmark(ablation_fft_oversampling)
+    emit(result)
+    errors = {r["oversample"]: r["mean_coarse_error_bins"] for r in result.rows}
+    assert errors[10] < errors[1]
+
+
+def test_ablation_preamble_accumulation(benchmark):
+    result = benchmark(ablation_preamble_accumulation)
+    emit(result)
+    rates = result.column("detection_rate")
+    assert rates[-1] > rates[0]
+
+
+def test_ablation_splicing(benchmark):
+    result = benchmark(ablation_splicing)
+    emit(result)
+    rows = {r["mode"]: r for r in result.rows}
+    assert rows["MSB chunk (spliced)"]["team_can_pool"]
+    assert not rows["whole reading (no splicing)"]["team_can_pool"]

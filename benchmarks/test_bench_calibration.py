@@ -1,0 +1,18 @@
+"""Bench: the fast PHY model against the waveform decoder (ground truth)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_phy_calibration
+
+
+def test_bench_phy_calibration(benchmark):
+    benchmark.pedantic_mode = True
+    result = benchmark.pedantic(
+        run_phy_calibration,
+        kwargs={"user_counts": (2, 4, 8), "n_trials": 2},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    small = [r for r in result.rows if r["n_users"] <= 4]
+    for row in small:
+        assert abs(row["gap"]) <= 0.5

@@ -1,0 +1,20 @@
+"""Benches: battery-life table and the beacon service map."""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_beacon_scheduling, run_energy_comparison
+
+
+def test_bench_energy_comparison(benchmark):
+    result = benchmark(run_energy_comparison, 10, 20.0)
+    emit(result)
+    by_system = {r["system"]: r for r in result.rows}
+    assert (
+        by_system["choir"]["battery_life_years"]
+        > by_system["aloha"]["battery_life_years"]
+    )
+
+
+def test_bench_beacon_scheduling(benchmark):
+    result = benchmark(run_beacon_scheduling)
+    emit(result)
+    assert result.rows[0]["resolution"] == "full"

@@ -1,0 +1,26 @@
+"""Benches for the paper's extension points (Sec. 5.2 notes 2 and 4)."""
+
+from benchmarks.conftest import emit
+from repro.experiments.extensions import run_multisf_demux, run_unb_separation
+
+
+def test_bench_multisf_demux(benchmark):
+    result = benchmark(run_multisf_demux)
+    emit(result)
+    for row in result.rows:
+        assert row["found_users"] == row["expected_users"]
+        assert row["mean_accuracy"] is None or row["mean_accuracy"] > 0.4
+    on = [r["mean_accuracy"] for r in result.rows if r["cancellation"] == "on"]
+    off = [r["mean_accuracy"] for r in result.rows if r["cancellation"] == "off"]
+    assert sum(on) >= sum(off) - 0.1  # cancellation helps (or ties)
+
+
+def test_bench_unb_separation(benchmark):
+    result = benchmark(run_unb_separation)
+    emit(result)
+    equal_power = [r for r in result.rows if "equal-power" in r["scenario"]]
+    for row in equal_power:
+        assert row["found_users"] == int(row["scenario"].split()[0])
+        assert row["mean_bit_accuracy"] > 0.85
+    near_far = next(r for r in result.rows if r["scenario"] == "near-far 26 dB")
+    assert near_far["mean_bit_accuracy"] == 1.0

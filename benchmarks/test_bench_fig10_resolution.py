@@ -1,0 +1,14 @@
+"""Fig. 10 bench: sensor-data resolution vs distance for 30-node teams."""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_resolution_vs_distance
+
+
+def test_bench_fig10_resolution(benchmark):
+    result = benchmark(run_resolution_vs_distance)
+    emit(result)
+    errors = result.column("temperature_error")
+    assert all(b >= a - 1e-9 for a, b in zip(errors, errors[1:]))
+    at_2500 = next(r for r in result.rows if r["distance_m"] == 2500)
+    # Paper: 13.2 % loss of resolution at ~2.5 km.
+    assert 0.05 < at_2500["temperature_error"] < 0.25

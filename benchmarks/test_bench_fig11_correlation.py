@@ -1,0 +1,26 @@
+"""Fig. 11 bench: grouping strategies and mixed near/far throughput."""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_grouping_error, run_mixed_throughput
+
+
+def test_bench_fig11a_grouping(benchmark):
+    result = benchmark(run_grouping_error)
+    emit(result)
+    errors = {r["strategy"]: r["temperature_error"] for r in result.rows}
+    assert errors["center_dist"] < errors["random"]
+
+
+def test_bench_fig11b_mixed_throughput(benchmark):
+    result = benchmark(run_mixed_throughput, duration_s=20.0)
+    emit(result)
+    rows = {r["system"]: r for r in result.rows}
+    assert rows["choir"]["far_packets_delivered"] > 0
+    assert rows["aloha"]["far_packets_delivered"] == 0
+    gain_oracle = rows["choir"]["throughput_bps"] / rows["oracle"]["throughput_bps"]
+    gain_aloha = rows["choir"]["throughput_bps"] / rows["aloha"]["throughput_bps"]
+    print(
+        f"\nmixed-population gains: {gain_aloha:.1f}x vs ALOHA, "
+        f"{gain_oracle:.1f}x vs Oracle (paper: 29.34x / 5.61x)"
+    )
+    assert gain_oracle > 3.0

@@ -1,0 +1,13 @@
+"""Fig. 12 bench: Choir vs uplink MU-MIMO on a 3-antenna base station."""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_mimo_comparison
+
+
+def test_bench_fig12_mimo(benchmark):
+    result = benchmark(run_mimo_comparison, duration_s=20.0)
+    emit(result)
+    rows = {r["system"]: r["throughput_bps"] for r in result.rows}
+    # Paper ordering: ALOHA < Oracle < MU-MIMO < Choir(1 ant) <= Choir+MIMO.
+    assert rows["aloha"] < rows["oracle"] < rows["mu_mimo"] < rows["choir_1ant"]
+    assert rows["choir_mimo"] >= rows["choir_1ant"] * 0.98

@@ -1,0 +1,13 @@
+"""Fig. 3 bench: peak structure of a two-user same-symbol collision."""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_collision_peaks
+
+
+def test_bench_fig3_collision_peaks(benchmark):
+    result = benchmark(run_collision_peaks)
+    emit(result)
+    coarse, fine = result.rows
+    assert coarse["n_peaks"] == 2
+    assert fine["n_peaks"] == 2
+    assert abs(fine["separation_bins"] - 50.4) < 0.1

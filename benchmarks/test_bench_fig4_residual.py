@@ -1,0 +1,12 @@
+"""Fig. 4 bench: residual-surface evaluation and convexity check."""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_residual_surface
+
+
+def test_bench_fig4_residual_surface(benchmark):
+    result = benchmark(run_residual_surface)
+    emit(result)
+    row = result.rows[0]
+    assert row["monotone_rays"] == "4/4"
+    assert row["min_location_error_bins"] < 0.1

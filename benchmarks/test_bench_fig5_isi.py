@@ -1,0 +1,12 @@
+"""Fig. 5 bench: inter-symbol-interference peaks and de-duplication."""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_isi_windows
+
+
+def test_bench_fig5_isi(benchmark):
+    result = benchmark(run_isi_windows)
+    emit(result)
+    row = result.rows[0]
+    assert row["max_peaks_per_window"] <= 4
+    assert row["dedup_accuracy"] > 0.9

@@ -1,0 +1,17 @@
+"""Fig. 7 bench: hardware offset diversity (a, b) and stability (c, d)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_offset_cdf, run_offset_stability
+
+
+def test_bench_fig7ab_offset_cdf(benchmark):
+    result = benchmark(run_offset_cdf, n_boards=20)
+    emit(result)
+    assert result.rows[0]["ks_distance"] < 0.35
+
+
+def test_bench_fig7cd_offset_stability(benchmark):
+    result = benchmark(run_offset_stability, n_pairs=4)
+    emit(result)
+    stds = [r["cfo_to_stability_pct_of_bin"] for r in result.rows]
+    assert stds[0] >= stds[-1]

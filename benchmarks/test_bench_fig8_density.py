@@ -1,0 +1,27 @@
+"""Fig. 8 bench: throughput / latency / transmissions across SNR and users."""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_density_vs_snr, run_density_vs_users
+from repro.experiments.fig8_density import summarize_gains
+
+
+def test_bench_fig8ac_density_vs_snr(benchmark):
+    result = benchmark(run_density_vs_snr, duration_s=20.0)
+    emit(result)
+    for regime in ("low", "medium", "high"):
+        rows = {r["system"]: r for r in result.rows if r["snr_regime"] == regime}
+        assert rows["choir"]["throughput_bps"] > rows["oracle"]["throughput_bps"]
+
+
+def test_bench_fig8df_density_vs_users(benchmark):
+    result = benchmark(run_density_vs_users, duration_s=20.0)
+    emit(result)
+    gains = summarize_gains(result, n_users=10)
+    print(
+        "\nheadline gains at 10 users (paper: 6.84x Oracle / 29.02x ALOHA "
+        "throughput, 4.88x/19.37x latency, 4.54x transmissions):"
+    )
+    for key, value in gains.items():
+        print(f"  {key}: {value:.2f}x")
+    assert gains["throughput_vs_oracle"] > 4.0
+    assert gains["throughput_vs_aloha"] > 10.0

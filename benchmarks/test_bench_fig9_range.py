@@ -1,0 +1,26 @@
+"""Fig. 9 bench: team throughput vs size and max distance vs team size."""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_range_throughput, run_range_vs_team
+from repro.experiments.fig9_range import validate_team_decode
+
+
+def test_bench_fig9a_team_throughput(benchmark):
+    result = benchmark(run_range_throughput)
+    emit(result)
+    throughputs = result.column("throughput_bps")
+    assert throughputs[0] == 0.0
+    assert throughputs[-1] > 0.0
+
+
+def test_bench_fig9b_range_vs_team(benchmark):
+    result = benchmark(run_range_vs_team)
+    emit(result)
+    assert abs(result.rows[-1]["gain_over_single"] - 2.65) < 0.1
+
+
+def test_bench_fig9_waveform_validation(benchmark):
+    outcome = benchmark(validate_team_decode, 8, -9.0, 8, 4)
+    print(f"\nwaveform team check (8 members @ -9 dB): {outcome}")
+    assert outcome["detected"]
+    assert outcome["symbol_accuracy"] > 0.9

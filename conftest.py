@@ -1,0 +1,5 @@
+import pathlib
+import sys
+
+# Make `tests.*` helper imports resolve regardless of invocation directory.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))

@@ -1,0 +1,27 @@
+"""Wireless channel substrate: noise, urban path loss, fading, collisions.
+
+Replaces the paper's physical RF environment (10 km^2 of urban Pittsburgh)
+with calibrated models: log-distance path loss with log-normal shadowing,
+flat Rayleigh/Rician fading per link, AWGN at a configurable noise floor,
+and a collision channel that superimposes several impaired client waveforms
+with arbitrary per-user delays -- the input the Choir decoder consumes.
+"""
+
+from repro.channel.noise import awgn, noise_power_dbm, thermal_noise_power
+from repro.channel.pathloss import UrbanPathLoss, FreeSpacePathLoss
+from repro.channel.fading import FlatFadingChannel
+from repro.channel.link import LinkBudget, LinkModel
+from repro.channel.collider import CollisionChannel, ReceivedPacket
+
+__all__ = [
+    "awgn",
+    "noise_power_dbm",
+    "thermal_noise_power",
+    "UrbanPathLoss",
+    "FreeSpacePathLoss",
+    "FlatFadingChannel",
+    "LinkBudget",
+    "LinkModel",
+    "CollisionChannel",
+    "ReceivedPacket",
+]

@@ -1,0 +1,46 @@
+"""Flat small-scale fading per link.
+
+LoRa symbols are narrowband (125-500 kHz) and long (~ms), so multipath in
+an urban microcell is well below the symbol time: the channel is flat in
+frequency and quasi-static over a packet.  We model it as a single complex
+gain per link per packet -- Rayleigh when no line of sight exists, Rician
+otherwise.  This is the ``h_i`` of the paper's Eqn. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils import db_to_linear, ensure_rng
+
+
+@dataclass(frozen=True)
+class FlatFadingChannel:
+    """Quasi-static flat fading gain generator.
+
+    Parameters
+    ----------
+    rician_k_db:
+        Rician K-factor in dB.  ``None`` selects pure Rayleigh fading; a
+        large K approaches a deterministic (AWGN-only) channel.
+    """
+
+    rician_k_db: float | None = None
+
+    def sample_gain(self, rng=None) -> complex:
+        """Draw one unit-mean-power complex channel gain."""
+        rng = ensure_rng(rng)
+        scatter = (rng.normal(0.0, 1.0) + 1j * rng.normal(0.0, 1.0)) / np.sqrt(2.0)
+        if self.rician_k_db is None:
+            return complex(scatter)
+        k = float(db_to_linear(self.rician_k_db))
+        los_phase = rng.uniform(0.0, 2.0 * np.pi)
+        los = np.sqrt(k / (k + 1.0)) * np.exp(1j * los_phase)
+        return complex(los + scatter / np.sqrt(k + 1.0))
+
+    def sample_gains(self, n: int, rng=None) -> np.ndarray:
+        """Draw ``n`` independent link gains."""
+        rng = ensure_rng(rng)
+        return np.array([self.sample_gain(rng) for _ in range(n)], dtype=complex)

@@ -1,0 +1,102 @@
+"""Link budget: TX power -> received SNR through path loss and fading."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.fading import FlatFadingChannel
+from repro.channel.noise import noise_power_dbm
+from repro.channel.pathloss import UrbanPathLoss
+from repro.utils import db_to_linear, ensure_rng
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Static link-budget terms shared by every link to one base station.
+
+    ``penetration_loss_db`` lumps the urban extras the paper blames for its
+    short single-client range (building penetration, hilly terrain, the
+    USRP's receive chain, Sec. 9.3): with the default 22.5 dB, a 14 dBm
+    client at the *minimum* LoRaWAN rate (SF12) dies at ~1 km under the
+    eta=3.5 urban model -- the paper's measured single-node limit -- and a
+    30-node team's ~14.8 dB pooled-SNR gain buys ``30**(1/3.5) = 2.64x``
+    distance, matching the 2.65 km headline.
+    """
+
+    tx_power_dbm: float = 14.0
+    tx_antenna_gain_dbi: float = 0.0
+    rx_antenna_gain_dbi: float = 3.0
+    bandwidth_hz: float = 125_000.0
+    noise_figure_db: float = 6.0
+    penetration_loss_db: float = 22.5
+
+    @property
+    def noise_floor_dbm(self) -> float:
+        """Receiver noise power over the channel bandwidth."""
+        return float(noise_power_dbm(self.bandwidth_hz, self.noise_figure_db))
+
+    def rx_power_dbm(self, path_loss_db: float) -> float:
+        """Mean received power for a given path loss."""
+        return (
+            self.tx_power_dbm
+            + self.tx_antenna_gain_dbi
+            + self.rx_antenna_gain_dbi
+            - self.penetration_loss_db
+            - path_loss_db
+        )
+
+    def snr_db(self, path_loss_db: float) -> float:
+        """Mean SNR for a given path loss."""
+        return self.rx_power_dbm(path_loss_db) - self.noise_floor_dbm
+
+
+@dataclass
+class LinkModel:
+    """One client-to-base-station link: distance -> per-packet gain and SNR.
+
+    Combines the urban path-loss model, per-packet flat fading, and the link
+    budget.  :meth:`packet_gain` returns the complex amplitude scale to apply
+    to a unit-power transmit waveform so that, with the base station's noise
+    normalized to power 1, the sample SNR equals the link SNR.
+    """
+
+    budget: LinkBudget = field(default_factory=LinkBudget)
+    pathloss: UrbanPathLoss = field(default_factory=UrbanPathLoss)
+    fading: FlatFadingChannel = field(default_factory=FlatFadingChannel)
+
+    def mean_snr_db(self, distance_m: float) -> float:
+        """Distance -> mean (fading-free, shadowing-free) SNR in dB."""
+        loss = UrbanPathLoss(
+            exponent=self.pathloss.exponent,
+            reference_m=self.pathloss.reference_m,
+            reference_loss_db=self.pathloss.reference_loss_db,
+            shadowing_sigma_db=0.0,
+            carrier_hz=self.pathloss.carrier_hz,
+        ).loss_db(distance_m)
+        return self.budget.snr_db(float(loss))
+
+    def range_for_snr(self, snr_db: float) -> float:
+        """Largest distance at which the mean SNR is still ``snr_db``."""
+        loss_db = (
+            self.budget.tx_power_dbm
+            + self.budget.tx_antenna_gain_dbi
+            + self.budget.rx_antenna_gain_dbi
+            - self.budget.penetration_loss_db
+            - self.budget.noise_floor_dbm
+            - snr_db
+        )
+        return self.pathloss.distance_for_loss(loss_db)
+
+    def packet_gain(self, distance_m: float, rng=None) -> complex:
+        """Draw one packet's complex channel gain (noise power == 1 ref).
+
+        The magnitude is scaled so ``|gain|^2`` equals the linear SNR;
+        shadowing and fading multiply on top of the mean.
+        """
+        rng = ensure_rng(rng)
+        loss_db = float(self.pathloss.loss_db(distance_m, rng=rng))
+        snr_linear = db_to_linear(self.budget.snr_db(loss_db))
+        fade = self.fading.sample_gain(rng)
+        return complex(np.sqrt(snr_linear) * fade)

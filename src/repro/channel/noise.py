@@ -1,0 +1,49 @@
+"""Additive white Gaussian noise and noise-floor accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import db_to_linear, ensure_rng
+
+#: Boltzmann constant (J/K) for thermal-noise computation.
+BOLTZMANN = 1.380649e-23
+
+
+def thermal_noise_power(bandwidth_hz: float, noise_figure_db: float = 6.0, temperature_k: float = 290.0) -> float:
+    """Receiver noise power in watts over ``bandwidth_hz``.
+
+    ``kTB`` plus the receiver noise figure; with a 125 kHz LoRa channel and
+    a 6 dB NF this lands near -117 dBm, the ballpark commodity gateways
+    quote.
+    """
+    return BOLTZMANN * temperature_k * bandwidth_hz * db_to_linear(noise_figure_db)
+
+
+def noise_power_dbm(bandwidth_hz: float, noise_figure_db: float = 6.0) -> float:
+    """Same as :func:`thermal_noise_power` but in dBm."""
+    watts = thermal_noise_power(bandwidth_hz, noise_figure_db)
+    return 10.0 * np.log10(watts * 1e3)
+
+
+def awgn(waveform: np.ndarray, noise_power: float, rng=None) -> np.ndarray:
+    """Add complex AWGN of total (I+Q) power ``noise_power`` to a waveform."""
+    rng = ensure_rng(rng)
+    waveform = np.asarray(waveform, dtype=complex)
+    sigma = np.sqrt(noise_power / 2.0)
+    noise = rng.normal(0.0, sigma, waveform.size) + 1j * rng.normal(0.0, sigma, waveform.size)
+    return waveform + noise
+
+
+def awgn_for_snr(waveform: np.ndarray, snr_db_target: float, signal_power: float | None = None, rng=None) -> np.ndarray:
+    """Add AWGN so the result has the requested SNR relative to the signal.
+
+    If ``signal_power`` is not given it is measured from ``waveform`` --
+    callers dealing with collisions should pass the power of the *user of
+    interest*, not the aggregate.
+    """
+    waveform = np.asarray(waveform, dtype=complex)
+    if signal_power is None:
+        signal_power = float(np.mean(np.abs(waveform) ** 2))
+    noise_power = signal_power / db_to_linear(snr_db_target)
+    return awgn(waveform, noise_power, rng=rng)

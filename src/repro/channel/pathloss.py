@@ -1,0 +1,74 @@
+"""Path-loss models calibrated for the urban LP-WAN setting.
+
+The paper's range results (Sec. 9.3) are driven by how fast signals decay
+with distance in a built-up area: a single client dies at ~1 km while a
+30-node team reaches 2.65 km.  A log-distance model with an urban exponent
+of ~3.5 reproduces exactly that relation, since an N-node team's coherent
+power gain of N buys a distance factor of ``N**(1/eta)`` and
+``30**(1/3.5) = 2.64``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils import ensure_rng
+
+
+@dataclass(frozen=True)
+class FreeSpacePathLoss:
+    """Friis free-space loss, the rural/line-of-sight reference."""
+
+    carrier_hz: float = 902e6
+
+    def loss_db(self, distance_m: float | np.ndarray) -> float | np.ndarray:
+        """Free-space path loss in dB at ``distance_m`` meters."""
+        distance_m = np.maximum(np.asarray(distance_m, dtype=float), 1.0)
+        wavelength = 299_792_458.0 / self.carrier_hz
+        return 20.0 * np.log10(4.0 * np.pi * distance_m / wavelength)
+
+
+@dataclass(frozen=True)
+class UrbanPathLoss:
+    """Log-distance path loss with log-normal shadowing.
+
+    ``PL(d) = PL(d0) + 10 * eta * log10(d / d0) + X_sigma``
+
+    Parameters
+    ----------
+    exponent:
+        Path-loss exponent ``eta``; 3.4-3.8 is typical of dense urban
+        macro cells, and 3.5 calibrates the single-client range to ~1 km
+        for LoRa link budgets.
+    reference_loss_db:
+        Loss at the reference distance (free space at ``reference_m`` by
+        default for 902 MHz: ~31.5 dB at 1 m).
+    shadowing_sigma_db:
+        Log-normal shadowing standard deviation (buildings, terrain).
+    """
+
+    exponent: float = 3.5
+    reference_m: float = 1.0
+    reference_loss_db: float = 31.5
+    shadowing_sigma_db: float = 0.0
+    carrier_hz: float = 902e6
+
+    def loss_db(self, distance_m: float | np.ndarray, rng=None) -> float | np.ndarray:
+        """Path loss in dB at ``distance_m`` (with shadowing if configured)."""
+        distance_m = np.maximum(np.asarray(distance_m, dtype=float), self.reference_m)
+        loss = self.reference_loss_db + 10.0 * self.exponent * np.log10(
+            distance_m / self.reference_m
+        )
+        if self.shadowing_sigma_db > 0.0:
+            rng = ensure_rng(rng)
+            loss = loss + rng.normal(0.0, self.shadowing_sigma_db, np.shape(distance_m))
+        if np.ndim(distance_m) == 0:
+            return float(loss)
+        return loss
+
+    def distance_for_loss(self, loss_db: float) -> float:
+        """Invert the (shadowing-free) model: distance achieving ``loss_db``."""
+        exponent_term = (loss_db - self.reference_loss_db) / (10.0 * self.exponent)
+        return float(self.reference_m * 10.0**exponent_term)

@@ -1,0 +1,191 @@
+"""Command-line interface: run any paper experiment from the terminal.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro run fig8d            # one experiment's table
+    python -m repro run all              # everything (slow)
+
+Each experiment prints the same rows/series the paper's figure reports;
+ASCII charts accompany the series-shaped ones.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import (
+    run_collision_peaks,
+    run_density_vs_snr,
+    run_density_vs_users,
+    run_grouping_error,
+    run_isi_windows,
+    run_mimo_comparison,
+    run_mixed_throughput,
+    run_offset_cdf,
+    run_offset_stability,
+    run_range_throughput,
+    run_range_vs_team,
+    run_residual_surface,
+    run_resolution_vs_distance,
+)
+from repro.experiments import (
+    run_beacon_scheduling,
+    run_energy_comparison,
+    run_multisf_demux,
+    run_phy_calibration,
+    run_unb_separation,
+)
+from repro.experiments.ablations import (
+    ablation_fft_oversampling,
+    ablation_fine_vs_coarse,
+    ablation_preamble_accumulation,
+    ablation_sic_strategies,
+    ablation_splicing,
+)
+from repro.utils.ascii_plot import ascii_bars, ascii_line
+
+EXPERIMENTS: dict[str, tuple[Callable, str]] = {
+    "fig3": (run_collision_peaks, "collided chirp peak structure"),
+    "fig4": (run_residual_surface, "residual surface convexity"),
+    "fig5": (run_isi_windows, "inter-symbol interference / dedup"),
+    "fig7ab": (run_offset_cdf, "hardware offset diversity CDFs"),
+    "fig7cd": (run_offset_stability, "within-packet offset stability"),
+    "fig8ac": (run_density_vs_snr, "2-user density vs SNR"),
+    "fig8d": (run_density_vs_users, "density scaling 2..10 users"),
+    "fig9a": (run_range_throughput, "team throughput vs team size"),
+    "fig9b": (run_range_vs_team, "max distance vs team size"),
+    "fig10": (run_resolution_vs_distance, "sensor resolution vs distance"),
+    "fig11a": (run_grouping_error, "grouping strategies"),
+    "fig11b": (run_mixed_throughput, "mixed near/far throughput"),
+    "fig12": (run_mimo_comparison, "Choir vs MU-MIMO"),
+    "multisf": (run_multisf_demux, "multi-SF demultiplexing (ext)"),
+    "unb": (run_unb_separation, "ultra-narrowband separation (ext)"),
+    "energy": (run_energy_comparison, "battery life from retransmissions"),
+    "beacon": (run_beacon_scheduling, "beacon team scheduling"),
+    "calibration": (run_phy_calibration, "PHY model vs waveform decoder (slow)"),
+    "ablation-fine": (ablation_fine_vs_coarse, "fine vs coarse offsets"),
+    "ablation-sic": (ablation_sic_strategies, "SIC strategies"),
+    "ablation-fft": (ablation_fft_oversampling, "FFT oversampling"),
+    "ablation-accum": (ablation_preamble_accumulation, "preamble accumulation"),
+    "ablation-splice": (ablation_splicing, "data splicing"),
+}
+
+
+def _chart_for(name: str, result) -> str | None:
+    """An ASCII chart for series-shaped experiments."""
+    if name == "fig8d":
+        choir = [r["throughput_bps"] for r in result.rows if r["system"] == "choir"]
+        return ascii_line(
+            choir, label="Choir network throughput (bps) vs users 2..10"
+        )
+    if name == "fig9b":
+        return ascii_bars(
+            [r["band"] for r in result.rows],
+            [r["max_distance_m"] for r in result.rows],
+            unit=" m",
+        )
+    if name == "fig10":
+        return ascii_line(
+            [r["temperature_error"] for r in result.rows],
+            label="temperature resolution error vs distance",
+        )
+    if name == "fig12":
+        return ascii_bars(
+            [r["system"] for r in result.rows],
+            [r["throughput_bps"] for r in result.rows],
+            unit=" bps",
+        )
+    return None
+
+
+def cmd_list() -> int:
+    """Print the experiment registry."""
+    width = max(len(n) for n in EXPERIMENTS)
+    for name, (_, description) in EXPERIMENTS.items():
+        print(f"  {name.ljust(width)}  {description}")
+    return 0
+
+
+def cmd_report(output_dir: str, names: list[str]) -> int:
+    """Run experiments and write their tables (text + CSV) to a directory."""
+    import pathlib
+
+    targets = list(EXPERIMENTS) if not names or names == ["all"] else names
+    unknown = [n for n in targets if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    out = pathlib.Path(output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    index_lines = ["# Experiment report", ""]
+    for name in targets:
+        fn, description = EXPERIMENTS[name]
+        start = time.time()
+        result = fn()
+        (out / f"{name}.txt").write_text(str(result) + "\n")
+        csv_text = result.to_csv()
+        if csv_text:
+            (out / f"{name}.csv").write_text(csv_text)
+        elapsed = time.time() - start
+        index_lines.append(f"- `{name}` ({description}): {elapsed:.1f}s")
+        print(f"{name}: wrote {name}.txt / {name}.csv [{elapsed:.1f}s]")
+    (out / "INDEX.md").write_text("\n".join(index_lines) + "\n")
+    print(f"\nreport written to {out}/")
+    return 0
+
+
+def cmd_run(names: list[str]) -> int:
+    """Run the named experiments and print their tables."""
+    targets = list(EXPERIMENTS) if names == ["all"] else names
+    unknown = [n for n in targets if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("use `python -m repro list`", file=sys.stderr)
+        return 2
+    for name in targets:
+        fn, _ = EXPERIMENTS[name]
+        start = time.time()
+        result = fn()
+        print(result)
+        chart = _chart_for(name, result)
+        if chart:
+            print()
+            print(chart)
+        print(f"[{time.time() - start:.1f}s]\n")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Choir (SIGCOMM 2017) reproduction -- experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_parser = sub.add_parser("run", help="run experiments by name (or 'all')")
+    run_parser.add_argument("names", nargs="+", help="experiment names")
+    report_parser = sub.add_parser(
+        "report", help="write experiment tables (text + CSV) to a directory"
+    )
+    report_parser.add_argument("output_dir", help="directory to write into")
+    report_parser.add_argument(
+        "names", nargs="*", help="experiment names (default: all)"
+    )
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "run":
+        return cmd_run(args.names)
+    if args.command == "report":
+        return cmd_report(args.output_dir, args.names)
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

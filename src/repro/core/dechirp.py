@@ -1,0 +1,89 @@
+"""Dechirping and oversampled spectra (paper Sec. 4, steps 1-2).
+
+Multiplying a received window by the base down-chirp turns every colliding
+up-chirp into a complex tone whose frequency is ``(data + offset)`` bins;
+zero-padding the FFT by ``oversample`` (the paper uses 10x) reveals each
+tone as a sinc whose *fractional* peak position carries the user identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.chirp import downchirp
+from repro.phy.params import LoRaParams
+
+#: Zero-padding factor the paper uses for its wide FFTs (Sec. 5.1, Fig. 3d).
+DEFAULT_OVERSAMPLE = 10
+
+
+def dechirp_windows(params: LoRaParams, samples: np.ndarray, n_windows: int | None = None, start: int = 0) -> np.ndarray:
+    """Dechirp consecutive symbol windows of a capture.
+
+    Returns an array of shape ``(n_windows, samples_per_symbol)`` where row
+    ``m`` is window ``m`` multiplied by the base down-chirp.  Windows that
+    would run past the end of ``samples`` are dropped.
+    """
+    samples = np.asarray(samples)
+    n = params.samples_per_symbol
+    available = (samples.size - start) // n
+    if n_windows is None:
+        n_windows = available
+    n_windows = min(n_windows, available)
+    if n_windows <= 0:
+        return np.zeros((0, n), dtype=complex)
+    segment = samples[start : start + n_windows * n].reshape(n_windows, n)
+    return segment * downchirp(params)[None, :]
+
+
+def oversampled_spectrum(dechirped: np.ndarray, oversample: int = DEFAULT_OVERSAMPLE) -> np.ndarray:
+    """Zero-padded FFT of dechirped window(s).
+
+    ``dechirped`` may be 1-D (one window) or 2-D (stack of windows); the FFT
+    is along the last axis with length ``oversample * window_len``, so peak
+    index ``i`` corresponds to ``i / oversample`` FFT bins.
+    """
+    dechirped = np.asarray(dechirped)
+    n = dechirped.shape[-1]
+    return np.fft.fft(dechirped, n * oversample, axis=-1)
+
+
+def spectrum_bin_positions(n_bins: int, oversample: int = DEFAULT_OVERSAMPLE) -> np.ndarray:
+    """Positions (in units of FFT bins) of each oversampled spectrum index."""
+    return np.arange(n_bins * oversample) / oversample
+
+
+def evaluate_spectrum_at(dechirped: np.ndarray, positions_bins: np.ndarray) -> np.ndarray:
+    """Exact DTFT of a dechirped window at arbitrary fractional bins.
+
+    Computes ``sum_n z[n] * exp(-2j*pi*p*n/N)`` for each position ``p`` --
+    the infinitely zero-padded FFT evaluated only where needed.  Used by the
+    fine offset search, where FFT-grid quantization would defeat the point.
+    """
+    dechirped = np.asarray(dechirped)
+    n = dechirped.shape[-1]
+    positions_bins = np.atleast_1d(np.asarray(positions_bins, dtype=float))
+    basis = np.exp(-2j * np.pi * np.outer(positions_bins, np.arange(n)) / n)
+    return basis @ dechirped
+
+
+def spectrogram(params: LoRaParams, samples: np.ndarray, window_len: int | None = None, hop: int | None = None) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Short-time Fourier magnitude of a raw (not dechirped) capture.
+
+    Only used for visualisation (reproducing the paper's Fig. 2/3
+    spectrograms); returns ``(times_s, freqs_hz, magnitude)``.
+    """
+    samples = np.asarray(samples)
+    if window_len is None:
+        window_len = max(params.samples_per_symbol // 16, 8)
+    if hop is None:
+        hop = max(window_len // 2, 1)
+    n_frames = max((samples.size - window_len) // hop + 1, 0)
+    window = np.hanning(window_len)
+    frames = np.stack(
+        [samples[i * hop : i * hop + window_len] * window for i in range(n_frames)]
+    ) if n_frames else np.zeros((0, window_len))
+    spec = np.fft.fftshift(np.fft.fft(frames, axis=-1), axes=-1)
+    freqs = np.fft.fftshift(np.fft.fftfreq(window_len, 1.0 / params.sample_rate))
+    times = (np.arange(n_frames) * hop + window_len / 2) / params.sample_rate
+    return times, freqs, np.abs(spec)

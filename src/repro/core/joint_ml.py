@@ -1,0 +1,170 @@
+"""Maximum-likelihood joint decoding of team transmissions (Eqn. 6).
+
+A team of K co-located sensors transmits the *same* data symbol ``d`` in
+each window (Sec. 7).  Individually each user's peak is below noise, but
+the ML decoder reconstructs the collision each candidate ``d`` would
+produce -- every user at its own offset, channel, and timing phase -- and
+picks the best fit.  Because the decision statistic pools the energy of all
+K users, the effective SNR is the *sum* of the per-user SNRs, which is what
+buys the paper's 2.65x range gain.
+
+The naive cost is ``O(2^SF)`` reconstructions of N samples each; we reduce
+it to one FFT per user plus an ``O(K^2)`` Gram correction by expanding the
+squared error:
+
+``||y - sum_i h_i a_i(d)||^2 = ||y||^2 - 2 Re sum_i conj(h_i') F_i[d]
+                               + sum_ij conj(h_i') h_j' G_ij(d)``
+
+where ``F_i[d]`` is user ``i``'s matched-filter output (an FFT of the
+derotated window), ``h_i' = h_i * exp(-2j*pi*d*delta_i/N)`` carries the
+data-dependent timing phase, and the Gram term ``G_ij(d)`` factors into a
+``d``-independent Dirichlet kernel times a scalar phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TeamMember:
+    """Decoder-side knowledge of one team member for a given window."""
+
+    position_bins: float
+    channel: complex
+    delay_samples: float = 0.0
+
+
+def _matched_filter_bank(dechirped: np.ndarray, positions_bins: np.ndarray) -> np.ndarray:
+    """Per-user matched-filter outputs ``F_i[d]`` for all N candidate d.
+
+    Row ``i`` is the FFT of the window derotated by user ``i``'s offset, so
+    entry ``[i, d]`` is the correlation with the tone at ``d + mu_i``.
+    """
+    dechirped = np.asarray(dechirped)
+    n = dechirped.size
+    samples = np.arange(n)
+    derotators = np.exp(
+        -2j * np.pi * np.outer(np.asarray(positions_bins, dtype=float), samples) / n
+    )
+    return np.fft.fft(dechirped[None, :] * derotators, n, axis=-1)
+
+
+def _dirichlet_gram(positions_bins: np.ndarray, n: int) -> np.ndarray:
+    """``g_ij = <tone(mu_i), tone(mu_j)>`` for the d=0 tones (no phase)."""
+    positions = np.asarray(positions_bins, dtype=float)
+    diff = positions[None, :] - positions[:, None]
+    samples = np.arange(n)
+    # Geometric sum: sum_n exp(2j*pi*diff*n/N).
+    gram = np.zeros(diff.shape, dtype=complex)
+    for i in range(diff.shape[0]):
+        for j in range(diff.shape[1]):
+            gram[i, j] = np.sum(np.exp(2j * np.pi * diff[i, j] * samples / n))
+    return gram
+
+
+def joint_ml_decode(
+    dechirped: np.ndarray,
+    members: list[TeamMember],
+    coherent: bool = True,
+) -> tuple[int, np.ndarray]:
+    """Decode one shared data symbol from a team collision window.
+
+    Parameters
+    ----------
+    dechirped:
+        One dechirped window (length ``N = 2**SF``).
+    members:
+        Per-user offsets/channels (typically from the accumulated preamble).
+    coherent:
+        ``True`` evaluates the exact ML metric of Eqn. 6 (requires channel
+        phases and delays); ``False`` falls back to noncoherent combining
+        ``sum_i |h_i|^2-weighted |F_i[d]|^2``, which needs no delay
+        estimates and degrades gracefully when phases are stale.
+
+    Returns
+    -------
+    ``(best_symbol, metric)`` where ``metric[d]`` is the per-candidate score
+    (lower is better for coherent, higher for noncoherent -- but
+    ``best_symbol`` always picks the optimum, so callers rarely care).
+    """
+    if not members:
+        raise ValueError("joint_ml_decode needs at least one team member")
+    dechirped = np.asarray(dechirped)
+    n = dechirped.size
+    positions = np.array([m.position_bins for m in members], dtype=float)
+    channels = np.array([m.channel for m in members], dtype=complex)
+    delays = np.array([m.delay_samples for m in members], dtype=float)
+    bank = _matched_filter_bank(dechirped, positions)  # (K, N)
+    d = np.arange(n)
+    if not coherent:
+        weights = np.abs(channels) ** 2
+        weights = weights / max(weights.sum(), 1e-30)
+        metric = weights @ (np.abs(bank) ** 2)
+        best = int(np.argmax(metric))
+        return best, metric
+    # Data-dependent phase per user: h_i' = h_i * exp(-2j*pi*d*delta_i/N).
+    phase = np.exp(-2j * np.pi * np.outer(delays, d) / n)  # (K, N)
+    h_prime = channels[:, None] * phase
+    cross = np.sum(np.conj(h_prime) * bank, axis=0)  # sum_i conj(h_i') F_i[d]
+    gram = _dirichlet_gram(positions, n)
+    # Quadratic term per candidate d: conj(h'[:, d]) @ gram @ h'[:, d].
+    # (It collapses to a d-independent constant only when all delays match.)
+    quad = np.einsum("id,ij,jd->d", np.conj(h_prime), gram, h_prime).real
+    metric = -2.0 * np.real(cross) + quad  # ||y||^2 dropped (constant)
+    best = int(np.argmin(metric))
+    return best, metric
+
+
+def template_correlation_decode(
+    template_power: np.ndarray,
+    window_power: np.ndarray,
+    oversample: int,
+) -> tuple[int, np.ndarray]:
+    """Decode a shared symbol by power-spectrum pattern matching.
+
+    The accumulated preamble power spectrum is the team's *energy
+    fingerprint*: one lobe per member (or per unresolved cluster of
+    members) at its offset.  A data window carrying shared symbol ``d``
+    shows the same fingerprint circularly shifted by ``d`` bins, so the ML
+    decision under a noncoherent model is the shift maximizing the circular
+    correlation of the two power spectra.  Unlike the per-member matched
+    filter this needs no member list at all -- clusters of members too
+    close to resolve individually still contribute their pooled energy.
+
+    Parameters
+    ----------
+    template_power, window_power:
+        Oversampled power spectra (length ``N * oversample``).
+    oversample:
+        The zero-padding factor; candidate shifts step by ``oversample``
+        samples (= 1 bin).
+
+    Returns
+    -------
+    ``(best_symbol, scores)`` with ``scores[d]`` the correlation at shift d.
+    """
+    template_power = np.asarray(template_power, dtype=float)
+    window_power = np.asarray(window_power, dtype=float)
+    if template_power.shape != window_power.shape:
+        raise ValueError("template and window spectra must have equal length")
+    total = template_power.size
+    if total % oversample:
+        raise ValueError("spectrum length must be a multiple of oversample")
+    # Remove the noise pedestal so flat noise does not bias the scores.
+    template = template_power - np.median(template_power)
+    window = window_power - np.median(window_power)
+    # Circular cross-correlation via FFT.
+    correlation = np.fft.ifft(
+        np.fft.fft(window) * np.conj(np.fft.fft(template))
+    ).real
+    scores = correlation[::oversample][: total // oversample]
+    return int(np.argmax(scores)), scores
+
+
+def team_snr_gain_db(per_user_snr_linear: np.ndarray) -> float:
+    """Effective SNR (dB) of ML joint decoding: the sum of user SNRs."""
+    per_user_snr_linear = np.asarray(per_user_snr_linear, dtype=float)
+    return float(10.0 * np.log10(max(per_user_snr_linear.sum(), 1e-30)))

@@ -1,0 +1,191 @@
+"""Mapping peaks to users across symbols (paper Secs. 4 and 6.2).
+
+The integer part of a data-window peak mixes data with offset, but the
+*fractional* part depends only on the user's aggregate hardware offset and
+is stable over the packet.  Channel magnitude and (slope-corrected) phase
+are equally stable and user-specific.  Choir therefore clusters peaks on
+the feature vector (fractional position, log magnitude, corrected phase)
+with the prior constraint that peaks within one window belong to distinct
+users -- the HMRF-style semi-supervised clustering of Basu et al. the paper
+cites.  We realize the same constrained objective with per-window optimal
+assignment (Hungarian algorithm) against user centroids seeded from the
+preamble, iterated EM-style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.core.offsets import UserEstimate
+from repro.core.peaks import Peak
+from repro.utils import circular_distance
+
+
+@dataclass
+class PeakFeatures:
+    """Feature vector of one peak for user association."""
+
+    fractional: float
+    log_magnitude: float
+    phase: float
+
+    @classmethod
+    def from_peak(cls, peak: Peak) -> "PeakFeatures":
+        return cls(
+            fractional=peak.fractional,
+            log_magnitude=float(np.log(max(peak.magnitude, 1e-30))),
+            phase=float(np.angle(peak.amplitude)),
+        )
+
+
+@dataclass
+class UserCentroid:
+    """Running cluster centroid for one user."""
+
+    fractional: float
+    log_magnitude: float
+    weight_fractional: float = 1.0
+    weight_magnitude: float = 0.25
+
+    def distance(self, features: PeakFeatures) -> float:
+        """Weighted distance between a peak and this user's centroid.
+
+        Fractional position lives on a circle of period 1; magnitude enters
+        in log space so near-far power ratios do not dominate.  Phase is
+        deliberately excluded from the metric by default because without
+        slope correction it wraps quickly; callers that have corrected it
+        can extend the metric.
+        """
+        d_frac = float(circular_distance(features.fractional, self.fractional))
+        d_mag = abs(features.log_magnitude - self.log_magnitude)
+        return self.weight_fractional * d_frac + self.weight_magnitude * d_mag
+
+
+def centroids_from_estimates(
+    estimates: list[UserEstimate], amplitude_scale: float = 1.0
+) -> list[UserCentroid]:
+    """Seed centroids from preamble-derived user estimates.
+
+    ``amplitude_scale`` converts channel magnitudes to the scale of the
+    peak features being clustered: FFT peaks of an ``N``-sample window
+    have magnitude ``|h| * N``, so pass ``amplitude_scale=N`` when the
+    peaks come from un-normalized spectra.
+    """
+    return [
+        UserCentroid(
+            fractional=e.fractional,
+            log_magnitude=float(
+                np.log(max(e.channel_magnitude * amplitude_scale, 1e-30))
+            ),
+        )
+        for e in estimates
+    ]
+
+
+def assign_peaks_to_users(
+    peaks: list[Peak], centroids: list[UserCentroid], max_distance: float = 0.45
+) -> dict[int, Peak]:
+    """Optimal one-peak-per-user assignment for a single window.
+
+    Solves the assignment problem between this window's peaks and the user
+    centroids (the cannot-link constraint: two peaks in one window never
+    share a user).  Pairs whose distance exceeds ``max_distance`` are left
+    unassigned (erasures), which keeps spurious noise peaks from stealing a
+    user's slot.
+
+    Returns a mapping ``user_index -> Peak``.
+    """
+    if not peaks or not centroids:
+        return {}
+    cost = np.zeros((len(centroids), len(peaks)))
+    for i, centroid in enumerate(centroids):
+        for j, peak in enumerate(peaks):
+            cost[i, j] = centroid.distance(PeakFeatures.from_peak(peak))
+    rows, cols = linear_sum_assignment(cost)
+    assignment: dict[int, Peak] = {}
+    for i, j in zip(rows, cols):
+        if cost[i, j] <= max_distance:
+            assignment[int(i)] = peaks[j]
+    return assignment
+
+
+class ConstrainedClusterer:
+    """EM-style constrained clustering of peaks over a whole packet.
+
+    Alternates (1) per-window constrained assignment against the current
+    centroids and (2) centroid re-estimation from the assigned peaks.  With
+    centroids seeded from the preamble this usually converges in one or two
+    rounds; cold-start (no preamble) works too because fractional positions
+    are well separated across boards (Fig. 7(a)).
+    """
+
+    def __init__(
+        self,
+        n_users: int,
+        seeds: list[UserCentroid] | None = None,
+        max_distance: float = 0.45,
+        n_iterations: int = 3,
+    ):
+        if n_users < 1:
+            raise ValueError(f"n_users must be >= 1, got {n_users}")
+        self.n_users = n_users
+        self.max_distance = max_distance
+        self.n_iterations = n_iterations
+        self._seeds = seeds
+
+    # ------------------------------------------------------------------
+    def _cold_start(self, windows: list[list[Peak]]) -> list[UserCentroid]:
+        """Initialize centroids from the fractional-position histogram."""
+        all_peaks = [p for window in windows for p in window]
+        if not all_peaks:
+            return [UserCentroid(0.0, 0.0) for _ in range(self.n_users)]
+        fractions = np.array([p.fractional for p in all_peaks])
+        magnitudes = np.array([np.log(max(p.magnitude, 1e-30)) for p in all_peaks])
+        # Greedy farthest-point seeding on the circle of fractions.
+        chosen = [int(np.argmax(magnitudes))]
+        while len(chosen) < self.n_users:
+            dists = np.min(
+                np.stack(
+                    [circular_distance(fractions, fractions[c]) for c in chosen]
+                ),
+                axis=0,
+            )
+            chosen.append(int(np.argmax(dists)))
+        return [
+            UserCentroid(float(fractions[c]), float(magnitudes[c])) for c in chosen
+        ]
+
+    def cluster(self, windows: list[list[Peak]]) -> list[dict[int, Peak]]:
+        """Assign every window's peaks to users.
+
+        Returns one ``user_index -> Peak`` mapping per window, with user
+        indices consistent across windows.
+        """
+        centroids = self._seeds if self._seeds is not None else self._cold_start(windows)
+        centroids = list(centroids)
+        assignments: list[dict[int, Peak]] = []
+        for _ in range(self.n_iterations):
+            assignments = [
+                assign_peaks_to_users(window, centroids, self.max_distance)
+                for window in windows
+            ]
+            # M-step: recompute each centroid from its assigned peaks.
+            for user in range(len(centroids)):
+                assigned = [a[user] for a in assignments if user in a]
+                if not assigned:
+                    continue
+                fracs = np.array([p.fractional for p in assigned])
+                # Circular mean of fractional positions.
+                mean_angle = np.angle(np.mean(np.exp(2j * np.pi * fracs)))
+                centroids[user] = UserCentroid(
+                    fractional=float((mean_angle / (2.0 * np.pi)) % 1.0),
+                    log_magnitude=float(
+                        np.mean([np.log(max(p.magnitude, 1e-30)) for p in assigned])
+                    ),
+                    weight_fractional=centroids[user].weight_fractional,
+                    weight_magnitude=centroids[user].weight_magnitude,
+                )
+        return assignments

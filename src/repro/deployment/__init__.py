@@ -1,0 +1,13 @@
+"""Testbed geometry substrate.
+
+Synthetic replacement for the paper's physical testbed: a campus map with
+buildings (four-floor footprints like Fig. 6a), a base station on a tall
+building, and node placements spread over the 10 km^2 evaluation area.
+The geometry feeds the channel model (distance -> SNR) and the sensing
+model (in-building position -> reading).
+"""
+
+from repro.deployment.geometry import Building, Position
+from repro.deployment.testbed import CampusTestbed, PlacedNode
+
+__all__ = ["Building", "Position", "CampusTestbed", "PlacedNode"]

@@ -1,0 +1,74 @@
+"""Buildings and positions on the synthetic campus."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Position:
+    """A point on the campus map (meters; z is height above ground)."""
+
+    x: float
+    y: float
+    z: float = 0.0
+
+    def distance_to(self, other: "Position") -> float:
+        """Euclidean 3-D distance in meters."""
+        return float(
+            np.sqrt(
+                (self.x - other.x) ** 2
+                + (self.y - other.y) ** 2
+                + (self.z - other.z) ** 2
+            )
+        )
+
+
+@dataclass(frozen=True)
+class Building:
+    """An axis-aligned building with several floors (paper Fig. 6a).
+
+    The default footprint (40 m x 95 m, four floors) matches the building
+    sketched in the paper's testbed figure.
+    """
+
+    origin_x: float
+    origin_y: float
+    width_m: float = 40.0
+    depth_m: float = 95.0
+    n_floors: int = 4
+    floor_height_m: float = 3.5
+
+    def floor_position(self, u: float, v: float, floor: int) -> Position:
+        """Map a normalized in-floor point to campus coordinates."""
+        if not 0.0 <= u <= 1.0 or not 0.0 <= v <= 1.0:
+            raise ValueError(f"(u, v) must be in [0,1]^2, got ({u}, {v})")
+        if not 0 <= floor < self.n_floors:
+            raise ValueError(f"floor must be in [0, {self.n_floors}), got {floor}")
+        return Position(
+            x=self.origin_x + u * self.width_m,
+            y=self.origin_y + v * self.depth_m,
+            z=(floor + 0.5) * self.floor_height_m,
+        )
+
+    @property
+    def center(self) -> Position:
+        """Footprint center at ground level."""
+        return Position(
+            x=self.origin_x + self.width_m / 2.0,
+            y=self.origin_y + self.depth_m / 2.0,
+            z=0.0,
+        )
+
+    @property
+    def roof_height_m(self) -> float:
+        return self.n_floors * self.floor_height_m
+
+    def contains(self, position: Position) -> bool:
+        """Whether a map point falls within the footprint."""
+        return (
+            self.origin_x <= position.x <= self.origin_x + self.width_m
+            and self.origin_y <= position.y <= self.origin_y + self.depth_m
+        )

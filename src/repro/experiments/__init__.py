@@ -1,0 +1,44 @@
+"""Per-figure experiment harnesses (shared by benchmarks and examples).
+
+One module per paper figure; each exposes a ``run_*`` function returning an
+:class:`repro.experiments.runner.ExperimentResult` whose rows mirror the
+series the paper plots.  EXPERIMENTS.md records paper-vs-measured for each.
+"""
+
+from repro.experiments.runner import ExperimentResult, format_table
+from repro.experiments.fig3_collision import run_collision_peaks
+from repro.experiments.fig4_residual import run_residual_surface
+from repro.experiments.fig5_isi import run_isi_windows
+from repro.experiments.fig7_offsets import run_offset_cdf, run_offset_stability
+from repro.experiments.fig8_density import run_density_vs_snr, run_density_vs_users
+from repro.experiments.fig9_range import run_range_throughput, run_range_vs_team
+from repro.experiments.fig10_resolution import run_resolution_vs_distance
+from repro.experiments.fig11_correlation import run_grouping_error, run_mixed_throughput
+from repro.experiments.fig12_mimo import run_mimo_comparison
+from repro.experiments.extensions import run_multisf_demux, run_unb_separation
+from repro.experiments.energy import run_energy_comparison
+from repro.experiments.beacon_scheduling import run_beacon_scheduling
+from repro.experiments.calibration import run_phy_calibration
+
+__all__ = [
+    "run_multisf_demux",
+    "run_unb_separation",
+    "run_energy_comparison",
+    "run_beacon_scheduling",
+    "run_phy_calibration",
+    "ExperimentResult",
+    "format_table",
+    "run_collision_peaks",
+    "run_residual_surface",
+    "run_isi_windows",
+    "run_offset_cdf",
+    "run_offset_stability",
+    "run_density_vs_snr",
+    "run_density_vs_users",
+    "run_range_throughput",
+    "run_range_vs_team",
+    "run_resolution_vs_distance",
+    "run_grouping_error",
+    "run_mixed_throughput",
+    "run_mimo_comparison",
+]

@@ -1,0 +1,83 @@
+"""Beacon scheduling over the campus testbed (Sec. 7.1).
+
+Places a sensor population across the synthetic campus, lets the
+:class:`repro.mac.beacon.BeaconScheduler` partition it into singletons and
+pooled teams from the link SNRs, and reports the resulting service map:
+how group size (and therefore data resolution) degrades with distance --
+"a system whose resolution of measured sensor data increases for sensors
+that are geographically closer to the base station".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.deployment.testbed import CampusTestbed
+from repro.experiments.runner import DEFAULT_PARAMS, ExperimentResult
+from repro.mac.beacon import BeaconRoundSimulator, BeaconScheduler
+from repro.mac.phy import ChoirPhyModel
+from repro.utils import ensure_rng
+
+
+def run_beacon_scheduling(
+    n_nodes: int = 60,
+    max_distance_m: float = 2600.0,
+    n_cycles: int = 4,
+    seed: int = 71,
+) -> ExperimentResult:
+    """Schedule a mixed-distance population and report the service map.
+
+    Rows bucket nodes by distance band and give the mean scheduled group
+    size, the fraction served, and the effective data resolution (full for
+    singletons, MSB-only for teams).
+    """
+    params = DEFAULT_PARAMS
+    rng = ensure_rng(seed)
+    testbed = CampusTestbed(rng_seed=seed)
+    placed = [
+        testbed.place_at_distance(i, float(rng.uniform(60.0, max_distance_m)))
+        for i in range(n_nodes)
+    ]
+    snrs = {node.node_id: testbed.mean_snr_db(node) for node in placed}
+    distances = {node.node_id: testbed.distance(node) for node in placed}
+    # Far sensors fall back to the minimum LoRaWAN rate (SF12): the
+    # scheduler plans against its decode floor, exactly as the paper's
+    # beyond-range teams do (Sec. 9.3 uses the minimum data rate).
+    scheduler = BeaconScheduler(
+        params, margin_db=3.0, max_team_size=30, decode_snr_db=-25.0
+    )
+    schedule = scheduler.build_schedule(snrs)
+    simulator = BeaconRoundSimulator(
+        params, ChoirPhyModel(params, decode_snr_db=-25.0), scheduler
+    )
+    metrics = simulator.run(snrs, n_cycles=n_cycles, rng=rng)
+    result = ExperimentResult(
+        name="beacon scheduling over the campus",
+        notes=(
+            f"{n_nodes} nodes to {max_distance_m:.0f} m; "
+            f"{schedule.n_rounds} rounds/cycle, "
+            f"{len(schedule.unreachable)} unreachable"
+        ),
+    )
+    bands = [(0, 400), (400, 800), (800, 1500), (1500, 2600)]
+    for lo, hi in bands:
+        members = [nid for nid in snrs if lo <= distances[nid] < hi]
+        if not members:
+            continue
+        group_sizes = []
+        served = 0
+        for nid in members:
+            group = schedule.group_of(nid)
+            if group is not None:
+                group_sizes.append(group.size)
+            served += nid in metrics.nodes_served
+        result.add(
+            distance_band_m=f"{lo}-{hi}",
+            n_nodes=len(members),
+            mean_group_size=round(float(np.mean(group_sizes)), 2)
+            if group_sizes
+            else None,
+            fraction_served=round(served / len(members), 2),
+            resolution="full" if (group_sizes and np.mean(group_sizes) < 1.5) else "coarse (MSB)",
+        )
+    return result

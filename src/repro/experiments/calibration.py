@@ -1,0 +1,74 @@
+"""Model-vs-waveform calibration of the Choir PHY outcome model.
+
+The Fig. 8 network sweeps use :class:`repro.mac.phy.ChoirPhyModel` because
+the waveform decoder is too slow for minutes of simulated airtime.  This
+experiment justifies that substitution: for each collision size, it
+resolves the same offered load both ways -- fast model and real waveform
+decoder -- and reports the delivered fraction side by side.  The model is
+considered calibrated when the two traces agree within a few points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.runner import DEFAULT_PARAMS, ExperimentResult
+from repro.mac.phy import ChoirPhyModel, Transmission
+from repro.mac.waveform_phy import WaveformPhy
+from repro.utils import ensure_rng
+
+
+def run_phy_calibration(
+    user_counts: tuple[int, ...] = (2, 4, 6, 8, 10),
+    n_trials: int = 4,
+    snr_range_db: tuple[float, float] = (6.0, 25.0),
+    payload_bits: int = 128,
+    seed: int = 72,
+) -> ExperimentResult:
+    """Delivered fraction per collision size: fast model vs waveform.
+
+    Each trial is one slot with ``n`` concurrent transmissions whose SNRs
+    are drawn uniformly from ``snr_range_db`` -- the spread a real
+    deployment's "100 random locations" produces (Sec. 8), and the regime
+    the paper's results live in.  The waveform path draws fresh boards per
+    trial (matching the model's fresh offset draws).
+    """
+    params = DEFAULT_PARAMS
+    result = ExperimentResult(
+        name="calibration: ChoirPhyModel vs waveform decoder",
+        notes=(
+            f"{n_trials} trials per point, SNR uniform in {snr_range_db} dB; "
+            "the fast model must track the waveform decoder's delivered fraction"
+        ),
+    )
+    for n_users in user_counts:
+        model_delivered = []
+        waveform_delivered = []
+        for trial in range(n_trials):
+            snr_rng = ensure_rng(seed * 7 + trial * 13 + n_users)
+            transmissions = [
+                Transmission(
+                    node_id=i,
+                    snr_db=float(snr_rng.uniform(*snr_range_db)),
+                    n_payload_bits=payload_bits,
+                )
+                for i in range(n_users)
+            ]
+            model = ChoirPhyModel(params)
+            model_rng = ensure_rng(seed * 1000 + trial * 17 + n_users)
+            model_delivered.append(
+                len(model.resolve(transmissions, rng=model_rng)) / n_users
+            )
+            waveform = WaveformPhy(params, rng=ensure_rng(seed + trial * 31 + n_users))
+            waveform_delivered.append(
+                len(waveform.resolve(transmissions)) / n_users
+            )
+        result.add(
+            n_users=n_users,
+            model_delivered=round(float(np.mean(model_delivered)), 3),
+            waveform_delivered=round(float(np.mean(waveform_delivered)), 3),
+            gap=round(
+                float(np.mean(model_delivered) - np.mean(waveform_delivered)), 3
+            ),
+        )
+    return result

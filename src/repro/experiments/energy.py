@@ -1,0 +1,70 @@
+"""Battery-life consequences of the Fig. 8 retransmission results.
+
+The paper motivates its transmissions-per-packet metric as "a major drain
+on battery" (Secs. 1, 9.2); this experiment closes the loop: run the
+Fig. 8(d) MAC comparison, convert each system's retransmission count and
+regulatory duty-cycle usage into joules and years on a standard lithium
+pack, and report the battery-life gain alongside the throughput gain.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import DEFAULT_PARAMS, ExperimentResult
+from repro.mac.duty import DutyCycleTracker
+from repro.mac.phy import ChoirPhyModel, SingleUserPhy
+from repro.mac.protocols import AlohaMac, ChoirMac, OracleMac
+from repro.mac.simulator import NetworkSimulator, NodeConfig
+from repro.metrics.energy import battery_life_report, packet_airtime_s
+from repro.utils import ensure_rng
+
+
+def run_energy_comparison(
+    n_users: int = 10,
+    duration_s: float = 30.0,
+    reporting_period_s: float = 60.0,
+    seed: int = 70,
+) -> ExperimentResult:
+    """Battery life per system at ``n_users`` concurrent clients.
+
+    Rows report each system's transmissions-per-delivered-packet (the
+    paper's Fig. 8(f) metric), the implied energy per delivered reading,
+    the battery life of a once-a-minute sensor, and the maximum reporting
+    rate a 1 % duty-cycle regulation would allow.
+    """
+    params = DEFAULT_PARAMS
+    rng = ensure_rng(seed)
+    nodes = [NodeConfig(i, snr_db=12.0) for i in range(n_users)]
+    airtime = packet_airtime_s(params, nodes[0].payload_bits)
+    duty = DutyCycleTracker(duty_cycle=0.01)
+    result = ExperimentResult(
+        name="energy: battery life from retransmissions",
+        notes=(
+            f"{n_users} users; battery = 6.6 Wh lithium pack, one reading "
+            f"per {reporting_period_s:.0f} s"
+        ),
+    )
+    systems = {
+        "aloha": (AlohaMac(), SingleUserPhy(params)),
+        "oracle": (OracleMac(), SingleUserPhy(params)),
+        "choir": (ChoirMac(), ChoirPhyModel(params)),
+    }
+    for name, (mac, phy) in systems.items():
+        sim = NetworkSimulator(params, phy, mac, nodes, rng=rng)
+        metrics = sim.run(duration_s)
+        tx_per_packet = max(metrics.transmissions_per_packet, 1.0)
+        report = battery_life_report(
+            params,
+            tx_per_packet,
+            reporting_period_s=reporting_period_s,
+            payload_bits=nodes[0].payload_bits,
+        )
+        result.add(
+            system=name,
+            tx_per_packet=round(tx_per_packet, 3),
+            energy_per_reading_mj=round(report.energy_per_delivery_j * 1e3, 2),
+            battery_life_years=round(report.battery_life_years, 2),
+            max_duty_cycle_rate_per_min=round(
+                duty.max_packet_rate_hz(airtime * tx_per_packet) * 60.0, 2
+            ),
+        )
+    return result

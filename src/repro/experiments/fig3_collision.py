@@ -1,0 +1,89 @@
+"""Fig. 3: two collided chirps produce two distinct, fractional FFT peaks.
+
+The paper's walk-through example: two transmitters send the *same* symbol,
+their chirps collide, and after dechirping the FFT shows one peak per
+transmitter, separated by the difference of their hardware offsets.  At
+10x zero-padding the fractional separation (e.g. 50.4 bins) becomes
+visible in the sinc structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.collider import CollisionChannel
+from repro.core.dechirp import dechirp_windows, oversampled_spectrum
+from repro.core.peaks import find_peaks
+from repro.experiments.runner import DEFAULT_PARAMS, ExperimentResult
+from repro.hardware.clock import TimingModel
+from repro.hardware.oscillator import OscillatorModel
+from repro.hardware.radio import LoRaRadio
+from repro.utils import ensure_rng
+
+
+def run_collision_peaks(
+    offset_separation_bins: float = 50.4,
+    snr_db: float = 25.0,
+    oversample: int = 10,
+    seed: int = 3,
+) -> ExperimentResult:
+    """Reproduce Fig. 3(c)-(d): peak structure of a two-user collision.
+
+    Rows report, for FFT oversampling 1x (Fig. 3c) and ``oversample``x
+    (Fig. 3d), the detected peak positions and their separation; the
+    fractional part of the separation is only resolvable in the padded
+    transform.
+    """
+    params = DEFAULT_PARAMS
+    rng = ensure_rng(seed)
+    base_cfo_bins = 12.0
+    radios = [
+        LoRaRadio(
+            params,
+            oscillator=OscillatorModel(params.bins_to_hz(base_cfo_bins)),
+            timing=TimingModel(0.0),
+            node_id=1,
+            rng=rng,
+        ),
+        LoRaRadio(
+            params,
+            oscillator=OscillatorModel(
+                params.bins_to_hz(base_cfo_bins + offset_separation_bins)
+            ),
+            timing=TimingModel(0.0),
+            node_id=2,
+            rng=rng,
+        ),
+    ]
+    amplitude = 10.0 ** (snr_db / 20.0)
+    channel = CollisionChannel(params, noise_power=1.0)
+    symbols = np.zeros(4, dtype=int)  # both transmit the same symbol
+    packet = channel.receive(
+        [(r, symbols, amplitude + 0j) for r in radios], rng=rng
+    )
+    windows = dechirp_windows(
+        params, packet.samples, n_windows=4, start=params.samples_per_symbol
+    )
+    result = ExperimentResult(
+        name="fig3: collided chirp peaks",
+        notes=(
+            f"true separation {offset_separation_bins} bins; the 1x FFT "
+            "quantizes it to an integer, the padded FFT resolves the fraction"
+        ),
+    )
+    for factor, label in [(1, "1x (Fig 3c)"), (oversample, f"{oversample}x (Fig 3d)")]:
+        spectrum = oversampled_spectrum(windows[1], factor)
+        peaks = find_peaks(spectrum, factor, threshold_snr=4.0, max_peaks=2)
+        peaks = sorted(peaks, key=lambda p: p.position_bins)
+        if len(peaks) == 2:
+            separation = abs(peaks[1].position_bins - peaks[0].position_bins)
+        else:
+            separation = float("nan")
+        result.add(
+            fft=label,
+            n_peaks=len(peaks),
+            peak1_bins=round(peaks[0].position_bins, 3) if peaks else None,
+            peak2_bins=round(peaks[1].position_bins, 3) if len(peaks) > 1 else None,
+            separation_bins=round(separation, 3),
+        )
+    return result

@@ -1,0 +1,88 @@
+"""Shared experiment plumbing: results, tables, common configurations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.phy.params import LoRaParams
+
+#: PHY configuration shared by all experiments unless stated otherwise.
+DEFAULT_PARAMS = LoRaParams(spreading_factor=8, bandwidth=125_000.0, preamble_len=8)
+
+#: SNR regimes as the paper buckets them (Sec. 9.2): low < 5 dB,
+#: medium 5-20 dB, high > 20 dB.  Values are representative mid-points.
+SNR_REGIMES = {"low": 2.0, "medium": 12.0, "high": 25.0}
+
+
+from repro.mac.adr import spreading_factor_for_snr  # re-exported for harnesses
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's output: named rows mirroring a paper figure."""
+
+    name: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, **kwargs: Any) -> None:
+        """Append one row (keyword arguments become columns)."""
+        self.rows.append(dict(kwargs))
+
+    def column(self, key: str) -> list[Any]:
+        """All values of one column, in row order."""
+        return [row[key] for row in self.rows]
+
+    def to_csv(self) -> str:
+        """Render rows as CSV (for plotting outside the terminal)."""
+        if not self.rows:
+            return ""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=list(self.rows[0].keys()))
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow(row)
+        return buffer.getvalue()
+
+    def save_csv(self, path) -> None:
+        """Write :meth:`to_csv` output to ``path``."""
+        with open(path, "w", newline="") as handle:
+            handle.write(self.to_csv())
+
+    def __str__(self) -> str:
+        header = f"== {self.name} =="
+        body = format_table(self.rows)
+        parts = [header, body]
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+
+def format_table(rows: list[dict[str, Any]]) -> str:
+    """Render rows as an aligned text table (the bench harness prints it)."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    rendered = [
+        [_format_cell(row.get(col, "")) for col in columns] for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    lines = ["  ".join(col.ljust(w) for col, w in zip(columns, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0 or 0.01 <= abs(value) < 1e6:
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return f"{value:.3e}"
+    return str(value)

@@ -1,0 +1,22 @@
+"""Client hardware imperfection models.
+
+Choir's entire premise is that cheap LP-WAN client hardware exhibits
+per-board carrier-frequency offsets, timing offsets and phase offsets that
+are *stable within a packet* but *diverse across boards* (paper Sec. 4-5 and
+the Fig. 7 characterization).  This package models those imperfections --
+crystal oscillators with ppm-scale error and slow drift, sample-clock /
+wake-up timing offsets, transmit power, and the base station's finite ADC.
+"""
+
+from repro.hardware.oscillator import OscillatorModel
+from repro.hardware.clock import TimingModel
+from repro.hardware.radio import LoRaRadio, TransmitterState
+from repro.hardware.adc import AdcModel
+
+__all__ = [
+    "OscillatorModel",
+    "TimingModel",
+    "LoRaRadio",
+    "TransmitterState",
+    "AdcModel",
+]

@@ -1,0 +1,60 @@
+"""Base-station ADC model: quantization and dynamic-range limits.
+
+Sec. 5.2 of the paper notes Choir "is always limited by the resolution of
+the analog-to-digital converter": transmitters whose signals fall below the
+quantization floor are lost no matter how clever the decoding.  The USRP
+N210 digitizes at 14 bits; this model quantizes I/Q against a configurable
+full-scale so range experiments (Fig. 9) inherit a realistic noise floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AdcModel:
+    """Uniform mid-rise quantizer applied independently to I and Q.
+
+    Parameters
+    ----------
+    bits:
+        Resolution per component (the N210's ADC is 14-bit).
+    full_scale:
+        Amplitude mapped to the top code; larger inputs clip.
+    """
+
+    bits: int = 14
+    full_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError(f"bits must be >= 1, got {self.bits}")
+        if self.full_scale <= 0:
+            raise ValueError(f"full_scale must be positive, got {self.full_scale}")
+
+    @property
+    def step(self) -> float:
+        """Quantization step size."""
+        return 2.0 * self.full_scale / (1 << self.bits)
+
+    @property
+    def quantization_noise_power(self) -> float:
+        """Theoretical quantization noise power per complex sample.
+
+        Uniform quantization noise has variance ``step^2 / 12`` per
+        component; I and Q contribute independently.
+        """
+        return 2.0 * (self.step**2) / 12.0
+
+    def digitize(self, samples: np.ndarray) -> np.ndarray:
+        """Quantize (and clip) a complex waveform."""
+        samples = np.asarray(samples, dtype=complex)
+
+        def _quantize(x: np.ndarray) -> np.ndarray:
+            clipped = np.clip(x, -self.full_scale, self.full_scale - self.step)
+            return (np.floor(clipped / self.step) + 0.5) * self.step
+
+        return _quantize(samples.real) + 1j * _quantize(samples.imag)

@@ -1,0 +1,139 @@
+"""A complete LP-WAN client radio: modulator + hardware imperfections.
+
+:class:`LoRaRadio` plays the role of the paper's SX1276MB1LAS boards: it
+owns an oscillator (CFO), a timing model (TO), a random per-packet phase,
+and a transmit power, and renders frames into the impaired complex-baseband
+waveform the base station would see before the wireless channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.clock import TimingModel
+from repro.hardware.oscillator import OscillatorModel
+from repro.phy.chirp import delayed_chirp_train
+from repro.phy.modulation import CssModulator
+from repro.phy.packet import LoRaFramer
+from repro.phy.params import LoRaParams
+from repro.utils import db_to_linear, ensure_rng
+
+
+@dataclass(frozen=True)
+class TransmitterState:
+    """Ground-truth impairments of one transmission (for tests/metrics)."""
+
+    cfo_hz: float
+    timing_offset_s: float
+    phase_rad: float
+    amplitude: float
+
+    def aggregate_offset_bins(self, params: LoRaParams) -> float:
+        """The combined CFO+TO shift of the dechirped peak, in FFT bins.
+
+        This is the quantity Choir estimates.  A CFO of ``f`` Hz shifts the
+        dechirped tone *up* by ``f / bin_width`` bins; a delay of ``dt``
+        seconds shifts it *down* by ``dt * Fs`` bins (Eqn. 5's ``B*dt/T``
+        magnitude; the sign follows from dechirping a late chirp against an
+        on-time down-chirp: ``phi(t-dt) - phi(t) = -(dt/T_chip) * t + c``).
+        """
+        cfo_bins = params.hz_to_bins(self.cfo_hz)
+        to_bins = self.timing_offset_s * params.sample_rate
+        return cfo_bins - to_bins
+
+
+class LoRaRadio:
+    """One client board: deterministic imperfections, per-packet rendering.
+
+    Parameters
+    ----------
+    params:
+        PHY configuration shared with the base station.
+    oscillator, timing:
+        Hardware models; drawn randomly from board-tolerance distributions
+        when not supplied.
+    tx_power_dbm:
+        Transmit power; combined with the channel's path loss to set the
+        received amplitude.
+    node_id:
+        Stable identifier used by the MAC simulator and metrics.
+    """
+
+    def __init__(
+        self,
+        params: LoRaParams,
+        oscillator: OscillatorModel | None = None,
+        timing: TimingModel | None = None,
+        tx_power_dbm: float = 14.0,
+        node_id: int = 0,
+        coding_rate: int = 4,
+        rng=None,
+    ):
+        rng = ensure_rng(rng)
+        self.params = params
+        self.oscillator = oscillator or OscillatorModel.sample(
+            rng, carrier_hz=params.carrier_hz
+        )
+        self.timing = timing or TimingModel.sample(rng)
+        self.tx_power_dbm = tx_power_dbm
+        self.node_id = node_id
+        self._rng = rng
+        self._modulator = CssModulator(params)
+        self._framer = LoRaFramer(params, coding_rate=coding_rate)
+
+    # ------------------------------------------------------------------
+    @property
+    def framer(self) -> LoRaFramer:
+        return self._framer
+
+    @property
+    def tx_power_linear(self) -> float:
+        """Transmit power as a linear amplitude-squared scale (1 mW ref)."""
+        return float(db_to_linear(self.tx_power_dbm))
+
+    def ground_truth(self, phase_rad: float = 0.0, amplitude: float = 1.0) -> TransmitterState:
+        """The impairments the next transmission will carry."""
+        return TransmitterState(
+            cfo_hz=self.oscillator.offset_hz,
+            timing_offset_s=self.timing.offset_s,
+            phase_rad=phase_rad,
+            amplitude=amplitude,
+        )
+
+    # ------------------------------------------------------------------
+    def transmit_symbols(
+        self,
+        data_symbols: np.ndarray | list,
+        amplitude: float = 1.0,
+        apply_timing: bool = True,
+    ) -> tuple[np.ndarray, TransmitterState]:
+        """Render a frame (preamble + data chirps) with impairments.
+
+        Returns the impaired waveform and the ground-truth
+        :class:`TransmitterState` (useful for evaluating estimators).
+        """
+        frame_symbols = self._modulator.frame_symbols(np.asarray(data_symbols, dtype=int))
+        delay = self.timing.offset_samples(self.params.sample_rate) if apply_timing else 0.0
+        clean = delayed_chirp_train(self.params, frame_symbols, delay)
+        phase = float(self._rng.uniform(0.0, 2.0 * np.pi))
+        impaired = self.oscillator.apply(clean, self.params.sample_rate, rng=self._rng)
+        impaired = impaired * (amplitude * np.exp(1j * phase))
+        state = TransmitterState(
+            cfo_hz=self.oscillator.offset_hz,
+            timing_offset_s=self.timing.offset_s if apply_timing else 0.0,
+            phase_rad=phase,
+            amplitude=amplitude,
+        )
+        return impaired, state
+
+    def transmit_payload(
+        self, payload: bytes, amplitude: float = 1.0, apply_timing: bool = True
+    ) -> tuple[np.ndarray, TransmitterState, np.ndarray]:
+        """Encode ``payload`` and render it; also returns the true symbols."""
+        frame = self._framer.encode(payload)
+        waveform, state = self.transmit_symbols(
+            frame.symbols, amplitude=amplitude, apply_timing=apply_timing
+        )
+        return waveform, state, frame.symbols

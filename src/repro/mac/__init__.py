@@ -1,0 +1,44 @@
+"""MAC-layer discrete-event simulation.
+
+The paper's Figs. 8, 11 and 12 compare network-level metrics (throughput,
+per-packet latency, transmissions per delivered packet) across three MACs
+sharing one PHY:
+
+* **ALOHA** -- LoRaWAN's slotted ALOHA with binary exponential backoff;
+* **Oracle** -- an idealized TDMA scheduler that serializes transmissions
+  perfectly (no collisions, no wasted slots);
+* **Choir** -- beacon-solicited concurrent transmissions, decoded by the
+  collision-disentangling receiver.
+
+The PHY is pluggable: :class:`repro.mac.phy.SingleUserPhy` (classic
+receiver: any collision destroys all packets), :class:`repro.mac.phy.ChoirPhyModel`
+(offset-separation + SNR model calibrated against the waveform decoder) and
+:class:`repro.mac.phy.MuMimoPhyModel` (antenna-limited spatial separation).
+"""
+
+from repro.mac.events import EventScheduler
+from repro.mac.phy import (
+    ChoirPhyModel,
+    MuMimoPhyModel,
+    PhyModel,
+    SingleUserPhy,
+    Transmission,
+)
+from repro.mac.protocols import AlohaMac, ChoirMac, Mac, OracleMac
+from repro.mac.simulator import MacMetrics, NetworkSimulator, NodeConfig
+
+__all__ = [
+    "EventScheduler",
+    "PhyModel",
+    "SingleUserPhy",
+    "ChoirPhyModel",
+    "MuMimoPhyModel",
+    "Transmission",
+    "Mac",
+    "AlohaMac",
+    "OracleMac",
+    "ChoirMac",
+    "NetworkSimulator",
+    "NodeConfig",
+    "MacMetrics",
+]

@@ -1,0 +1,71 @@
+"""Regulatory duty-cycle accounting.
+
+The 900 MHz US ISM band the paper deploys in imposes per-channel dwell
+limits, and the EU 868 band imposes 1 % duty cycles -- either way, a
+client's airtime is a regulated budget and retransmissions burn it.  This
+tracker answers "may this node transmit now?" over a sliding window, which
+the MAC simulations use to show that Choir's fewer retransmissions also
+translate into staying inside the regulatory envelope at higher offered
+load.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DutyCycleTracker:
+    """Sliding-window duty-cycle enforcement for one transmitter.
+
+    Parameters
+    ----------
+    duty_cycle:
+        Allowed fraction of air time (EU: 0.01 for most sub-bands).
+    window_s:
+        Averaging window (regulations typically use 1 hour).
+    """
+
+    duty_cycle: float = 0.01
+    window_s: float = 3600.0
+    _history: deque = field(default_factory=deque, repr=False)  # (start, duration)
+    _airtime_in_window: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.duty_cycle <= 1.0:
+            raise ValueError(f"duty_cycle must be in (0, 1], got {self.duty_cycle}")
+        if self.window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {self.window_s}")
+
+    def _expire(self, now: float) -> None:
+        while self._history and self._history[0][0] < now - self.window_s:
+            _, duration = self._history.popleft()
+            self._airtime_in_window -= duration
+
+    def airtime_used_s(self, now: float) -> float:
+        """Airtime spent within the trailing window."""
+        self._expire(now)
+        return max(self._airtime_in_window, 0.0)
+
+    def budget_remaining_s(self, now: float) -> float:
+        """Airtime still allowed within the trailing window."""
+        return max(self.duty_cycle * self.window_s - self.airtime_used_s(now), 0.0)
+
+    def can_transmit(self, now: float, duration_s: float) -> bool:
+        """Whether a ``duration_s`` transmission at ``now`` is permitted."""
+        return duration_s <= self.budget_remaining_s(now)
+
+    def record_transmission(self, now: float, duration_s: float) -> None:
+        """Account one transmission (call after actually transmitting)."""
+        if duration_s < 0:
+            raise ValueError(f"duration must be >= 0, got {duration_s}")
+        self._expire(now)
+        self._history.append((now, duration_s))
+        self._airtime_in_window += duration_s
+
+    def max_packet_rate_hz(self, airtime_s: float) -> float:
+        """Long-run sustainable packets/second for a given packet airtime."""
+        if airtime_s <= 0:
+            raise ValueError(f"airtime must be positive, got {airtime_s}")
+        return self.duty_cycle / airtime_s

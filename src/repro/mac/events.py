@@ -1,0 +1,51 @@
+"""A minimal discrete-event scheduler (heap-based).
+
+The MAC simulations are slot-synchronous, but packet arrivals and latency
+accounting live on a continuous clock; this scheduler provides both: events
+are (time, sequence, callback) triples executed in time order, and the
+simulation advances by draining the heap up to a horizon.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+
+class EventScheduler:
+    """Time-ordered event execution with a stable tie-break."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = 0
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` seconds from the current time."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute ``time`` (>= now)."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self._now}")
+        heapq.heappush(self._heap, (time, self._counter, callback))
+        self._counter += 1
+
+    def run_until(self, horizon: float) -> None:
+        """Execute events in order until the heap is empty or past horizon."""
+        while self._heap and self._heap[0][0] <= horizon:
+            time, _, callback = heapq.heappop(self._heap)
+            self._now = time
+            callback()
+        self._now = max(self._now, horizon)
+
+    def pending(self) -> int:
+        """Number of queued events."""
+        return len(self._heap)

@@ -1,0 +1,114 @@
+"""MAC protocols: slotted ALOHA, oracle TDMA, and Choir's beacon MAC.
+
+All three share a slot-synchronous contract with the simulator: each slot
+the MAC nominates transmitters from the backlogged nodes, the PHY model
+resolves the collision, and the MAC is told the outcome so it can update
+its backoff/scheduling state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils import ensure_rng
+
+
+class Mac:
+    """Interface the simulator drives."""
+
+    def select_transmitters(self, slot: int, backlogged: list[int], rng) -> list[int]:
+        """Which of the backlogged nodes transmit in this slot."""
+        raise NotImplementedError
+
+    def on_result(self, slot: int, attempted: list[int], decoded: set[int]) -> None:
+        """Feedback after the PHY resolved the slot (ACK emulation)."""
+
+
+@dataclass
+class AlohaMac(Mac):
+    """Slotted ALOHA with binary exponential backoff (LoRaWAN's mode 1).
+
+    A backlogged node transmits as soon as its backoff expires; every
+    failure doubles its contention window up to ``max_window`` slots
+    (paper Sec. 3: "transmit as soon as they wake up and apply random
+    exponential back-off when faced with a collision").
+    """
+
+    initial_window: int = 1
+    max_window: int = 32
+    _windows: dict[int, int] = field(default_factory=dict)
+    _wait_until: dict[int, int] = field(default_factory=dict)
+
+    def select_transmitters(self, slot: int, backlogged: list[int], rng) -> list[int]:
+        """Backlogged nodes whose backoff has expired."""
+        rng = ensure_rng(rng)
+        ready = []
+        for node in backlogged:
+            if self._wait_until.get(node, 0) <= slot:
+                ready.append(node)
+        return ready
+
+    def on_result(self, slot: int, attempted: list[int], decoded: set[int]) -> None:
+        """Reset or exponentially grow each attempter's backoff window."""
+        rng = self._rng
+        for node in attempted:
+            if node in decoded:
+                self._windows[node] = self.initial_window
+                self._wait_until[node] = slot + 1
+            else:
+                window = min(
+                    self._windows.get(node, self.initial_window) * 2, self.max_window
+                )
+                self._windows[node] = window
+                self._wait_until[node] = slot + 1 + int(rng.integers(0, window))
+
+    def __post_init__(self) -> None:
+        self._rng = ensure_rng(None)
+
+    def seed(self, rng) -> None:
+        """Share the simulation's RNG stream for reproducible backoffs."""
+        self._rng = ensure_rng(rng)
+
+
+@dataclass
+class OracleMac(Mac):
+    """Perfect TDMA: exactly one backlogged node per slot, round robin.
+
+    The paper's "LoRaWAN+Oracle" baseline -- an upper bound for any
+    collision-*avoiding* scheduler, with zero scheduling overhead and
+    zero collisions.
+    """
+
+    _next_index: int = 0
+
+    def select_transmitters(self, slot: int, backlogged: list[int], rng) -> list[int]:
+        """Exactly one backlogged node, round robin."""
+        if not backlogged:
+            return []
+        ordered = sorted(backlogged)
+        choice = ordered[self._next_index % len(ordered)]
+        self._next_index += 1
+        return [choice]
+
+
+@dataclass
+class ChoirMac(Mac):
+    """Beacon-solicited concurrent transmissions (Sec. 7.1).
+
+    Every slot opens with a base-station beacon; all backlogged nodes (or a
+    scheduled subset of at most ``group_size``) respond concurrently in the
+    next slot, coarsely time-synchronized.  The Choir receiver disentangles
+    the collision; nodes that were not decoded simply respond to the next
+    beacon again.
+    """
+
+    group_size: int | None = None
+
+    def select_transmitters(self, slot: int, backlogged: list[int], rng) -> list[int]:
+        """All backlogged nodes (or a random group of ``group_size``)."""
+        rng = ensure_rng(rng)
+        nodes = sorted(backlogged)
+        if self.group_size is not None and len(nodes) > self.group_size:
+            picked = rng.choice(len(nodes), size=self.group_size, replace=False)
+            return [nodes[i] for i in sorted(picked)]
+        return nodes

@@ -1,0 +1,25 @@
+"""Evaluation metrics shared by the experiments and benchmarks."""
+
+from repro.metrics.accuracy import packet_delivery, symbol_accuracy
+from repro.metrics.energy import (
+    EnergyReport,
+    RadioEnergyProfile,
+    battery_life_report,
+    energy_per_delivered_packet,
+    energy_report_from_metrics,
+)
+from repro.metrics.resolution import normalized_resolution_error
+from repro.metrics.summary import gain, safe_ratio
+
+__all__ = [
+    "symbol_accuracy",
+    "packet_delivery",
+    "normalized_resolution_error",
+    "gain",
+    "safe_ratio",
+    "EnergyReport",
+    "RadioEnergyProfile",
+    "battery_life_report",
+    "energy_per_delivered_packet",
+    "energy_report_from_metrics",
+]

@@ -1,0 +1,33 @@
+"""Symbol- and packet-level accuracy metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def symbol_accuracy(decoded: np.ndarray, truth: np.ndarray) -> float:
+    """Fraction of symbols decoded correctly (0.0 when lengths mismatch)."""
+    decoded = np.asarray(decoded)
+    truth = np.asarray(truth)
+    if decoded.size != truth.size or truth.size == 0:
+        return 0.0
+    return float(np.mean(decoded == truth))
+
+
+def packet_delivery(
+    decoded: np.ndarray, truth: np.ndarray, fec_tolerance: float = 0.06
+) -> bool:
+    """Whether a symbol stream would survive the LoRa FEC + CRC.
+
+    Hamming(8,4) with diagonal interleaving corrects scattered symbol
+    errors up to roughly ``fec_tolerance`` of the stream -- but always at
+    least one (a lone symbol error lands one bit per codeword, which the
+    FEC corrects even in short packets); denser errors fail the CRC.
+    """
+    decoded = np.asarray(decoded)
+    truth = np.asarray(truth)
+    if decoded.size != truth.size or truth.size == 0:
+        return False
+    n_errors = int(np.sum(decoded != truth))
+    tolerated = max(int(fec_tolerance * truth.size), 1)
+    return n_errors <= tolerated

@@ -1,0 +1,26 @@
+"""Sensor-data resolution error (Figs. 10 and 11a)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def normalized_resolution_error(
+    true_values: np.ndarray, recovered_values: np.ndarray, value_range: tuple[float, float]
+) -> float:
+    """Mean absolute error normalized by the sensing range.
+
+    The paper reports "loss of resolution" as a percentage: 13.2 % for
+    30-sensor teams at 2.5 km means the recovered coarse reading is within
+    13.2 % of the sensed range of each sensor's true value on average.
+    """
+    true_values = np.asarray(true_values, dtype=float)
+    recovered_values = np.asarray(recovered_values, dtype=float)
+    if true_values.size != recovered_values.size:
+        raise ValueError("value arrays must have equal length")
+    lo, hi = value_range
+    if hi <= lo:
+        raise ValueError(f"invalid range: {value_range}")
+    if true_values.size == 0:
+        return 0.0
+    return float(np.mean(np.abs(true_values - recovered_values)) / (hi - lo))

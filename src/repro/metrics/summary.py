@@ -1,0 +1,15 @@
+"""Small helpers for reporting paper-style gain ratios."""
+
+from __future__ import annotations
+
+
+def safe_ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator`` with 0/0 -> 0 and x/0 -> inf."""
+    if denominator == 0:
+        return 0.0 if numerator == 0 else float("inf")
+    return numerator / denominator
+
+
+def gain(system_value: float, baseline_value: float) -> float:
+    """Multiplicative gain of a system over a baseline (paper's "x" values)."""
+    return safe_ratio(system_value, baseline_value)

@@ -1,0 +1,23 @@
+"""Uplink MU-MIMO baseline (the paper's Sec. 9.5 comparator).
+
+A base station with M antennas receives each transmission through M
+independent channels; zero-forcing inverts the per-symbol mixing matrix to
+separate up to M concurrent users.  This is the state of the art Choir is
+compared against -- its gain is hard-capped by the antenna count, whereas
+Choir separates users in the frequency domain on a single antenna.
+
+Also provided: multi-antenna *Choir* (run the collision decoder per
+antenna, combine decisions), showing the two techniques compose
+(Fig. 12's "Choir + MU-MIMO" bar).
+"""
+
+from repro.mimo.array import MultiAntennaCapture, receive_multiantenna
+from repro.mimo.zf import ZfMimoDecoder
+from repro.mimo.choir_array import decode_choir_multiantenna
+
+__all__ = [
+    "MultiAntennaCapture",
+    "receive_multiantenna",
+    "ZfMimoDecoder",
+    "decode_choir_multiantenna",
+]

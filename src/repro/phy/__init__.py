@@ -1,0 +1,45 @@
+"""LoRa chirp-spread-spectrum physical layer.
+
+This package is a from-scratch software implementation of the LoRaWAN PHY
+described in Sec. 3 of the Choir paper: chirp synthesis, CSS modulation and
+demodulation, the packet structure (preamble / sync word / payload / CRC),
+and the LoRa coding chain (whitening, Hamming FEC, interleaving, Gray
+mapping).  It is the substrate the Choir decoder (:mod:`repro.core`) builds
+on.
+"""
+
+from repro.phy.params import LoRaParams
+from repro.phy.chirp import downchirp, upchirp
+from repro.phy.modulation import CssModulator, modulate_symbols
+from repro.phy.demodulation import CssDemodulator, demodulate_symbols
+from repro.phy.packet import LoRaFrame, LoRaFramer
+from repro.phy.encoding import (
+    gray_decode,
+    gray_encode,
+    hamming_decode,
+    hamming_encode,
+    interleave,
+    deinterleave,
+    whiten,
+)
+from repro.phy.crc import crc16_ccitt
+
+__all__ = [
+    "LoRaParams",
+    "upchirp",
+    "downchirp",
+    "CssModulator",
+    "CssDemodulator",
+    "modulate_symbols",
+    "demodulate_symbols",
+    "LoRaFrame",
+    "LoRaFramer",
+    "gray_encode",
+    "gray_decode",
+    "hamming_encode",
+    "hamming_decode",
+    "interleave",
+    "deinterleave",
+    "whiten",
+    "crc16_ccitt",
+]

@@ -1,0 +1,120 @@
+"""Chirp synthesis for LoRa chirp spread spectrum.
+
+A LoRa symbol with value ``s`` (0 <= s < 2**SF) is an up-chirp whose
+instantaneous frequency starts at ``s * BW / 2**SF``, sweeps up linearly, and
+wraps around at the band edge (paper Fig. 2).  At the critically sampled
+rate (``Fs == BW``) the sampled symbol has the closed form::
+
+    x_s[n] = exp(j * 2*pi * (n^2 / (2*N) + s * n / N)),   N = 2**SF
+
+where the band-edge wrap is implicit in the modulo-1 phase.  Multiplying by
+the conjugate base chirp ("dechirping") therefore yields a pure tone
+``exp(j*2*pi*s*n/N)`` whose FFT peaks exactly at bin ``s`` -- the property
+every algorithm in :mod:`repro.core` relies on.
+
+For integer oversampling factors the wrap is made explicit so the waveform
+stays band-limited to ``BW``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.params import LoRaParams
+
+
+def upchirp(params: LoRaParams, symbol: int = 0) -> np.ndarray:
+    """One CSS up-chirp encoding ``symbol``.
+
+    Returns a unit-amplitude complex baseband vector of
+    ``params.samples_per_symbol`` samples.
+    """
+    n_chips = params.chips_per_symbol
+    if not 0 <= symbol < n_chips:
+        raise ValueError(f"symbol must be in [0, {n_chips}), got {symbol}")
+    osf = params.oversampling
+    n = np.arange(params.samples_per_symbol, dtype=float) / osf
+    if osf == 1:
+        phase = n * n / (2.0 * n_chips) + symbol * n / n_chips
+        return np.exp(2j * np.pi * phase)
+    # Oversampled: generate the explicitly wrapped instantaneous frequency
+    # (from -BW/2 to +BW/2 in baseband) and integrate it to phase.
+    chip_frac = (n + float(symbol)) % n_chips  # position within the sweep
+    inst_freq = chip_frac / n_chips - 0.5  # cycles per chip, in [-0.5, 0.5)
+    dt = 1.0 / osf  # chips per sample
+    phase = np.cumsum(inst_freq) * dt
+    phase -= phase[0]
+    return np.exp(2j * np.pi * phase)
+
+
+def downchirp(params: LoRaParams) -> np.ndarray:
+    """The base down-chirp: complex conjugate of the symbol-0 up-chirp.
+
+    Multiplying a received symbol by this vector ("dechirping") converts
+    each colliding up-chirp into a complex tone (paper Sec. 4, step 1).
+    """
+    return np.conj(upchirp(params, 0))
+
+
+def chirp_train(params: LoRaParams, symbols: np.ndarray | list) -> np.ndarray:
+    """Concatenate the up-chirps for a symbol sequence into one waveform."""
+    symbols = np.asarray(symbols, dtype=int)
+    if symbols.ndim != 1:
+        raise ValueError("symbols must be a 1-D sequence")
+    chunks = [upchirp(params, int(s)) for s in symbols]
+    if not chunks:
+        return np.zeros(0, dtype=complex)
+    return np.concatenate(chunks)
+
+
+def delayed_chirp_train(
+    params: LoRaParams, symbols: np.ndarray | list, delay_samples: float = 0.0
+) -> np.ndarray:
+    """Chirp train rendered with an analytic (possibly fractional) delay.
+
+    Evaluates each symbol's quadratic phase at the shifted time
+    ``tau = n - delay``, which is how an analog chirp transmitted ``delay``
+    samples late is sampled by an on-time receiver.  Dechirping such a
+    symbol against the aligned down-chirp yields a *pure* tone shifted by
+    exactly ``-delay`` bins (Eqn. 5's time-frequency duality)::
+
+        phi(tau) - phi(n) = -(delay/N) * n + const,  tau = n - delay
+
+    (A band-limited fractional shift of the critically sampled waveform
+    would instead split the aliased band edge and splatter the tone, which
+    is a simulation artefact, not transmitter physics.)
+
+    The returned vector covers ``ceil(len(symbols)*N + delay)`` samples with
+    zeros before the transmission starts.  Only ``delay >= 0`` and
+    ``oversampling == 1`` are supported.
+    """
+    if delay_samples < 0:
+        raise ValueError(f"delay_samples must be >= 0, got {delay_samples}")
+    if params.oversampling != 1:
+        raise ValueError("delayed_chirp_train requires oversampling == 1")
+    symbols = np.asarray(symbols, dtype=int)
+    n_chips = params.chips_per_symbol
+    total = int(np.ceil(symbols.size * n_chips + delay_samples))
+    n = np.arange(total, dtype=float)
+    tau_global = n - delay_samples
+    idx = np.floor(tau_global / n_chips).astype(int)
+    valid = (idx >= 0) & (idx < symbols.size)
+    tau = tau_global - idx * n_chips  # position within the chirp, [0, N)
+    out = np.zeros(total, dtype=complex)
+    sym_vals = symbols[np.clip(idx, 0, max(symbols.size - 1, 0))].astype(float)
+    phase = tau * tau / (2.0 * n_chips) + sym_vals * tau / n_chips
+    out[valid] = np.exp(2j * np.pi * phase[valid])
+    return out
+
+
+def instantaneous_frequency(waveform: np.ndarray, sample_rate: float) -> np.ndarray:
+    """Estimate the instantaneous frequency (Hz) of a complex waveform.
+
+    Used by tests and the spectrogram example to verify chirp linearity; the
+    result has one fewer sample than the input.
+    """
+    waveform = np.asarray(waveform)
+    if waveform.size < 2:
+        return np.zeros(0)
+    dphi = np.angle(waveform[1:] * np.conj(waveform[:-1]))
+    return dphi / (2.0 * np.pi) * sample_rate

@@ -1,0 +1,34 @@
+"""CRC-16/CCITT used by the LoRa payload integrity check."""
+
+from __future__ import annotations
+
+_CRC_POLY = 0x1021
+_CRC_INIT = 0x0000
+
+
+def crc16_ccitt(data: bytes, init: int = _CRC_INIT) -> int:
+    """Compute CRC-16/CCITT (polynomial 0x1021) over ``data``."""
+    crc = init & 0xFFFF
+    for byte in bytes(data):
+        crc ^= byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ _CRC_POLY) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+    return crc
+
+
+def append_crc(data: bytes) -> bytes:
+    """Return ``data`` with its 2-byte big-endian CRC appended."""
+    crc = crc16_ccitt(data)
+    return bytes(data) + bytes([(crc >> 8) & 0xFF, crc & 0xFF])
+
+
+def check_crc(data_with_crc: bytes) -> bool:
+    """Validate a byte string produced by :func:`append_crc`."""
+    if len(data_with_crc) < 2:
+        return False
+    payload, trailer = data_with_crc[:-2], data_with_crc[-2:]
+    crc = crc16_ccitt(payload)
+    return trailer == bytes([(crc >> 8) & 0xFF, crc & 0xFF])

@@ -1,0 +1,76 @@
+"""Standard single-user LoRa demodulation (the non-Choir receive path).
+
+This is what a commodity LoRaWAN gateway does: dechirp each symbol window
+with the base down-chirp, take a ``2**SF``-point FFT, and pick the maximum
+bin (paper Sec. 4, the two-step process).  It decodes exactly one
+transmitter; when chirps from two same-spreading-factor transmitters
+collide, its output is garbage -- which is the premise Choir starts from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.chirp import downchirp
+from repro.phy.params import LoRaParams
+
+
+def dechirp_symbol(params: LoRaParams, samples: np.ndarray) -> np.ndarray:
+    """Multiply one symbol window by the base down-chirp."""
+    samples = np.asarray(samples)
+    n = params.samples_per_symbol
+    if samples.size != n:
+        raise ValueError(f"expected {n} samples, got {samples.size}")
+    return samples * downchirp(params)
+
+
+def demodulate_symbol(params: LoRaParams, samples: np.ndarray) -> int:
+    """Decode one symbol window to the max-energy FFT bin."""
+    spectrum = np.fft.fft(dechirp_symbol(params, samples), params.chips_per_symbol)
+    return int(np.argmax(np.abs(spectrum)))
+
+
+def demodulate_symbols(params: LoRaParams, waveform: np.ndarray) -> np.ndarray:
+    """Decode a contiguous run of symbol windows."""
+    waveform = np.asarray(waveform)
+    n = params.samples_per_symbol
+    n_sym = waveform.size // n
+    out = np.zeros(n_sym, dtype=np.int64)
+    for i in range(n_sym):
+        out[i] = demodulate_symbol(params, waveform[i * n : (i + 1) * n])
+    return out
+
+
+class CssDemodulator:
+    """Frame-level demodulator with CFO correction from the preamble.
+
+    The preamble symbols are all zero, so any consistent nonzero peak during
+    the preamble is the transmitter's aggregate frequency offset; the
+    demodulator subtracts it (rounded to an integer bin) from the data
+    peaks.  This models the standard LoRa receiver's integer-bin CFO
+    compensation -- deliberately *without* Choir's fractional-offset
+    machinery.
+    """
+
+    def __init__(self, params: LoRaParams, sync_word: int | None = None):
+        self.params = params
+        self.sync_word = sync_word
+
+    def demodulate_frame(self, waveform: np.ndarray, n_data_symbols: int) -> np.ndarray:
+        """Decode the data symbols of one frame starting at sample 0."""
+        params = self.params
+        n = params.samples_per_symbol
+        n_overhead = params.preamble_len + (1 if self.sync_word is not None else 0)
+        needed = (n_overhead + n_data_symbols) * n
+        waveform = np.asarray(waveform)
+        if waveform.size < needed:
+            raise ValueError(
+                f"waveform too short: need {needed} samples, got {waveform.size}"
+            )
+        all_symbols = demodulate_symbols(params, waveform[:needed])
+        preamble_peaks = all_symbols[: params.preamble_len]
+        # Integer CFO estimate: modal preamble peak (all preamble symbols are 0).
+        values, counts = np.unique(preamble_peaks, return_counts=True)
+        cfo_bins = int(values[np.argmax(counts)])
+        data = all_symbols[n_overhead:]
+        return (data - cfo_bins) % params.chips_per_symbol

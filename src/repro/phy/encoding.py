@@ -1,0 +1,230 @@
+"""The LoRa coding chain: Gray mapping, Hamming FEC, interleaving, whitening.
+
+LoRa processes payload bits through (in transmit order) whitening, Hamming
+encoding at coding rate 4/(4+CR), diagonal interleaving across a block of
+symbols, and Gray mapping onto symbol values.  We implement each stage and
+its inverse from scratch.  Sec. 7.2 of the paper leans on this chain when it
+notes that interleaving/coding can make near-identical sensor readings
+diverge after coding, motivating Choir's data splicing
+(:mod:`repro.sensing.splicing`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# ----------------------------------------------------------------------
+# Gray code
+# ----------------------------------------------------------------------
+
+
+def gray_encode(value: int | np.ndarray) -> int | np.ndarray:
+    """Binary-reflected Gray code of ``value`` (element-wise for arrays)."""
+    value = np.asarray(value)
+    result = value ^ (value >> 1)
+    if result.ndim == 0:
+        return int(result)
+    return result
+
+
+def gray_decode(code: int | np.ndarray) -> int | np.ndarray:
+    """Inverse of :func:`gray_encode`."""
+    code = np.asarray(code, dtype=np.int64)
+    value = code.copy()
+    shift = 1
+    # For 64-bit ints, 6 doubling steps cover every bit position.
+    while shift < 64:
+        value ^= value >> shift
+        shift <<= 1
+    if value.ndim == 0:
+        return int(value)
+    return value
+
+
+# ----------------------------------------------------------------------
+# Hamming FEC
+# ----------------------------------------------------------------------
+
+# LoRa's FEC protects each 4-bit nibble with CR in {1..4} parity bits,
+# giving rates 4/5 .. 4/8.  CR >= 3 corrects single-bit errors (true
+# Hamming(7,4)/(8,4)); CR 1..2 only detect.
+
+_HAMMING_G = np.array(
+    # Generator for Hamming(8,4): data bits d0..d3 then parities p0..p3.
+    [
+        [1, 0, 0, 0, 1, 1, 0, 1],
+        [0, 1, 0, 0, 1, 0, 1, 1],
+        [0, 0, 1, 0, 0, 1, 1, 1],
+        [0, 0, 0, 1, 1, 1, 1, 0],
+    ],
+    dtype=np.uint8,
+)
+
+
+def _nibble_to_bits(nibble: int) -> np.ndarray:
+    return np.array([(nibble >> i) & 1 for i in range(4)], dtype=np.uint8)
+
+
+def _bits_to_nibble(bits: np.ndarray) -> int:
+    return int(sum(int(b) << i for i, b in enumerate(bits[:4])))
+
+
+def hamming_encode(nibbles: np.ndarray | list, coding_rate: int = 4) -> np.ndarray:
+    """Encode 4-bit nibbles with ``coding_rate`` parity bits each.
+
+    Returns a flat uint8 bit array of length ``len(nibbles) * (4 + CR)``.
+    """
+    if not 1 <= coding_rate <= 4:
+        raise ValueError(f"coding_rate must be in 1..4, got {coding_rate}")
+    nibbles = np.asarray(nibbles, dtype=int)
+    out = []
+    for nib in nibbles:
+        if not 0 <= nib < 16:
+            raise ValueError(f"nibble out of range: {nib}")
+        data = _nibble_to_bits(int(nib))
+        codeword = (data @ _HAMMING_G) % 2
+        out.append(codeword[: 4 + coding_rate])
+    if not out:
+        return np.zeros(0, dtype=np.uint8)
+    return np.concatenate(out).astype(np.uint8)
+
+
+def _syndrome_correct(codeword: np.ndarray) -> np.ndarray:
+    """Correct a single bit error in a Hamming(8,4) codeword in place."""
+    data = codeword[:4]
+    n_parity = len(codeword) - 4
+    expected = (data @ _HAMMING_G) % 2
+    err = (expected[4 : 4 + n_parity] != codeword[4:]).astype(np.uint8)
+    if not err.any():
+        return codeword
+    # Try flipping each bit and accept the flip that zeroes the syndrome.
+    for i in range(len(codeword)):
+        trial = codeword.copy()
+        trial[i] ^= 1
+        expected = (trial[:4] @ _HAMMING_G) % 2
+        if np.array_equal(expected[4 : 4 + n_parity], trial[4 : 4 + n_parity]):
+            return trial
+    return codeword  # uncorrectable; leave as-is
+
+
+def hamming_decode(bits: np.ndarray, coding_rate: int = 4) -> tuple[np.ndarray, int]:
+    """Decode a flat bit array produced by :func:`hamming_encode`.
+
+    Returns ``(nibbles, corrected)`` where ``corrected`` counts codewords in
+    which a single-bit correction was applied (only possible for CR >= 3).
+    """
+    if not 1 <= coding_rate <= 4:
+        raise ValueError(f"coding_rate must be in 1..4, got {coding_rate}")
+    bits = np.asarray(bits, dtype=np.uint8)
+    block = 4 + coding_rate
+    if bits.size % block != 0:
+        raise ValueError(f"bit stream length {bits.size} is not a multiple of {block}")
+    nibbles = []
+    corrected = 0
+    for start in range(0, bits.size, block):
+        codeword = bits[start : start + block].copy()
+        if coding_rate >= 3:
+            fixed = _syndrome_correct(codeword)
+            if not np.array_equal(fixed, codeword):
+                corrected += 1
+            codeword = fixed
+        nibbles.append(_bits_to_nibble(codeword))
+    return np.array(nibbles, dtype=np.uint8), corrected
+
+
+# ----------------------------------------------------------------------
+# Diagonal interleaver
+# ----------------------------------------------------------------------
+
+
+def interleave(bits: np.ndarray, spreading_factor: int, codeword_len: int) -> np.ndarray:
+    """LoRa-style diagonal interleaver.
+
+    Takes ``spreading_factor * codeword_len`` bits arranged as
+    ``codeword_len`` codewords of ``spreading_factor`` bits and scatters each
+    codeword across symbols so a symbol erasure damages at most one bit per
+    codeword.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    expected = spreading_factor * codeword_len
+    if bits.size != expected:
+        raise ValueError(f"expected {expected} bits, got {bits.size}")
+    matrix = bits.reshape(codeword_len, spreading_factor)
+    out = np.zeros_like(matrix)
+    for i in range(codeword_len):
+        out[i] = np.roll(matrix[i], i)
+    return out.T.reshape(-1)
+
+
+def deinterleave(bits: np.ndarray, spreading_factor: int, codeword_len: int) -> np.ndarray:
+    """Inverse of :func:`interleave`."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    expected = spreading_factor * codeword_len
+    if bits.size != expected:
+        raise ValueError(f"expected {expected} bits, got {bits.size}")
+    matrix = bits.reshape(spreading_factor, codeword_len).T
+    out = np.zeros_like(matrix)
+    for i in range(codeword_len):
+        out[i] = np.roll(matrix[i], -i)
+    return out.reshape(-1)
+
+
+# ----------------------------------------------------------------------
+# Whitening
+# ----------------------------------------------------------------------
+
+
+def _whitening_sequence(n: int) -> np.ndarray:
+    """LFSR whitening sequence (x^8 + x^6 + x^5 + x^4 + 1, seed 0xFF)."""
+    state = 0xFF
+    out = np.zeros(n, dtype=np.uint8)
+    for i in range(n):
+        out[i] = state & 1
+        feedback = ((state >> 7) ^ (state >> 5) ^ (state >> 4) ^ (state >> 3)) & 1
+        state = ((state << 1) | feedback) & 0xFF
+    return out
+
+
+def whiten(bits: np.ndarray) -> np.ndarray:
+    """XOR a bit stream with the LoRa whitening sequence (involutive)."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    return bits ^ _whitening_sequence(bits.size)
+
+
+# ----------------------------------------------------------------------
+# Bit/byte/symbol packing helpers
+# ----------------------------------------------------------------------
+
+
+def bytes_to_bits(data: bytes) -> np.ndarray:
+    """Unpack bytes LSB-first into a uint8 bit array."""
+    arr = np.frombuffer(bytes(data), dtype=np.uint8)
+    return np.unpackbits(arr, bitorder="little")
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Pack an LSB-first bit array back into bytes (zero-padded)."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size % 8:
+        bits = np.concatenate([bits, np.zeros(8 - bits.size % 8, dtype=np.uint8)])
+    return np.packbits(bits, bitorder="little").tobytes()
+
+
+def bits_to_symbols(bits: np.ndarray, spreading_factor: int) -> np.ndarray:
+    """Group bits (LSB-first) into Gray-mapped symbol values."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size % spreading_factor:
+        pad = spreading_factor - bits.size % spreading_factor
+        bits = np.concatenate([bits, np.zeros(pad, dtype=np.uint8)])
+    groups = bits.reshape(-1, spreading_factor)
+    weights = (1 << np.arange(spreading_factor)).astype(np.int64)
+    values = groups @ weights
+    return np.asarray(gray_encode(values), dtype=np.int64)
+
+
+def symbols_to_bits(symbols: np.ndarray, spreading_factor: int) -> np.ndarray:
+    """Inverse of :func:`bits_to_symbols`."""
+    symbols = np.asarray(symbols, dtype=np.int64)
+    values = np.asarray(gray_decode(symbols), dtype=np.int64)
+    bits = ((values[:, None] >> np.arange(spreading_factor)) & 1).astype(np.uint8)
+    return bits.reshape(-1)

@@ -1,0 +1,53 @@
+"""CSS modulation: symbol values -> complex baseband waveform."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.chirp import chirp_train, upchirp
+from repro.phy.params import LoRaParams
+
+
+def modulate_symbols(params: LoRaParams, symbols: np.ndarray | list) -> np.ndarray:
+    """Modulate a sequence of symbol values into a CSS waveform.
+
+    Each symbol ``s`` becomes one up-chirp starting at frequency
+    ``s * bin_width`` (paper Fig. 2); the output is the concatenation.
+    """
+    return chirp_train(params, symbols)
+
+
+class CssModulator:
+    """Stateful modulator that prepends the frame preamble.
+
+    The preamble is ``params.preamble_len`` base up-chirps (symbol 0), the
+    shared "known symbol" Choir uses to estimate per-user offsets
+    (paper Sec. 4).  A sync word symbol can optionally follow it so the
+    standard demodulator can delimit preamble from data.
+    """
+
+    def __init__(self, params: LoRaParams, sync_word: int | None = None):
+        self.params = params
+        if sync_word is not None and not 0 <= sync_word < params.chips_per_symbol:
+            raise ValueError(f"sync_word out of range: {sync_word}")
+        self.sync_word = sync_word
+
+    def preamble(self) -> np.ndarray:
+        """The preamble waveform alone."""
+        base = upchirp(self.params, 0)
+        return np.tile(base, self.params.preamble_len)
+
+    def frame_symbols(self, data_symbols: np.ndarray | list) -> np.ndarray:
+        """The full frame symbol sequence: preamble [+ sync] + data."""
+        head = [0] * self.params.preamble_len
+        if self.sync_word is not None:
+            head.append(self.sync_word)
+        return np.concatenate([np.asarray(head, dtype=int), np.asarray(data_symbols, dtype=int)])
+
+    def frame_waveform(self, data_symbols: np.ndarray | list) -> np.ndarray:
+        """Full frame: preamble [+ sync word] + data chirps."""
+        return modulate_symbols(self.params, self.frame_symbols(data_symbols))
+
+    def frame_num_symbols(self, n_data_symbols: int) -> int:
+        """Total symbols in a frame carrying ``n_data_symbols``."""
+        return self.params.preamble_len + (1 if self.sync_word is not None else 0) + n_data_symbols

@@ -1,0 +1,111 @@
+"""LoRa PHY parameter set.
+
+A :class:`LoRaParams` bundles the degrees of freedom of the LoRaWAN PHY the
+paper uses: spreading factor (7..12), bandwidth (125/250/500 kHz) and the
+preamble length.  All derived quantities (symbol duration, samples per
+symbol, FFT bin width, raw bit rate) hang off it so the rest of the library
+never recomputes them ad hoc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Spreading factors the LoRaWAN standard allows (bits per symbol).
+VALID_SPREADING_FACTORS = tuple(range(6, 13))
+
+#: LoRaWAN channel bandwidths in Hz (US ISM band uses 125 kHz and 500 kHz).
+VALID_BANDWIDTHS = (125_000.0, 250_000.0, 500_000.0)
+
+
+@dataclass(frozen=True)
+class LoRaParams:
+    """Static parameters of one LoRa CSS link.
+
+    Parameters
+    ----------
+    spreading_factor:
+        Number of bits encoded per chirp symbol (paper Sec. 3, "Rate
+        Adaptation"; LoRaWAN allows up to 12).
+    bandwidth:
+        Chirp sweep bandwidth in Hz.
+    preamble_len:
+        Number of base (symbol-0) up-chirps that open every frame.
+    oversampling:
+        Receiver samples per chip.  The default of 1 (``Fs == bandwidth``)
+        matches the critically sampled model used throughout the paper's
+        analysis; the modulator also supports integer oversampling.
+    """
+
+    spreading_factor: int = 8
+    bandwidth: float = 125_000.0
+    preamble_len: int = 8
+    oversampling: int = 1
+    carrier_hz: float = field(default=902_000_000.0)
+
+    def __post_init__(self) -> None:
+        if self.spreading_factor not in VALID_SPREADING_FACTORS:
+            raise ValueError(
+                f"spreading_factor must be one of {VALID_SPREADING_FACTORS}, "
+                f"got {self.spreading_factor}"
+            )
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+        if self.preamble_len < 1:
+            raise ValueError(f"preamble_len must be >= 1, got {self.preamble_len}")
+        if self.oversampling < 1 or int(self.oversampling) != self.oversampling:
+            raise ValueError(f"oversampling must be a positive integer, got {self.oversampling}")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def chips_per_symbol(self) -> int:
+        """Number of chips (and FFT bins) per symbol: ``2**SF``."""
+        return 1 << self.spreading_factor
+
+    @property
+    def samples_per_symbol(self) -> int:
+        """Receiver samples per symbol (chips times oversampling)."""
+        return self.chips_per_symbol * self.oversampling
+
+    @property
+    def sample_rate(self) -> float:
+        """Complex baseband sample rate in Hz."""
+        return self.bandwidth * self.oversampling
+
+    @property
+    def symbol_duration(self) -> float:
+        """Chirp duration in seconds: ``2**SF / BW``."""
+        return self.chips_per_symbol / self.bandwidth
+
+    @property
+    def bin_width_hz(self) -> float:
+        """Width of one dechirped FFT bin in Hz: ``BW / 2**SF``.
+
+        A carrier-frequency offset of one bin width moves the dechirped peak
+        by exactly one symbol value, which is why Choir measures offsets in
+        units of bins.
+        """
+        return self.bandwidth / self.chips_per_symbol
+
+    @property
+    def raw_bit_rate(self) -> float:
+        """Uncoded PHY bit rate in bits/s: ``SF / T_sym``."""
+        return self.spreading_factor / self.symbol_duration
+
+    def symbol_value_range(self) -> range:
+        """All valid symbol values for this spreading factor."""
+        return range(self.chips_per_symbol)
+
+    def hz_to_bins(self, freq_hz: float) -> float:
+        """Convert a frequency offset in Hz to dechirped-FFT bins."""
+        return freq_hz / self.bin_width_hz
+
+    def bins_to_hz(self, bins: float) -> float:
+        """Convert a dechirped-FFT bin offset to Hz."""
+        return bins * self.bin_width_hz
+
+    def seconds_to_samples(self, seconds: float) -> float:
+        """Convert a duration to (possibly fractional) samples."""
+        return seconds * self.sample_rate

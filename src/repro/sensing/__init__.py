@@ -1,0 +1,36 @@
+"""Correlated sensor-data substrate (Secs. 7 and 9.4).
+
+Choir's range extension feeds on *spatially correlated* sensor readings:
+co-located temperature/humidity sensors agree in their most-significant
+bits, so teams can transmit identical MSB chunks concurrently.  This
+package provides the spatial field model (replacing the paper's BME280
+deployment over four building floors), sensor sampling/quantization,
+grouping strategies (random / per-floor / distance-from-center, Fig. 11a),
+MSB-overlap analysis, and the data splicing of Sec. 7.2.
+"""
+
+from repro.sensing.field import EnvironmentField
+from repro.sensing.sensors import SensorNode, quantize_reading, dequantize_reading
+from repro.sensing.grouping import (
+    group_by_center_distance,
+    group_by_floor,
+    group_random,
+    grouping_error,
+)
+from repro.sensing.correlation import consensus_bits, msb_overlap
+from repro.sensing.splicing import merge_chunks, splice_bits
+
+__all__ = [
+    "EnvironmentField",
+    "SensorNode",
+    "quantize_reading",
+    "dequantize_reading",
+    "group_random",
+    "group_by_floor",
+    "group_by_center_distance",
+    "grouping_error",
+    "msb_overlap",
+    "consensus_bits",
+    "splice_bits",
+    "merge_chunks",
+]

@@ -1,0 +1,60 @@
+"""MSB-overlap analysis of correlated sensor readings (Sec. 7).
+
+Co-located sensors read similar values, so their MSB-first fixed-point
+codes share a prefix; the length of that shared prefix is exactly the
+number of bits a team can transmit *identically* (and therefore
+concurrently, with coherent power gain).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sensing.sensors import bits_to_code, code_to_bits
+
+
+def msb_overlap(codes: list[int] | np.ndarray, n_bits: int = 12) -> int:
+    """Length of the MSB prefix shared by every code in the group."""
+    codes = [int(c) for c in codes]
+    if not codes:
+        return 0
+    if len(codes) == 1:
+        return n_bits
+    bit_rows = np.stack([code_to_bits(c, n_bits) for c in codes])
+    for i in range(n_bits):
+        if not np.all(bit_rows[:, i] == bit_rows[0, i]):
+            return i
+    return n_bits
+
+
+def consensus_bits(codes: list[int] | np.ndarray, n_bits: int = 12) -> np.ndarray:
+    """Per-position majority bit across a group's codes.
+
+    What a base station would report as the group's coarse reading when
+    only the overlapping chunks survive: positions where the group agrees
+    carry information, the rest default to the majority (ties to 0).
+    """
+    codes = [int(c) for c in codes]
+    if not codes:
+        return np.zeros(n_bits, dtype=np.uint8)
+    bit_rows = np.stack([code_to_bits(c, n_bits) for c in codes])
+    sums = bit_rows.sum(axis=0)
+    return (sums * 2 > len(codes)).astype(np.uint8)
+
+
+def group_value_estimate(
+    codes: list[int] | np.ndarray,
+    n_bits: int,
+    recovered_prefix: int,
+) -> int:
+    """Code the base station reconstructs from ``recovered_prefix`` MSBs.
+
+    The recovered MSBs come from the consensus; the unknown LSBs are set to
+    the midpoint (``100...``), the minimum-worst-case completion.
+    """
+    consensus = consensus_bits(codes, n_bits)
+    bits = consensus.copy()
+    if recovered_prefix < n_bits:
+        bits[recovered_prefix:] = 0
+        bits[recovered_prefix] = 1  # midpoint completion
+    return bits_to_code(bits)

@@ -1,0 +1,88 @@
+"""Spatial temperature/humidity field over a building.
+
+Models the physics behind Fig. 11(a)'s observation that distance from the
+floor center is the best grouping predictor: HVAC holds the building core
+near a setpoint while the envelope tracks the outdoor condition, so a
+sensor's reading interpolates between setpoint and outdoor value as a
+function of its distance from the exterior.  A smooth random micro-climate
+term and per-floor offsets (heat rises; roofs are warmer) complete the
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils import ensure_rng
+
+
+@dataclass
+class EnvironmentField:
+    """Deterministic-plus-random environment over one building.
+
+    Parameters
+    ----------
+    outdoor_temp_c / indoor_setpoint_c:
+        Envelope and core temperatures the field interpolates between.
+    outdoor_humidity / indoor_humidity:
+        Same for relative humidity (percent).
+    envelope_scale_m:
+        E-folding distance of the exterior influence: sensors within
+        ~one scale of a wall track the outdoor condition.
+    floor_gradient_c:
+        Temperature increase per floor (stratification).
+    microclimate_sigma:
+        Amplitude of the smooth random spatial term (same units as the
+        field), realized from a fixed set of Gaussian bumps so nearby
+        sensors stay correlated.
+    """
+
+    outdoor_temp_c: float = 4.0
+    indoor_setpoint_c: float = 21.5
+    outdoor_humidity: float = 78.0
+    indoor_humidity: float = 32.0
+    envelope_scale_m: float = 6.0
+    floor_gradient_c: float = 0.4
+    microclimate_sigma: float = 0.5
+    n_bumps: int = 12
+    rng_seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        rng = ensure_rng(self.rng_seed)
+        # Fixed random bumps define the micro-climate; they live in the
+        # unit square and are scaled to each queried building's footprint.
+        self._bump_centers = rng.uniform(0.0, 1.0, size=(self.n_bumps, 2))
+        self._bump_amps = rng.normal(0.0, self.microclimate_sigma, self.n_bumps)
+        self._bump_width = 0.25
+
+    # ------------------------------------------------------------------
+    def _microclimate(self, u: float, v: float) -> float:
+        """Smooth random term at normalized in-floor position (u, v)."""
+        d2 = (self._bump_centers[:, 0] - u) ** 2 + (self._bump_centers[:, 1] - v) ** 2
+        return float(np.sum(self._bump_amps * np.exp(-d2 / (2 * self._bump_width**2))))
+
+    def _envelope_weight(self, u: float, v: float, width_m: float, depth_m: float) -> float:
+        """How strongly the exterior dominates at (u, v): 1 at walls, ->0 inside."""
+        dist_to_wall = min(u, 1.0 - u) * width_m, min(v, 1.0 - v) * depth_m
+        d = min(dist_to_wall)
+        return float(np.exp(-d / self.envelope_scale_m))
+
+    # ------------------------------------------------------------------
+    def temperature(
+        self, u: float, v: float, floor: int = 0, width_m: float = 40.0, depth_m: float = 95.0
+    ) -> float:
+        """Temperature (deg C) at normalized floor position (u, v) in [0,1]^2."""
+        w = self._envelope_weight(u, v, width_m, depth_m)
+        base = (1.0 - w) * self.indoor_setpoint_c + w * self.outdoor_temp_c
+        return base + self.floor_gradient_c * floor + self._microclimate(u, v)
+
+    def humidity(
+        self, u: float, v: float, floor: int = 0, width_m: float = 40.0, depth_m: float = 95.0
+    ) -> float:
+        """Relative humidity (percent) at normalized floor position (u, v)."""
+        w = self._envelope_weight(u, v, width_m, depth_m)
+        base = (1.0 - w) * self.indoor_humidity + w * self.outdoor_humidity
+        micro = self._microclimate(1.0 - u, 1.0 - v) * 2.0  # decorrelated from temp
+        return float(np.clip(base + micro - 0.5 * floor, 0.0, 100.0))

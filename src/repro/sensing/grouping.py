@@ -1,0 +1,85 @@
+"""Sensor grouping strategies and their data-agreement error (Fig. 11a).
+
+The scheduler must decide *which* sensors to make transmit concurrently
+(Sec. 7.1, "Whom do we coordinate?").  A group is useful when its members'
+readings agree, so the figure of merit is the mean disagreement between a
+member's reading and the group consensus, normalized by the sensed range.
+The paper compares three strategies -- random, per-floor, and
+distance-from-floor-center bands -- and finds center distance best.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sensing.sensors import SensorNode
+from repro.utils import ensure_rng
+
+
+def group_random(sensors: list[SensorNode], n_groups: int, rng=None) -> list[list[SensorNode]]:
+    """Partition sensors uniformly at random into ``n_groups`` groups."""
+    rng = ensure_rng(rng)
+    if n_groups < 1:
+        raise ValueError(f"n_groups must be >= 1, got {n_groups}")
+    order = rng.permutation(len(sensors))
+    groups: list[list[SensorNode]] = [[] for _ in range(n_groups)]
+    for rank, idx in enumerate(order):
+        groups[rank % n_groups].append(sensors[idx])
+    return [g for g in groups if g]
+
+
+def group_by_floor(sensors: list[SensorNode]) -> list[list[SensorNode]]:
+    """One group per building floor."""
+    floors: dict[int, list[SensorNode]] = {}
+    for sensor in sensors:
+        floors.setdefault(sensor.floor, []).append(sensor)
+    return [floors[f] for f in sorted(floors)]
+
+
+def group_by_center_distance(
+    sensors: list[SensorNode], n_bands: int = 3
+) -> list[list[SensorNode]]:
+    """Bands of equal population by distance from the floor center.
+
+    Sensors near the envelope track the outdoor condition and sensors in
+    the core track the HVAC setpoint, so equal-distance bands group
+    sensors with similar readings (the strategy Fig. 11a finds best).
+    """
+    if n_bands < 1:
+        raise ValueError(f"n_bands must be >= 1, got {n_bands}")
+    ordered = sorted(sensors, key=lambda s: s.center_distance())
+    bands: list[list[SensorNode]] = [[] for _ in range(n_bands)]
+    per_band = max(int(np.ceil(len(ordered) / n_bands)), 1)
+    for i, sensor in enumerate(ordered):
+        bands[min(i // per_band, n_bands - 1)].append(sensor)
+    return [b for b in bands if b]
+
+
+def grouping_error(
+    groups: list[list[SensorNode]],
+    readings: dict[int, float],
+    value_range: tuple[float, float],
+) -> float:
+    """Mean normalized disagreement between members and group consensus.
+
+    For each group, the consensus is the member median; the error is the
+    mean absolute deviation from it, normalized by the sensing range, then
+    averaged over groups weighted by membership (this is the quantity
+    Fig. 11a compares across strategies).
+    """
+    lo, hi = value_range
+    span = hi - lo
+    if span <= 0:
+        raise ValueError(f"invalid range: {value_range}")
+    total = 0.0
+    count = 0
+    for group in groups:
+        values = np.array([readings[s.sensor_id] for s in group], dtype=float)
+        if values.size == 0:
+            continue
+        consensus = float(np.median(values))
+        total += float(np.sum(np.abs(values - consensus))) / span
+        count += values.size
+    if count == 0:
+        return 0.0
+    return total / count

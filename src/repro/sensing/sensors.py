@@ -1,0 +1,99 @@
+"""Sensor nodes: position, field sampling, fixed-point quantization.
+
+Stands in for the paper's BME280 boards: each sensor reads the local
+temperature/humidity, quantizes to a fixed-point code (MSB-first), and
+hands the bits to its LP-WAN radio.  The MSB-first layout is what makes
+co-located sensors' codes share prefixes -- the raw material of Sec. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sensing.field import EnvironmentField
+from repro.utils import ensure_rng
+
+#: Fixed-point ranges for the two sensed quantities.
+TEMP_RANGE_C = (-20.0, 60.0)
+HUMIDITY_RANGE = (0.0, 100.0)
+
+
+def quantize_reading(value: float, value_range: tuple[float, float], n_bits: int = 12) -> int:
+    """Quantize ``value`` to an ``n_bits`` fixed-point code (clipped)."""
+    lo, hi = value_range
+    if hi <= lo:
+        raise ValueError(f"invalid range: {value_range}")
+    levels = (1 << n_bits) - 1
+    scaled = (value - lo) / (hi - lo) * levels
+    return int(np.clip(np.round(scaled), 0, levels))
+
+
+def dequantize_reading(code: int, value_range: tuple[float, float], n_bits: int = 12) -> float:
+    """Invert :func:`quantize_reading` (to the level center)."""
+    lo, hi = value_range
+    levels = (1 << n_bits) - 1
+    return lo + (hi - lo) * (code / levels)
+
+
+def code_to_bits(code: int, n_bits: int) -> np.ndarray:
+    """MSB-first bit array of a fixed-point code."""
+    return np.array([(code >> (n_bits - 1 - i)) & 1 for i in range(n_bits)], dtype=np.uint8)
+
+
+def bits_to_code(bits: np.ndarray) -> int:
+    """Inverse of :func:`code_to_bits`."""
+    code = 0
+    for b in np.asarray(bits, dtype=int):
+        code = (code << 1) | int(b)
+    return code
+
+
+@dataclass
+class SensorNode:
+    """One environmental sensor at a normalized in-building position.
+
+    Parameters
+    ----------
+    sensor_id:
+        Stable identifier (matches the co-located radio's node id).
+    u, v:
+        Normalized in-floor position in ``[0, 1]^2``.
+    floor:
+        Floor index (0-based).
+    noise_c:
+        Measurement noise standard deviation (BME280 accuracy ~0.5 C).
+    """
+
+    sensor_id: int
+    u: float
+    v: float
+    floor: int = 0
+    noise_c: float = 0.1
+    noise_humidity: float = 0.5
+
+    def read_temperature(self, field: EnvironmentField, rng=None) -> float:
+        """Sample the local temperature with measurement noise."""
+        rng = ensure_rng(rng)
+        return field.temperature(self.u, self.v, self.floor) + rng.normal(0.0, self.noise_c)
+
+    def read_humidity(self, field: EnvironmentField, rng=None) -> float:
+        """Sample the local relative humidity with measurement noise."""
+        rng = ensure_rng(rng)
+        value = field.humidity(self.u, self.v, self.floor) + rng.normal(
+            0.0, self.noise_humidity
+        )
+        return float(np.clip(value, 0.0, 100.0))
+
+    def temperature_code(self, field: EnvironmentField, n_bits: int = 12, rng=None) -> int:
+        """Quantized temperature reading."""
+        return quantize_reading(self.read_temperature(field, rng), TEMP_RANGE_C, n_bits)
+
+    def humidity_code(self, field: EnvironmentField, n_bits: int = 12, rng=None) -> int:
+        """Quantized humidity reading."""
+        return quantize_reading(self.read_humidity(field, rng), HUMIDITY_RANGE, n_bits)
+
+    def center_distance(self) -> float:
+        """Normalized distance from the floor center (grouping feature)."""
+        return float(np.hypot(self.u - 0.5, self.v - 0.5))

@@ -1,0 +1,65 @@
+"""Data splicing (Sec. 7.2, "Dealing with Collisions" note).
+
+LoRa's whitening/FEC/interleaving make codes diverge even when raw values
+differ by one LSB, which would destroy the MSB overlap teams rely on.  The
+paper's fix: splice a reading into chunks of consecutive bits and send
+each chunk in its own (small) packet, so packets carrying only shared MSBs
+are bit-identical across the team even after coding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def splice_bits(bits: np.ndarray, chunk_sizes: list[int]) -> list[np.ndarray]:
+    """Split an MSB-first bit vector into consecutive chunks.
+
+    ``chunk_sizes`` must sum to ``len(bits)``; chunk 0 carries the most
+    significant bits (the ones a co-located team shares).
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if sum(chunk_sizes) != bits.size:
+        raise ValueError(
+            f"chunk_sizes sum to {sum(chunk_sizes)} but there are {bits.size} bits"
+        )
+    if any(size <= 0 for size in chunk_sizes):
+        raise ValueError("chunk sizes must be positive")
+    chunks = []
+    start = 0
+    for size in chunk_sizes:
+        chunks.append(bits[start : start + size].copy())
+        start += size
+    return chunks
+
+
+def merge_chunks(chunks: list[np.ndarray | None], chunk_sizes: list[int]) -> tuple[np.ndarray, int]:
+    """Reassemble chunks at the base station.
+
+    ``None`` entries are chunks that never decoded (e.g. non-overlapping
+    LSB chunks from a below-range team).  Returns ``(bits, n_known)``
+    where ``n_known`` counts leading bits actually recovered; missing
+    chunks are midpoint-filled (first missing bit 1, rest 0), matching
+    :func:`repro.sensing.correlation.group_value_estimate`.
+    """
+    if len(chunks) != len(chunk_sizes):
+        raise ValueError("chunks and chunk_sizes must align")
+    total = sum(chunk_sizes)
+    bits = np.zeros(total, dtype=np.uint8)
+    n_known = 0
+    start = 0
+    truncated = False
+    for chunk, size in zip(chunks, chunk_sizes):
+        if chunk is None or truncated:
+            if not truncated:
+                bits[start] = 1  # midpoint completion
+                truncated = True
+            start += size
+            continue
+        chunk = np.asarray(chunk, dtype=np.uint8)
+        if chunk.size != size:
+            raise ValueError(f"chunk has {chunk.size} bits, expected {size}")
+        bits[start : start + size] = chunk
+        n_known = start + size
+        start += size
+    return bits, n_known

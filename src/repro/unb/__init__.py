@@ -1,0 +1,26 @@
+"""Ultra-narrowband (SigFox / NB-IoT style) extension.
+
+Sec. 5.2 of the paper argues that the offset-separation idea carries over
+to ultra-narrowband LP-WANs and is in fact *simpler* there: a SigFox-class
+uplink occupies ~100 Hz while cheap crystals put transmitters kilohertz
+apart, so concurrent transmissions land on disjoint slices of the receive
+window and can be separated by plain filtering -- no chirp structure
+needed.  (The paper also notes the caveat that timing offsets no longer
+map to frequency offsets; here timing is recovered per-user from the bit
+transitions instead.)
+
+This package provides a minimal DBPSK UNB PHY and a channelizing receiver
+demonstrating that claim end to end.
+"""
+
+from repro.unb.phy import UnbParams, modulate_dbpsk, random_bits
+from repro.unb.decoder import UnbCollisionDecoder, UnbUser, receive_unb_collision
+
+__all__ = [
+    "UnbParams",
+    "modulate_dbpsk",
+    "random_bits",
+    "UnbCollisionDecoder",
+    "UnbUser",
+    "receive_unb_collision",
+]

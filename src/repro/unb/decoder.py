@@ -1,0 +1,185 @@
+"""Channelizing receiver for colliding ultra-narrowband transmissions.
+
+The receive window is kilohertz wide while each client occupies ~200 Hz at
+a crystal-determined position, so separation is (as the paper predicts)
+"significantly simpler" than in the chirp case:
+
+1. **Find users**: the capture's power spectrum shows one narrow hump per
+   transmitter; peaks further apart than the occupied bandwidth are
+   distinct users.
+2. **Channelize**: derotate the capture by each peak frequency and
+   low-pass by integrating over a bit period (a boxcar matched to the
+   rectangular pulse); other users, now kilohertz away, integrate to
+   nearly zero.
+3. **Time-align**: timing offsets do *not* turn into frequency offsets
+   here (the paper's caveat), so each user's bit boundary is recovered by
+   maximizing the per-bit integral energy over candidate alignments.
+4. **Demodulate** DBPSK differentially, immune to the residual sub-bin
+   frequency error of the FFT-grid estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.noise import awgn
+from repro.unb.phy import UnbParams, demodulate_dbpsk_baseband, modulate_dbpsk
+from repro.utils import ensure_rng
+
+
+@dataclass(frozen=True)
+class UnbUser:
+    """One separated UNB transmitter."""
+
+    carrier_hz: float
+    timing_offset_samples: int
+    bits: np.ndarray
+    peak_snr_db: float
+
+
+def receive_unb_collision(
+    params: UnbParams,
+    transmissions: list[tuple[np.ndarray, float, float]],
+    noise_power: float = 1.0,
+    rng=None,
+    guard_bits: int = 2,
+) -> tuple[np.ndarray, list[dict]]:
+    """Render colliding UNB uplinks into one wideband capture.
+
+    ``transmissions`` holds ``(bits, cfo_hz, amplitude)`` per user; each
+    user also gets a random sub-bit timing offset and phase.  Returns the
+    noisy capture and the ground truth records.
+    """
+    rng = ensure_rng(rng)
+    if not transmissions:
+        raise ValueError("at least one transmission is required")
+    spb = int(params.samples_per_bit)
+    max_bits = max(len(bits) for bits, _, _ in transmissions)
+    total = (max_bits + 1 + guard_bits) * spb
+    capture = np.zeros(total, dtype=complex)
+    truth = []
+    for bits, cfo_hz, amplitude in transmissions:
+        if abs(cfo_hz) > params.max_cfo_hz:
+            raise ValueError(f"cfo {cfo_hz} exceeds the receive window")
+        waveform = modulate_dbpsk(params, np.asarray(bits, dtype=np.uint8))
+        delay = int(rng.integers(0, spb))
+        phase = float(rng.uniform(0, 2 * np.pi))
+        n = np.arange(waveform.size)
+        shifted = (
+            amplitude
+            * np.exp(1j * phase)
+            * waveform
+            * np.exp(2j * np.pi * cfo_hz * (n + delay) / params.sample_rate)
+        )
+        end = min(delay + shifted.size, total)
+        capture[delay:end] += shifted[: end - delay]
+        truth.append(
+            {"bits": np.asarray(bits, dtype=np.uint8), "cfo_hz": cfo_hz, "delay": delay}
+        )
+    return awgn(capture, noise_power, rng=rng), truth
+
+
+class UnbCollisionDecoder:
+    """Separate and decode every discernible UNB transmitter."""
+
+    def __init__(self, params: UnbParams, threshold_snr: float = 5.0):
+        self.params = params
+        self.threshold_snr = threshold_snr
+
+    # ------------------------------------------------------------------
+    def find_carriers(self, capture: np.ndarray, max_users: int | None = None) -> list[tuple[float, float]]:
+        """Locate occupied subchannels: ``(carrier_hz, peak_snr_db)`` pairs.
+
+        Peaks are found in the capture's smoothed power spectrum; maxima
+        within one occupied bandwidth of a stronger carrier are its own
+        spectral structure, not another user.
+        """
+        capture = np.asarray(capture)
+        spectrum = np.abs(np.fft.fft(capture)) ** 2
+        freqs = np.fft.fftfreq(capture.size, 1.0 / self.params.sample_rate)
+        # Smooth over ~ the occupied bandwidth to get one hump per user.
+        width = max(
+            int(self.params.occupied_bandwidth_hz / (freqs[1] - freqs[0]) / 2), 1
+        )
+        kernel = np.ones(width) / width
+        smooth = np.convolve(spectrum, kernel, mode="same")
+        noise = np.median(smooth)
+        carriers: list[tuple[float, float]] = []
+        order = np.argsort(smooth)[::-1]
+        # Two users closer than ~2x the occupied bandwidth are not
+        # separable by filtering (and a lone transmitter's spectral skirt
+        # extends that far) -- the UNB separability limit.
+        min_separation = self.params.occupied_bandwidth_hz * 2.0
+        for idx in order:
+            if smooth[idx] < self.threshold_snr * noise:
+                break
+            freq = float(freqs[idx])
+            if any(abs(freq - c) < min_separation for c, _ in carriers):
+                continue
+            # Skirt rejection: the sinc^2 spectral skirt of an accepted
+            # (stronger) carrier falls off as (R/df)^2; with a 10x margin
+            # for multi-user beating, anything under it is that carrier's
+            # own structure, not a new user.
+            under_skirt = False
+            for c_freq, c_snr_db in carriers:
+                df = abs(freq - c_freq)
+                skirt = (
+                    10.0 ** (c_snr_db / 10.0)
+                    * (self.params.bit_rate / max(df, self.params.bit_rate)) ** 2
+                    * 10.0
+                )
+                if smooth[idx] / max(noise, 1e-30) < skirt:
+                    under_skirt = True
+                    break
+            if under_skirt:
+                continue
+            snr_db = float(10 * np.log10(smooth[idx] / max(noise, 1e-30)))
+            carriers.append((freq, snr_db))
+            if max_users is not None and len(carriers) >= max_users:
+                break
+        return carriers
+
+    def _channelize(self, capture: np.ndarray, carrier_hz: float) -> np.ndarray:
+        """Shift one carrier to baseband (bit-period integration follows)."""
+        n = np.arange(capture.size)
+        return capture * np.exp(-2j * np.pi * carrier_hz * n / self.params.sample_rate)
+
+    def _align_bits(self, baseband: np.ndarray, n_bits: int) -> int:
+        """Recover the bit boundary: maximize per-bit integral energy."""
+        spb = int(self.params.samples_per_bit)
+        best_offset, best_energy = 0, -1.0
+        for offset in range(0, spb, max(spb // 32, 1)):
+            usable = baseband[offset : offset + (n_bits + 1) * spb]
+            if usable.size < (n_bits + 1) * spb:
+                break
+            integrals = usable.reshape(n_bits + 1, spb).mean(axis=1)
+            energy = float(np.sum(np.abs(integrals) ** 2))
+            if energy > best_energy:
+                best_energy, best_offset = energy, offset
+        return best_offset
+
+    def decode(
+        self, capture: np.ndarray, n_bits: int, max_users: int | None = None
+    ) -> list[UnbUser]:
+        """Separate every discernible user and decode its DBPSK payload."""
+        users = []
+        for carrier_hz, snr_db in self.find_carriers(capture, max_users):
+            baseband = self._channelize(capture, carrier_hz)
+            offset = self._align_bits(baseband, n_bits)
+            try:
+                bits = demodulate_dbpsk_baseband(
+                    self.params, baseband[offset:], n_bits
+                )
+            except ValueError:
+                continue
+            users.append(
+                UnbUser(
+                    carrier_hz=carrier_hz,
+                    timing_offset_samples=offset,
+                    bits=bits,
+                    peak_snr_db=snr_db,
+                )
+            )
+        return users

@@ -1,0 +1,65 @@
+"""Terminal plotting helpers (no matplotlib dependency).
+
+The experiment harness prints tables; these helpers render quick visual
+sanity checks -- spectra, CDFs, bar charts -- as ASCII, used by the CLI
+and the visualization example to echo the paper's figures in a terminal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ascii_line(
+    values: np.ndarray,
+    width: int = 72,
+    height: int = 14,
+    label: str = "",
+) -> str:
+    """Render a 1-D series as an ASCII line chart."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return "(empty series)"
+    # Resample to the display width.
+    x = np.linspace(0, values.size - 1, width)
+    resampled = np.interp(x, np.arange(values.size), values)
+    lo, hi = float(resampled.min()), float(resampled.max())
+    span = hi - lo if hi > lo else 1.0
+    rows = np.clip(((resampled - lo) / span * (height - 1)).round().astype(int), 0, height - 1)
+    grid = [[" "] * width for _ in range(height)]
+    for col, row in enumerate(rows):
+        grid[height - 1 - row][col] = "*"
+    lines = []
+    if label:
+        lines.append(label)
+    lines.append(f"{hi:.3g} " + "-" * width)
+    lines.extend("".join(row) for row in grid)
+    lines.append(f"{lo:.3g} " + "-" * width)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: list[str], values: list[float], width: int = 48, unit: str = ""
+) -> str:
+    """Render labelled horizontal bars (for the paper's bar figures)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not values:
+        return "(no bars)"
+    peak = max(max(values), 1e-30)
+    label_width = max(len(l) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(round(value / peak * width)), 0)
+        lines.append(f"{label.rjust(label_width)} | {bar} {value:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_cdf(samples: np.ndarray, width: int = 72, height: int = 12, label: str = "") -> str:
+    """Render an empirical CDF of ``samples``."""
+    samples = np.sort(np.asarray(samples, dtype=float))
+    if samples.size == 0:
+        return "(no samples)"
+    grid_x = np.linspace(samples[0], samples[-1], width)
+    cdf = np.searchsorted(samples, grid_x, side="right") / samples.size
+    return ascii_line(cdf, width=width, height=height, label=label)

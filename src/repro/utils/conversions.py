@@ -1,0 +1,49 @@
+"""Decibel/linear conversions and signal power helpers.
+
+Conventions:
+
+* All "power" quantities are linear power (watts, or arbitrary linear
+  units); dB quantities are ``10 * log10``.
+* :func:`signal_power` returns the *mean* sample power of a complex
+  baseband signal, i.e. ``mean(|x|^2)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def db_to_linear(value_db: float | np.ndarray) -> float | np.ndarray:
+    """Convert a power ratio in dB to a linear ratio."""
+    return 10.0 ** (np.asarray(value_db, dtype=float) / 10.0)
+
+
+def linear_to_db(value: float | np.ndarray, floor: float = 1e-30) -> float | np.ndarray:
+    """Convert a linear power ratio to dB.
+
+    Values at or below ``floor`` are clamped so the logarithm stays finite
+    (useful when a decoded residual collapses to numerical zero).
+    """
+    clipped = np.maximum(np.asarray(value, dtype=float), floor)
+    return 10.0 * np.log10(clipped)
+
+
+def signal_power(samples: np.ndarray) -> float:
+    """Mean sample power ``mean(|x|^2)`` of a (possibly complex) signal."""
+    samples = np.asarray(samples)
+    if samples.size == 0:
+        return 0.0
+    return float(np.mean(np.abs(samples) ** 2))
+
+
+def power_db(samples: np.ndarray) -> float:
+    """Mean sample power of a signal, in dB."""
+    return float(linear_to_db(signal_power(samples)))
+
+
+def snr_db(signal: np.ndarray, noise: np.ndarray) -> float:
+    """SNR in dB between a clean signal and a noise record."""
+    noise_power = signal_power(noise)
+    if noise_power == 0.0:
+        return float("inf")
+    return float(linear_to_db(signal_power(signal) / noise_power))

@@ -1,0 +1,58 @@
+"""Generic DSP helpers shared across the PHY and the Choir decoder."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def next_pow2(n: int) -> int:
+    """Smallest power of two that is >= ``n`` (and >= 1)."""
+    if n <= 1:
+        return 1
+    return 1 << (int(n - 1).bit_length())
+
+
+def fractional_part(value: float | np.ndarray) -> float | np.ndarray:
+    """Fractional part in ``[0, 1)`` (works for negative inputs too).
+
+    ``np.mod`` can round to exactly 1.0 for tiny negative inputs; that edge
+    is folded back to 0.0 so the contract holds.
+    """
+    frac = np.mod(value, 1.0)
+    frac = np.where(frac >= 1.0, 0.0, frac)
+    if np.ndim(value) == 0:
+        return float(frac)
+    return frac
+
+
+def wrap_to_half(value: float | np.ndarray) -> float | np.ndarray:
+    """Wrap a value (in bins, cycles, ...) into ``[-0.5, 0.5)``."""
+    return np.mod(np.asarray(value, dtype=float) + 0.5, 1.0) - 0.5
+
+
+def circular_distance(a: float | np.ndarray, b: float | np.ndarray, period: float = 1.0) -> float | np.ndarray:
+    """Shortest distance between ``a`` and ``b`` on a circle of ``period``.
+
+    Used to compare fractional peak positions, which live on a circle of
+    period one FFT bin: fractional offsets 0.02 and 0.98 are only 0.04
+    apart, not 0.96.
+    """
+    diff = np.mod(np.asarray(a, dtype=float) - np.asarray(b, dtype=float), period)
+    return np.minimum(diff, period - diff)
+
+
+def fractional_delay(samples: np.ndarray, delay: float) -> np.ndarray:
+    """Delay a signal by a (possibly fractional) number of samples.
+
+    Implemented as a circular frequency-domain phase ramp, which is exact for
+    signals that are (approximately) periodic over the record -- the case for
+    the chirp symbols this library manipulates.  Positive ``delay`` moves the
+    signal later in time.
+    """
+    samples = np.asarray(samples)
+    n = samples.size
+    if n == 0 or delay == 0.0:
+        return samples.copy()
+    freqs = np.fft.fftfreq(n)
+    spectrum = np.fft.fft(samples)
+    return np.fft.ifft(spectrum * np.exp(-2j * np.pi * freqs * delay))

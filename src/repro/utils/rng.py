@@ -1,0 +1,28 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts either a seed, an existing
+:class:`numpy.random.Generator`, or ``None`` and normalizes it through
+:func:`ensure_rng`.  This keeps experiments reproducible end to end: a single
+seed at the experiment level deterministically derives every radio's
+oscillator offset, every channel's fading draw, and every MAC backoff.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Normalize ``rng`` into a :class:`numpy.random.Generator`.
+
+    ``None`` produces a fresh nondeterministic generator; an ``int`` or
+    ``SeedSequence`` seeds a new generator; an existing generator is returned
+    unchanged (so callers can share one stream).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)

@@ -1,0 +1,95 @@
+"""Tests for the collision channel."""
+
+import numpy as np
+import pytest
+
+from repro.channel import CollisionChannel
+from repro.hardware import AdcModel, LoRaRadio, OscillatorModel, TimingModel
+from repro.phy import LoRaParams
+from repro.utils import signal_power
+
+PARAMS = LoRaParams(spreading_factor=8, preamble_len=8)
+
+
+def _radio(rng, cfo_bins=0.0, delay=0.0):
+    return LoRaRadio(
+        PARAMS,
+        oscillator=OscillatorModel(PARAMS.bins_to_hz(cfo_bins)),
+        timing=TimingModel(delay / PARAMS.sample_rate),
+        rng=rng,
+    )
+
+
+class TestCollisionChannel:
+    def test_requires_transmissions(self):
+        channel = CollisionChannel(PARAMS)
+        with pytest.raises(ValueError, match="at least one"):
+            channel.receive([], rng=0)
+
+    def test_ground_truth_recorded(self):
+        rng = np.random.default_rng(0)
+        radios = [_radio(rng, 3.0, 1.0), _radio(rng, 40.5, 2.0)]
+        channel = CollisionChannel(PARAMS, noise_power=1.0)
+        syms = [rng.integers(0, 256, 4) for _ in radios]
+        packet = channel.receive(
+            [(r, s, 5 + 0j) for r, s in zip(radios, syms)], rng=rng
+        )
+        assert packet.n_users == 2
+        for user, s in zip(packet.users, syms):
+            assert np.array_equal(user.symbols, s)
+            assert user.gain == 5 + 0j
+
+    def test_superposition_is_linear(self):
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        channel = CollisionChannel(PARAMS, noise_power=1e-12)
+        r1 = _radio(rng_a, 3.0)
+        r2 = _radio(rng_a, 9.0)
+        both = channel.receive(
+            [(r1, np.zeros(2, dtype=int), 1 + 0j), (r2, np.zeros(2, dtype=int), 1 + 0j)],
+            rng=np.random.default_rng(0),
+        )
+        r1b = _radio(rng_b, 3.0)
+        r2b = _radio(rng_b, 9.0)
+        alone1 = channel.receive([(r1b, np.zeros(2, dtype=int), 1 + 0j)], rng=np.random.default_rng(1))
+        alone2 = channel.receive([(r2b, np.zeros(2, dtype=int), 1 + 0j)], rng=np.random.default_rng(2))
+        n = min(both.samples.size, alone1.samples.size, alone2.samples.size)
+        recombined = alone1.samples[:n] + alone2.samples[:n]
+        assert np.allclose(both.samples[:n], recombined, atol=1e-5)
+
+    def test_noise_floor_power(self):
+        rng = np.random.default_rng(1)
+        channel = CollisionChannel(PARAMS, noise_power=2.0)
+        radio = _radio(rng)
+        packet = channel.receive(
+            [(radio, np.zeros(1, dtype=int), 1e-6 + 0j)], rng=rng, extra_noise_symbols=8
+        )
+        tail = packet.samples[-4 * PARAMS.samples_per_symbol :]
+        assert signal_power(tail) == pytest.approx(2.0, rel=0.15)
+
+    def test_adc_applied(self):
+        rng = np.random.default_rng(2)
+        adc = AdcModel(bits=6, full_scale=4.0)
+        channel = CollisionChannel(PARAMS, noise_power=0.1, adc=adc)
+        radio = _radio(rng)
+        packet = channel.receive([(radio, np.zeros(1, dtype=int), 1 + 0j)], rng=rng)
+        # All sample components must sit on the quantizer grid.
+        codes = (packet.samples.real / adc.step) - 0.5
+        assert np.allclose(codes, np.round(codes), atol=1e-9)
+
+    def test_extra_noise_padding_length(self):
+        rng = np.random.default_rng(3)
+        channel = CollisionChannel(PARAMS, noise_power=1.0)
+        radio = _radio(rng)
+        packet = channel.receive(
+            [(radio, np.zeros(2, dtype=int), 1 + 0j)], rng=rng, extra_noise_symbols=3
+        )
+        min_len = (PARAMS.preamble_len + 2 + 3) * PARAMS.samples_per_symbol
+        assert packet.samples.size >= min_len
+
+    def test_true_offset_bins_accessor(self):
+        rng = np.random.default_rng(4)
+        radio = _radio(rng, cfo_bins=10.5, delay=2.0)
+        channel = CollisionChannel(PARAMS, noise_power=1.0)
+        packet = channel.receive([(radio, np.zeros(1, dtype=int), 1 + 0j)], rng=rng)
+        assert packet.users[0].true_offset_bins(PARAMS) == pytest.approx(8.5)

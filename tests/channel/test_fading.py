@@ -1,0 +1,36 @@
+"""Tests for flat fading."""
+
+import numpy as np
+import pytest
+
+from repro.channel import FlatFadingChannel
+
+
+class TestFlatFading:
+    def test_rayleigh_unit_mean_power(self):
+        channel = FlatFadingChannel()
+        gains = channel.sample_gains(20_000, rng=np.random.default_rng(0))
+        assert np.mean(np.abs(gains) ** 2) == pytest.approx(1.0, rel=0.05)
+
+    def test_rician_unit_mean_power(self):
+        channel = FlatFadingChannel(rician_k_db=6.0)
+        gains = channel.sample_gains(20_000, rng=np.random.default_rng(1))
+        assert np.mean(np.abs(gains) ** 2) == pytest.approx(1.0, rel=0.05)
+
+    def test_high_k_is_nearly_deterministic(self):
+        channel = FlatFadingChannel(rician_k_db=40.0)
+        gains = channel.sample_gains(2000, rng=np.random.default_rng(2))
+        assert np.std(np.abs(gains)) < 0.05
+
+    def test_rayleigh_magnitude_distribution(self):
+        # Rayleigh magnitude: P(|h| < median) = 0.5 at median = sqrt(ln 2).
+        channel = FlatFadingChannel()
+        gains = channel.sample_gains(20_000, rng=np.random.default_rng(3))
+        median = np.median(np.abs(gains))
+        assert median == pytest.approx(np.sqrt(np.log(2)), rel=0.05)
+
+    def test_reproducible(self):
+        channel = FlatFadingChannel()
+        a = channel.sample_gain(np.random.default_rng(5))
+        b = channel.sample_gain(np.random.default_rng(5))
+        assert a == b

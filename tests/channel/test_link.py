@@ -1,0 +1,69 @@
+"""Tests for the link budget and distance->SNR model."""
+
+import numpy as np
+import pytest
+
+from repro.channel import FlatFadingChannel, LinkBudget, LinkModel, UrbanPathLoss
+
+
+class TestLinkBudget:
+    def test_noise_floor(self):
+        budget = LinkBudget()
+        assert budget.noise_floor_dbm == pytest.approx(-117.1, abs=0.3)
+
+    def test_rx_power_includes_all_terms(self):
+        budget = LinkBudget(
+            tx_power_dbm=14.0,
+            tx_antenna_gain_dbi=2.0,
+            rx_antenna_gain_dbi=3.0,
+            penetration_loss_db=10.0,
+        )
+        assert budget.rx_power_dbm(100.0) == pytest.approx(14 + 2 + 3 - 10 - 100)
+
+    def test_snr_consistency(self):
+        budget = LinkBudget()
+        assert budget.snr_db(120.0) == pytest.approx(
+            budget.rx_power_dbm(120.0) - budget.noise_floor_dbm
+        )
+
+
+class TestLinkModel:
+    def test_snr_decreases_with_distance(self):
+        link = LinkModel()
+        snrs = [link.mean_snr_db(d) for d in (100.0, 500.0, 2000.0)]
+        assert snrs[0] > snrs[1] > snrs[2]
+
+    def test_range_for_snr_inverts_mean_snr(self):
+        link = LinkModel()
+        target = -20.0
+        d = link.range_for_snr(target)
+        assert link.mean_snr_db(d) == pytest.approx(target, abs=0.01)
+
+    def test_single_node_range_calibration(self):
+        # The headline calibration: SF12 floor (-25 dB) reached at ~1 km.
+        link = LinkModel()
+        assert link.range_for_snr(-25.0) == pytest.approx(1000.0, rel=0.05)
+
+    def test_team_range_gain_matches_exponent(self):
+        # 30x pooled power buys 30**(1/3.5) = 2.64x distance.
+        link = LinkModel()
+        single = link.range_for_snr(-25.0)
+        team = link.range_for_snr(-25.0 - 10 * np.log10(30))
+        assert team / single == pytest.approx(30 ** (1 / 3.5), rel=1e-3)
+
+    def test_packet_gain_power_tracks_snr(self):
+        link = LinkModel(
+            pathloss=UrbanPathLoss(shadowing_sigma_db=0.0),
+            fading=FlatFadingChannel(rician_k_db=40.0),
+        )
+        rng = np.random.default_rng(0)
+        gains = [link.packet_gain(300.0, rng=rng) for _ in range(200)]
+        mean_power_db = 10 * np.log10(np.mean(np.abs(gains) ** 2))
+        assert mean_power_db == pytest.approx(link.mean_snr_db(300.0), abs=0.5)
+
+    def test_packet_gain_fading_spread(self):
+        link = LinkModel(pathloss=UrbanPathLoss(shadowing_sigma_db=0.0))
+        rng = np.random.default_rng(1)
+        gains = np.array([link.packet_gain(300.0, rng=rng) for _ in range(2000)])
+        # Rayleigh fading: substantial magnitude spread.
+        assert np.std(np.abs(gains)) / np.mean(np.abs(gains)) > 0.3

@@ -1,0 +1,53 @@
+"""Tests for AWGN and noise-floor accounting."""
+
+import numpy as np
+import pytest
+
+from repro.channel.noise import awgn, awgn_for_snr, noise_power_dbm, thermal_noise_power
+from repro.utils import signal_power
+
+
+class TestThermalNoise:
+    def test_known_floor_125khz(self):
+        # kTB at 290 K over 125 kHz is about -123 dBm; +6 dB NF -> -117 dBm.
+        assert noise_power_dbm(125_000.0, 6.0) == pytest.approx(-117.1, abs=0.3)
+
+    def test_scales_with_bandwidth(self):
+        assert noise_power_dbm(500e3) - noise_power_dbm(125e3) == pytest.approx(
+            6.02, abs=0.05
+        )
+
+    def test_thermal_noise_positive(self):
+        assert thermal_noise_power(125e3) > 0
+
+
+class TestAwgn:
+    def test_noise_power_measured(self):
+        rng = np.random.default_rng(0)
+        noisy = awgn(np.zeros(50_000, dtype=complex), 2.0, rng=rng)
+        assert signal_power(noisy) == pytest.approx(2.0, rel=0.05)
+
+    def test_preserves_signal_mean(self):
+        rng = np.random.default_rng(1)
+        signal = np.full(20_000, 3.0 + 0j)
+        noisy = awgn(signal, 1.0, rng=rng)
+        assert np.mean(noisy).real == pytest.approx(3.0, abs=0.05)
+
+    def test_awgn_for_snr(self):
+        rng = np.random.default_rng(2)
+        tone = np.exp(2j * np.pi * 0.05 * np.arange(50_000))
+        noisy = awgn_for_snr(tone, 10.0, rng=rng)
+        noise = noisy - tone
+        measured_snr = 10 * np.log10(signal_power(tone) / signal_power(noise))
+        assert measured_snr == pytest.approx(10.0, abs=0.3)
+
+    def test_awgn_for_snr_explicit_power(self):
+        rng = np.random.default_rng(3)
+        x = np.zeros(50_000, dtype=complex)
+        noisy = awgn_for_snr(x, 0.0, signal_power=4.0, rng=rng)
+        assert signal_power(noisy) == pytest.approx(4.0, rel=0.05)
+
+    def test_reproducible_with_seed(self):
+        a = awgn(np.zeros(16, dtype=complex), 1.0, rng=np.random.default_rng(9))
+        b = awgn(np.zeros(16, dtype=complex), 1.0, rng=np.random.default_rng(9))
+        assert np.array_equal(a, b)

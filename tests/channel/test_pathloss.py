@@ -1,0 +1,55 @@
+"""Tests for path-loss models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import FreeSpacePathLoss, UrbanPathLoss
+
+
+class TestFreeSpace:
+    def test_friis_at_1km_902mhz(self):
+        loss = FreeSpacePathLoss(carrier_hz=902e6).loss_db(1000.0)
+        # FSPL = 20log10(d) + 20log10(f) - 147.55 = 60 + 179.1 - 147.55
+        assert loss == pytest.approx(91.6, abs=0.3)
+
+    def test_monotone_increasing(self):
+        model = FreeSpacePathLoss()
+        distances = np.array([10.0, 100.0, 1000.0])
+        losses = model.loss_db(distances)
+        assert np.all(np.diff(losses) > 0)
+
+
+class TestUrbanPathLoss:
+    def test_reference_loss_at_reference_distance(self):
+        model = UrbanPathLoss(reference_loss_db=31.5, reference_m=1.0)
+        assert model.loss_db(1.0) == pytest.approx(31.5)
+
+    def test_exponent_slope(self):
+        model = UrbanPathLoss(exponent=3.5, shadowing_sigma_db=0.0)
+        per_decade = model.loss_db(1000.0) - model.loss_db(100.0)
+        assert per_decade == pytest.approx(35.0)
+
+    @given(st.floats(min_value=40.0, max_value=180.0))
+    @settings(max_examples=20, deadline=None)
+    def test_distance_for_loss_inverts(self, loss_db):
+        model = UrbanPathLoss(shadowing_sigma_db=0.0)
+        d = model.distance_for_loss(loss_db)
+        if d > model.reference_m:
+            assert model.loss_db(d) == pytest.approx(loss_db, abs=1e-6)
+
+    def test_shadowing_adds_spread(self):
+        model = UrbanPathLoss(shadowing_sigma_db=8.0)
+        rng = np.random.default_rng(0)
+        losses = [model.loss_db(500.0, rng=rng) for _ in range(300)]
+        assert np.std(losses) == pytest.approx(8.0, rel=0.2)
+
+    def test_below_reference_clamped(self):
+        model = UrbanPathLoss()
+        assert model.loss_db(0.1) == model.loss_db(1.0)
+
+    def test_array_input(self):
+        model = UrbanPathLoss()
+        losses = model.loss_db(np.array([100.0, 1000.0]))
+        assert losses.shape == (2,)

@@ -1,0 +1,47 @@
+"""Shared fixtures for core-decoder tests."""
+
+import numpy as np
+import pytest
+
+from repro.channel import CollisionChannel
+from repro.hardware import LoRaRadio, OscillatorModel, TimingModel
+from repro.phy import LoRaParams
+
+PARAMS = LoRaParams(spreading_factor=8, bandwidth=125_000.0, preamble_len=8)
+
+
+@pytest.fixture
+def params():
+    return PARAMS
+
+
+def make_radio(rng, cfo_bins=0.0, delay_samples=0.0, node_id=0):
+    """A radio with exactly specified impairments (in decoder units)."""
+    return LoRaRadio(
+        PARAMS,
+        oscillator=OscillatorModel(PARAMS.bins_to_hz(cfo_bins)),
+        timing=TimingModel(delay_samples / PARAMS.sample_rate),
+        node_id=node_id,
+        rng=rng,
+    )
+
+
+def make_collision(rng, users, n_symbols=12, noise_power=1.0, symbols=None):
+    """Render a collision from (cfo_bins, delay_samples, amplitude) triples.
+
+    Returns ``(packet, symbol_streams)``.
+    """
+    channel = CollisionChannel(PARAMS, noise_power=noise_power)
+    transmissions = []
+    streams = []
+    for i, (cfo, delay, amp) in enumerate(users):
+        radio = make_radio(rng, cfo, delay, node_id=i)
+        stream = (
+            symbols[i]
+            if symbols is not None
+            else rng.integers(0, PARAMS.chips_per_symbol, n_symbols)
+        )
+        streams.append(np.asarray(stream, dtype=int))
+        transmissions.append((radio, streams[-1], complex(amp)))
+    packet = channel.receive(transmissions, rng=rng)
+    return packet, streams

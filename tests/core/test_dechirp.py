@@ -1,0 +1,103 @@
+"""Tests for dechirping and oversampled spectra."""
+
+import numpy as np
+import pytest
+
+from repro.core.dechirp import (
+    dechirp_windows,
+    evaluate_spectrum_at,
+    oversampled_spectrum,
+    spectrogram,
+    spectrum_bin_positions,
+)
+from repro.phy import LoRaParams, modulate_symbols
+
+PARAMS = LoRaParams(spreading_factor=8, preamble_len=8)
+
+
+class TestDechirpWindows:
+    def test_shape(self):
+        waveform = modulate_symbols(PARAMS, [0, 1, 2, 3])
+        windows = dechirp_windows(PARAMS, waveform)
+        assert windows.shape == (4, PARAMS.samples_per_symbol)
+
+    def test_partial_window_dropped(self):
+        waveform = modulate_symbols(PARAMS, [0, 1])
+        truncated = waveform[:-10]
+        windows = dechirp_windows(PARAMS, truncated)
+        assert windows.shape[0] == 1
+
+    def test_start_offset(self):
+        waveform = modulate_symbols(PARAMS, [5, 6, 7])
+        windows = dechirp_windows(PARAMS, waveform, start=PARAMS.samples_per_symbol)
+        spectrum = np.abs(np.fft.fft(windows[0]))
+        assert np.argmax(spectrum) == 6
+
+    def test_n_windows_cap(self):
+        waveform = modulate_symbols(PARAMS, [0] * 5)
+        windows = dechirp_windows(PARAMS, waveform, n_windows=3)
+        assert windows.shape[0] == 3
+
+    def test_empty_when_too_short(self):
+        windows = dechirp_windows(PARAMS, np.zeros(10, dtype=complex))
+        assert windows.shape == (0, PARAMS.samples_per_symbol)
+
+    def test_each_window_is_pure_tone(self):
+        symbols = [10, 200, 45]
+        waveform = modulate_symbols(PARAMS, symbols)
+        windows = dechirp_windows(PARAMS, waveform)
+        for window, symbol in zip(windows, symbols):
+            spectrum = np.abs(np.fft.fft(window))
+            assert np.argmax(spectrum) == symbol
+
+
+class TestOversampledSpectrum:
+    def test_length(self):
+        window = np.ones(256, dtype=complex)
+        assert oversampled_spectrum(window, 10).size == 2560
+
+    def test_stacked_windows(self):
+        windows = np.ones((3, 256), dtype=complex)
+        assert oversampled_spectrum(windows, 4).shape == (3, 1024)
+
+    def test_peak_position_fractional(self):
+        n = 256
+        tone = np.exp(2j * np.pi * 50.4 * np.arange(n) / n)
+        spectrum = np.abs(oversampled_spectrum(tone, 10))
+        assert np.argmax(spectrum) / 10 == pytest.approx(50.4, abs=0.05)
+
+    def test_bin_positions(self):
+        positions = spectrum_bin_positions(256, 10)
+        assert positions.size == 2560
+        assert positions[10] == pytest.approx(1.0)
+
+
+class TestEvaluateSpectrumAt:
+    def test_matches_fft_on_grid(self):
+        rng = np.random.default_rng(0)
+        window = rng.normal(size=256) + 1j * rng.normal(size=256)
+        fft = np.fft.fft(window)
+        values = evaluate_spectrum_at(window, np.arange(256, dtype=float))
+        assert np.allclose(values, fft, atol=1e-8)
+
+    def test_exact_at_fractional_tone(self):
+        n = 256
+        mu = 31.37
+        tone = np.exp(2j * np.pi * mu * np.arange(n) / n)
+        value = evaluate_spectrum_at(tone, np.array([mu]))
+        assert abs(value[0]) == pytest.approx(n, rel=1e-9)
+
+
+class TestSpectrogram:
+    def test_shapes_consistent(self):
+        waveform = modulate_symbols(PARAMS, [0, 1])
+        times, freqs, magnitude = spectrogram(PARAMS, waveform)
+        assert magnitude.shape == (times.size, freqs.size)
+
+    def test_chirp_sweeps_through_band(self):
+        waveform = modulate_symbols(PARAMS, [0])
+        _, freqs, magnitude = spectrogram(PARAMS, waveform, window_len=32, hop=8)
+        peak_freqs = freqs[np.argmax(magnitude, axis=1)]
+        # The sweep should visit both band edges.
+        assert peak_freqs.min() < -PARAMS.bandwidth / 4
+        assert peak_freqs.max() > PARAMS.bandwidth / 4

@@ -1,0 +1,89 @@
+"""Tests for inter-symbol-interference de-duplication (Sec. 6.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.isi import WindowObservation, deduplicate_symbol_streams, expected_peak_count
+
+
+def _observations_for_stream(stream, delay_frac, n=256):
+    """Build the window observations a delayed user produces.
+
+    Window m contains the previous symbol (weight ~ delay) and the current
+    one (weight ~ 1 - delay), mirroring the physical energy split.
+    """
+    observations = []
+    prev = 0  # preamble
+    for current in stream:
+        observations.append(
+            WindowObservation(
+                values=(int(prev), int(current)),
+                weights=(delay_frac * n, (1 - delay_frac) * n),
+            )
+        )
+        prev = current
+    return observations
+
+
+class TestDeduplication:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=20),
+        st.floats(min_value=0.02, max_value=0.45),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_recovers_stream_small_delay(self, stream, delay_frac):
+        observations = _observations_for_stream(stream, delay_frac)
+        recovered = deduplicate_symbol_streams(observations, delay_frac * 256, 256)
+        assert recovered == [int(s) for s in stream]
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=20),
+        st.floats(min_value=0.55, max_value=0.95),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_recovers_stream_large_delay(self, stream, delay_frac):
+        observations = _observations_for_stream(stream, delay_frac)
+        recovered = deduplicate_symbol_streams(observations, delay_frac * 256, 256)
+        assert recovered == [int(s) for s in stream]
+
+    def test_repeated_symbols(self):
+        stream = [7, 7, 7, 9, 9]
+        observations = _observations_for_stream(stream, 0.2)
+        recovered = deduplicate_symbol_streams(observations, 0.2 * 256, 256)
+        assert recovered == stream
+
+    def test_single_value_windows(self):
+        # Aligned user: one peak per window.
+        observations = [
+            WindowObservation(values=(5,), weights=(256.0,)),
+            WindowObservation(values=(9,), weights=(256.0,)),
+        ]
+        recovered = deduplicate_symbol_streams(observations, 0.0, 256)
+        assert recovered == [5, 9]
+
+    def test_empty_observation_is_erasure(self):
+        observations = [
+            WindowObservation(values=(5, 1), weights=(50.0, 200.0)),
+            WindowObservation(values=(), weights=()),
+            WindowObservation(values=(1, 7), weights=(50.0, 200.0)),
+        ]
+        recovered = deduplicate_symbol_streams(observations, 50.0, 256)
+        assert len(recovered) == 2
+
+    def test_empty_input(self):
+        assert deduplicate_symbol_streams([], 5.0, 256) == []
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            WindowObservation(values=(1, 2), weights=(1.0,))
+
+
+class TestExpectedPeakCount:
+    def test_aligned_user_one_peak(self):
+        assert expected_peak_count(0.0, 256) == 1
+        assert expected_peak_count(256.0, 256) == 1
+
+    def test_offset_user_two_peaks(self):
+        assert expected_peak_count(10.0, 256) == 2

@@ -1,0 +1,105 @@
+"""Tests for leakage-aware peak detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dechirp import oversampled_spectrum
+from repro.core.peaks import Peak, find_peaks, glitch_envelope, peak_positions, sidelobe_envelope
+
+
+def _tone(position, n=256, amplitude=1.0):
+    return amplitude * np.exp(2j * np.pi * position * np.arange(n) / n)
+
+
+def _noise(n=256, sigma=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return (rng.normal(0, sigma / np.sqrt(2), n) + 1j * rng.normal(0, sigma / np.sqrt(2), n))
+
+
+class TestFindPeaks:
+    def test_single_tone(self):
+        spectrum = oversampled_spectrum(_tone(42.3, amplitude=10) + _noise(), 10)
+        peaks = find_peaks(spectrum, 10)
+        assert len(peaks) == 1
+        assert peaks[0].position_bins == pytest.approx(42.3, abs=0.05)
+
+    def test_two_tones_sorted_by_magnitude(self):
+        signal = _tone(20.1, amplitude=10) + _tone(90.7, amplitude=20) + _noise()
+        peaks = find_peaks(oversampled_spectrum(signal, 10), 10)
+        assert len(peaks) == 2
+        assert peaks[0].position_bins == pytest.approx(90.7, abs=0.05)
+        assert peaks[1].position_bins == pytest.approx(20.1, abs=0.05)
+
+    def test_sidelobes_rejected(self):
+        # A strong fractional tone alone must yield exactly one peak.
+        signal = _tone(50.5, amplitude=50) + _noise()
+        peaks = find_peaks(oversampled_spectrum(signal, 10), 10)
+        assert len(peaks) == 1
+
+    def test_weak_tone_under_leakage_deferred(self):
+        # A tone weaker than the strong tone's side-lobe envelope nearby is
+        # (correctly) not reported -- SIC recovers it later.
+        signal = _tone(50.5, amplitude=100) + _tone(52.4, amplitude=2) + _noise()
+        peaks = find_peaks(oversampled_spectrum(signal, 10), 10)
+        positions = peak_positions(peaks)
+        assert not np.any(np.abs(positions - 52.4) < 0.3)
+
+    def test_comparable_tone_near_strong_survives(self):
+        signal = _tone(50.5, amplitude=30) + _tone(53.4, amplitude=25) + _noise()
+        peaks = find_peaks(oversampled_spectrum(signal, 10), 10)
+        positions = peak_positions(peaks)
+        assert np.any(np.abs(positions - 53.4) < 0.2)
+
+    def test_max_peaks_cap(self):
+        signal = sum(_tone(20 * k + 0.3, amplitude=10) for k in range(1, 6)) + _noise()
+        peaks = find_peaks(oversampled_spectrum(signal, 10), 10, max_peaks=3)
+        assert len(peaks) == 3
+
+    def test_pure_noise_few_detections(self):
+        peaks = find_peaks(oversampled_spectrum(_noise(seed=3), 10), 10, threshold_snr=5.0)
+        assert len(peaks) <= 2
+
+    def test_empty_spectrum(self):
+        assert find_peaks(np.zeros(0, dtype=complex), 10) == []
+
+    @given(st.floats(min_value=1.0, max_value=254.0))
+    @settings(max_examples=25, deadline=None)
+    def test_fractional_position_accuracy(self, position):
+        signal = _tone(position, amplitude=30) + _noise(seed=1)
+        peaks = find_peaks(oversampled_spectrum(signal, 10), 10, max_peaks=1)
+        assert len(peaks) == 1
+        assert peaks[0].position_bins == pytest.approx(position, abs=0.06)
+
+    def test_peak_snr_reported(self):
+        signal = _tone(100.0, amplitude=20) + _noise()
+        peaks = find_peaks(oversampled_spectrum(signal, 10), 10)
+        assert peaks[0].snr > 10
+
+
+class TestPeakDataclass:
+    def test_fractional(self):
+        peak = Peak(position_bins=42.37, amplitude=1 + 1j, snr=10.0)
+        assert peak.fractional == pytest.approx(0.37)
+
+    def test_magnitude(self):
+        peak = Peak(position_bins=0.0, amplitude=3 + 4j, snr=1.0)
+        assert peak.magnitude == pytest.approx(5.0)
+
+
+class TestEnvelopes:
+    def test_sidelobe_envelope_decays(self):
+        assert sidelobe_envelope(1.0) > sidelobe_envelope(2.0) > sidelobe_envelope(10.0)
+
+    def test_sidelobe_envelope_first_lobe_level(self):
+        # First sinc side lobe is ~ -13.5 dB = 0.21 of the main lobe.
+        assert sidelobe_envelope(1.5) == pytest.approx(0.212, abs=0.05)
+
+    def test_glitch_envelope_capped_near_peak(self):
+        near = glitch_envelope(0.1, 256, max_delay_samples=32)
+        assert near == pytest.approx(2 * 32 / 256)
+
+    def test_glitch_envelope_tail(self):
+        far = glitch_envelope(20.0, 256, max_delay_samples=32)
+        assert far == pytest.approx(2 / (np.pi * 20.0))

@@ -1,0 +1,77 @@
+"""Tests for the reconstruction residual (Eqn. 3) and its convexity."""
+
+import numpy as np
+import pytest
+
+from repro.core.chanest import reconstruct_tones
+from repro.core.residual import residual_power, residual_surface
+
+
+def _mixture(positions, channels, n=256, noise_sigma=0.0, seed=0):
+    signal = reconstruct_tones(np.asarray(positions), np.asarray(channels), n)
+    if noise_sigma > 0:
+        rng = np.random.default_rng(seed)
+        signal = signal + (
+            rng.normal(0, noise_sigma / np.sqrt(2), n)
+            + 1j * rng.normal(0, noise_sigma / np.sqrt(2), n)
+        )
+    return signal
+
+
+class TestResidualPower:
+    def test_zero_at_exact_offsets(self):
+        signal = _mixture([12.4, 80.9], [1 + 1j, 2 - 1j])
+        assert residual_power(signal, np.array([12.4, 80.9])) < 1e-18
+
+    def test_positive_at_wrong_offsets(self):
+        signal = _mixture([12.4, 80.9], [1 + 1j, 2 - 1j])
+        wrong = residual_power(signal, np.array([12.9, 80.9]))
+        assert wrong > 1.0
+
+    def test_noise_floor(self):
+        signal = _mixture([42.0], [5 + 0j], noise_sigma=1.0)
+        residual = residual_power(signal, np.array([42.0]))
+        # Residual ~ total noise energy = n * sigma^2.
+        assert residual == pytest.approx(256.0, rel=0.4)
+
+    def test_multi_window_sums(self):
+        sig1 = _mixture([10.0], [1 + 0j], noise_sigma=1.0, seed=1)
+        sig2 = _mixture([10.0], [1 + 0j], noise_sigma=1.0, seed=2)
+        stacked = residual_power(np.stack([sig1, sig2]), np.array([10.0]))
+        separate = residual_power(sig1, np.array([10.0])) + residual_power(
+            sig2, np.array([10.0])
+        )
+        assert stacked == pytest.approx(separate, rel=1e-9)
+
+    def test_monotone_near_truth(self):
+        # Local convexity along one coordinate (the Fig. 4 property).
+        signal = _mixture([30.4, 90.8], [3 + 0j, 2 + 1j], noise_sigma=0.1)
+        truth = 30.4
+        errors = [0.0, 0.1, 0.2, 0.3, 0.4]
+        values = [
+            residual_power(signal, np.array([truth + e, 90.8])) for e in errors
+        ]
+        assert all(values[i] < values[i + 1] for i in range(len(values) - 1))
+
+
+class TestResidualSurface:
+    def test_minimum_at_truth(self):
+        signal = _mixture([20.3, 77.7], [2 + 0j, 1 + 1j], noise_sigma=0.05)
+        g1, g2, surface = residual_surface(
+            signal, np.array([20.3, 77.7]), span_bins=0.5, n_points=11
+        )
+        idx = np.unravel_index(np.argmin(surface), surface.shape)
+        assert g1[idx[0]] == pytest.approx(20.3, abs=0.06)
+        assert g2[idx[1]] == pytest.approx(77.7, abs=0.06)
+
+    def test_needs_two_users(self):
+        with pytest.raises(ValueError, match="two users"):
+            residual_surface(np.zeros(16, dtype=complex), np.array([1.0]))
+
+    def test_shape(self):
+        signal = _mixture([20.3, 77.7], [1, 1])
+        g1, g2, surface = residual_surface(
+            signal, np.array([20.3, 77.7]), n_points=7
+        )
+        assert surface.shape == (7, 7)
+        assert g1.size == 7 and g2.size == 7

@@ -1,0 +1,123 @@
+"""Tests for constrained user clustering (Sec. 6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.peaks import Peak
+from repro.core.tracking import (
+    ConstrainedClusterer,
+    PeakFeatures,
+    UserCentroid,
+    assign_peaks_to_users,
+    centroids_from_estimates,
+)
+from repro.core.offsets import UserEstimate
+
+
+def _peak(position, magnitude=10.0):
+    return Peak(position_bins=position, amplitude=magnitude + 0j, snr=10.0)
+
+
+def _windows_for_users(user_fracs, user_mags, data, rng):
+    """Simulate per-window peak lists for users with given signatures."""
+    windows = []
+    for m in range(data.shape[1]):
+        peaks = []
+        for k, (frac, mag) in enumerate(zip(user_fracs, user_mags)):
+            position = (data[k, m] + frac) % 256
+            noisy_mag = mag * (1 + rng.normal(0, 0.05))
+            peaks.append(_peak(position, noisy_mag))
+        rng.shuffle(peaks)
+        windows.append(peaks)
+    return windows
+
+
+class TestAssignment:
+    def test_matches_by_fraction(self):
+        centroids = [UserCentroid(0.2, np.log(10)), UserCentroid(0.7, np.log(10))]
+        peaks = [_peak(100.72), _peak(31.18)]
+        assignment = assign_peaks_to_users(peaks, centroids)
+        assert assignment[0].position_bins == pytest.approx(31.18)
+        assert assignment[1].position_bins == pytest.approx(100.72)
+
+    def test_cannot_link_within_window(self):
+        # Two peaks, one centroid matching both: only one peak assigned.
+        centroids = [UserCentroid(0.5, np.log(10))]
+        peaks = [_peak(10.5), _peak(20.5)]
+        assignment = assign_peaks_to_users(peaks, centroids)
+        assert len(assignment) == 1
+
+    def test_distance_gate(self):
+        centroids = [UserCentroid(0.0, np.log(10))]
+        peaks = [_peak(77.5)]  # frac 0.5, distance 0.5 > gate
+        assignment = assign_peaks_to_users(peaks, centroids, max_distance=0.3)
+        assert assignment == {}
+
+    def test_empty_inputs(self):
+        assert assign_peaks_to_users([], [UserCentroid(0.1, 0.0)]) == {}
+        assert assign_peaks_to_users([_peak(1.0)], []) == {}
+
+    def test_circular_fraction_distance(self):
+        centroids = [UserCentroid(0.98, np.log(10))]
+        peaks = [_peak(50.02)]  # frac 0.02, circular distance 0.04
+        assignment = assign_peaks_to_users(peaks, centroids, max_distance=0.1)
+        assert 0 in assignment
+
+
+class TestClusterer:
+    def test_seeded_clustering_tracks_users(self):
+        rng = np.random.default_rng(0)
+        fracs = [0.17, 0.63]
+        mags = [20.0, 10.0]
+        data = rng.integers(0, 256, size=(2, 12))
+        windows = _windows_for_users(fracs, mags, data, rng)
+        seeds = [UserCentroid(f, np.log(m)) for f, m in zip(fracs, mags)]
+        clusterer = ConstrainedClusterer(2, seeds=seeds)
+        assignments = clusterer.cluster(windows)
+        for m, assignment in enumerate(assignments):
+            for user in (0, 1):
+                value = int(np.round(assignment[user].position_bins - fracs[user])) % 256
+                assert value == data[user, m]
+
+    def test_cold_start_separates_users(self):
+        rng = np.random.default_rng(1)
+        fracs = [0.11, 0.52, 0.86]
+        mags = [20.0, 15.0, 10.0]
+        data = rng.integers(0, 256, size=(3, 16))
+        windows = _windows_for_users(fracs, mags, data, rng)
+        clusterer = ConstrainedClusterer(3)
+        assignments = clusterer.cluster(windows)
+        # Every window should assign all three users.
+        assert all(len(a) == 3 for a in assignments)
+        # Check assignment consistency: each cluster's fractional spread is
+        # tight even without seeding.
+        for user in range(3):
+            fracs_seen = [a[user].fractional for a in assignments]
+            spread = max(fracs_seen) - min(fracs_seen)
+            assert spread < 0.15 or spread > 0.85  # tight (allowing wrap)
+
+    def test_invalid_user_count(self):
+        with pytest.raises(ValueError, match="n_users"):
+            ConstrainedClusterer(0)
+
+    def test_empty_windows(self):
+        clusterer = ConstrainedClusterer(2)
+        assert clusterer.cluster([[], []]) == [{}, {}]
+
+    def test_centroids_from_estimates(self):
+        estimates = [
+            UserEstimate(position_bins=10.3, channels=np.full(3, 2.0 + 0j)),
+            UserEstimate(position_bins=99.8, channels=np.full(3, 1.0 + 0j)),
+        ]
+        centroids = centroids_from_estimates(estimates)
+        assert centroids[0].fractional == pytest.approx(0.3)
+        assert centroids[1].fractional == pytest.approx(0.8)
+        assert centroids[0].log_magnitude > centroids[1].log_magnitude
+
+
+class TestPeakFeatures:
+    def test_from_peak(self):
+        peak = Peak(position_bins=42.25, amplitude=4 + 3j, snr=5.0)
+        features = PeakFeatures.from_peak(peak)
+        assert features.fractional == pytest.approx(0.25)
+        assert features.log_magnitude == pytest.approx(np.log(5.0))

@@ -1,0 +1,93 @@
+"""Tests for campus geometry and testbed placement."""
+
+import numpy as np
+import pytest
+
+from repro.deployment import Building, CampusTestbed, Position
+
+
+class TestPosition:
+    def test_distance(self):
+        a = Position(0.0, 0.0, 0.0)
+        b = Position(3.0, 4.0, 0.0)
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_distance_3d(self):
+        a = Position(0.0, 0.0, 0.0)
+        b = Position(0.0, 0.0, 10.0)
+        assert a.distance_to(b) == pytest.approx(10.0)
+
+
+class TestBuilding:
+    def test_floor_position_in_footprint(self):
+        building = Building(100.0, 200.0)
+        pos = building.floor_position(0.5, 0.5, 2)
+        assert building.contains(pos)
+        assert pos.z == pytest.approx(2.5 * building.floor_height_m)
+
+    def test_floor_position_validation(self):
+        building = Building(0.0, 0.0)
+        with pytest.raises(ValueError, match="u, v"):
+            building.floor_position(1.5, 0.5, 0)
+        with pytest.raises(ValueError, match="floor"):
+            building.floor_position(0.5, 0.5, 4)
+
+    def test_center(self):
+        building = Building(0.0, 0.0, width_m=40.0, depth_m=95.0)
+        assert building.center.x == pytest.approx(20.0)
+        assert building.center.y == pytest.approx(47.5)
+
+    def test_paper_footprint_defaults(self):
+        building = Building(0.0, 0.0)
+        assert building.width_m == 40.0
+        assert building.depth_m == 95.0
+        assert building.n_floors == 4
+
+
+class TestCampusTestbed:
+    def test_extent_matches_paper(self):
+        testbed = CampusTestbed()
+        assert testbed.extent_x_m == 3400.0
+        assert testbed.extent_y_m == 3200.0
+
+    def test_outdoor_nodes_in_bounds(self):
+        testbed = CampusTestbed(rng_seed=0)
+        nodes = testbed.place_outdoor_nodes(50)
+        for node in nodes:
+            assert 0.0 <= node.position.x <= testbed.extent_x_m
+            assert 0.0 <= node.position.y <= testbed.extent_y_m
+
+    def test_indoor_nodes_in_building(self):
+        testbed = CampusTestbed(rng_seed=1)
+        nodes = testbed.place_indoor_nodes(20, building_index=0)
+        building = testbed.buildings[0]
+        for node in nodes:
+            assert building.contains(node.position)
+            assert node.floor is not None
+
+    def test_place_at_distance_exact(self):
+        testbed = CampusTestbed(rng_seed=2)
+        node = testbed.place_at_distance(0, 1500.0)
+        ground = np.hypot(
+            node.position.x - testbed.base_station.x,
+            node.position.y - testbed.base_station.y,
+        )
+        assert ground == pytest.approx(1500.0)
+
+    def test_snr_decreases_with_distance(self):
+        testbed = CampusTestbed(rng_seed=3)
+        near = testbed.place_at_distance(0, 200.0)
+        far = testbed.place_at_distance(1, 2000.0)
+        assert testbed.mean_snr_db(near) > testbed.mean_snr_db(far)
+
+    def test_reproducible(self):
+        a = CampusTestbed(rng_seed=5).place_outdoor_nodes(5)
+        b = CampusTestbed(rng_seed=5).place_outdoor_nodes(5)
+        assert all(x.position == y.position for x, y in zip(a, b))
+
+    def test_packet_gain_varies(self):
+        testbed = CampusTestbed(rng_seed=6)
+        node = testbed.place_at_distance(0, 500.0)
+        rng = np.random.default_rng(0)
+        gains = [abs(testbed.packet_gain(node, rng=rng)) for _ in range(50)]
+        assert np.std(gains) > 0

@@ -1,0 +1,53 @@
+"""Tests for the model-vs-waveform calibration harness."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.calibration import run_phy_calibration
+from repro.mac.phy import Transmission
+from repro.mac.waveform_phy import WaveformPhy
+from repro.phy import LoRaParams
+
+PARAMS = LoRaParams(spreading_factor=8, preamble_len=8)
+
+
+class TestWaveformPhy:
+    def test_single_transmission_delivered(self):
+        phy = WaveformPhy(PARAMS, rng=np.random.default_rng(0))
+        delivered = phy.resolve([Transmission(node_id=7, snr_db=15.0)])
+        assert delivered == {7}
+
+    def test_empty(self):
+        phy = WaveformPhy(PARAMS, rng=np.random.default_rng(1))
+        assert phy.resolve([]) == set()
+
+    def test_below_floor_lost(self):
+        phy = WaveformPhy(PARAMS, rng=np.random.default_rng(2))
+        delivered = phy.resolve([Transmission(node_id=1, snr_db=-30.0)])
+        assert delivered == set()
+
+    def test_radios_persist_across_slots(self):
+        phy = WaveformPhy(PARAMS, rng=np.random.default_rng(3))
+        phy.resolve([Transmission(node_id=1, snr_db=15.0)])
+        radio_first = phy._radios[1]
+        phy.resolve([Transmission(node_id=1, snr_db=15.0)])
+        assert phy._radios[1] is radio_first  # same board, same offsets
+
+    def test_pair_delivered(self):
+        phy = WaveformPhy(PARAMS, rng=np.random.default_rng(4))
+        delivered = phy.resolve(
+            [
+                Transmission(node_id=1, snr_db=18.0),
+                Transmission(node_id=2, snr_db=14.0),
+            ]
+        )
+        assert delivered == {1, 2}
+
+
+class TestCalibration:
+    def test_small_calibration_tracks(self):
+        result = run_phy_calibration(user_counts=(2, 4), n_trials=2)
+        for row in result.rows:
+            assert row["model_delivered"] >= 0.5
+            assert row["waveform_delivered"] >= 0.5
+            assert abs(row["gap"]) <= 0.5

@@ -1,0 +1,49 @@
+"""Tests for the energy and beacon-scheduling experiments."""
+
+import pytest
+
+from repro.experiments import run_beacon_scheduling, run_energy_comparison
+
+
+class TestEnergyExperiment:
+    def test_choir_outlives_aloha(self):
+        result = run_energy_comparison(duration_s=15.0)
+        by_system = {r["system"]: r for r in result.rows}
+        assert (
+            by_system["choir"]["battery_life_years"]
+            > by_system["aloha"]["battery_life_years"]
+        )
+
+    def test_duty_cycle_rate_ordering(self):
+        result = run_energy_comparison(duration_s=15.0)
+        by_system = {r["system"]: r for r in result.rows}
+        assert (
+            by_system["choir"]["max_duty_cycle_rate_per_min"]
+            > by_system["aloha"]["max_duty_cycle_rate_per_min"]
+        )
+
+    def test_oracle_is_the_energy_floor(self):
+        result = run_energy_comparison(duration_s=15.0)
+        by_system = {r["system"]: r for r in result.rows}
+        assert by_system["oracle"]["tx_per_packet"] == 1.0
+
+
+class TestBeaconExperiment:
+    def test_group_size_grows_with_distance(self):
+        result = run_beacon_scheduling()
+        sizes = [
+            r["mean_group_size"] for r in result.rows if r["mean_group_size"]
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_near_band_full_resolution(self):
+        result = run_beacon_scheduling()
+        nearest = result.rows[0]
+        assert nearest["resolution"] == "full"
+        assert nearest["fraction_served"] == 1.0
+
+    def test_far_band_partially_served_via_teams(self):
+        result = run_beacon_scheduling()
+        farthest = result.rows[-1]
+        assert farthest["resolution"] == "coarse (MSB)"
+        assert 0.0 <= farthest["fraction_served"] < 1.0

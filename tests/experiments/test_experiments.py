@@ -1,0 +1,167 @@
+"""Smoke + shape tests for the per-figure experiment harnesses."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    run_collision_peaks,
+    run_density_vs_snr,
+    run_density_vs_users,
+    run_grouping_error,
+    run_isi_windows,
+    run_mimo_comparison,
+    run_mixed_throughput,
+    run_offset_cdf,
+    run_offset_stability,
+    run_range_throughput,
+    run_range_vs_team,
+    run_residual_surface,
+    run_resolution_vs_distance,
+)
+from repro.experiments.fig8_density import summarize_gains
+from repro.experiments.fig9_range import validate_team_decode
+from repro.experiments.runner import ExperimentResult, format_table, spreading_factor_for_snr
+
+
+class TestRunnerUtilities:
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_result_columns(self):
+        result = ExperimentResult("x")
+        result.add(a=1, b=2.0)
+        result.add(a=3, b=4.0)
+        assert result.column("a") == [1, 3]
+        assert "==" in str(result)
+
+    def test_rate_adaptation_monotone(self):
+        sfs = [spreading_factor_for_snr(snr) for snr in (-20, -5, 3, 10, 20)]
+        assert sfs == sorted(sfs, reverse=True)
+
+
+class TestFig3:
+    def test_padded_fft_resolves_fraction(self):
+        result = run_collision_peaks(offset_separation_bins=50.4)
+        coarse, fine = result.rows
+        assert coarse["n_peaks"] == 2 and fine["n_peaks"] == 2
+        assert fine["separation_bins"] == pytest.approx(50.4, abs=0.1)
+        # The unpadded FFT quantizes the separation more coarsely.
+        assert abs(coarse["separation_bins"] - 50.4) >= abs(
+            fine["separation_bins"] - 50.4
+        ) - 1e-9
+
+
+class TestFig4:
+    def test_surface_locally_convex(self):
+        result = run_residual_surface()
+        row = result.rows[0]
+        assert row["monotone_rays"] == "4/4"
+        assert row["min_location_error_bins"] < 0.1
+        assert row["dynamic_range"] > 5
+
+
+class TestFig5:
+    def test_four_peaks_and_dedup(self):
+        result = run_isi_windows(delay_fraction=0.3)
+        row = result.rows[0]
+        assert row["max_peaks_per_window"] <= 4
+        assert row["mean_peaks_per_window"] > 2
+        assert row["dedup_accuracy"] > 0.9
+
+
+class TestFig7:
+    def test_offsets_near_uniform(self):
+        result = run_offset_cdf(n_boards=15)
+        agg = result.rows[0]
+        assert agg["n_boards"] >= 12
+        assert agg["ks_distance"] < 0.35
+        assert agg["mean_estimate_error_bins"] < 0.1
+
+    def test_stability_improves_with_snr(self):
+        result = run_offset_stability(n_pairs=3)
+        stds = [row["cfo_to_stability_pct_of_bin"] for row in result.rows]
+        assert stds[0] >= stds[-1]  # low SNR spread >= high SNR spread
+
+
+class TestFig8:
+    def test_choir_wins_every_regime(self):
+        result = run_density_vs_snr(duration_s=10.0)
+        for regime in ("low", "medium", "high"):
+            rows = {r["system"]: r for r in result.rows if r["snr_regime"] == regime}
+            assert rows["choir"]["throughput_bps"] > rows["oracle"]["throughput_bps"]
+            assert rows["oracle"]["throughput_bps"] >= rows["aloha"]["throughput_bps"]
+
+    def test_throughput_rises_with_snr(self):
+        result = run_density_vs_snr(duration_s=10.0)
+        choir = [r["throughput_bps"] for r in result.rows if r["system"] == "choir"]
+        assert choir[0] < choir[-1]
+
+    def test_scaling_gains_at_ten_users(self):
+        result = run_density_vs_users(duration_s=20.0, user_counts=(2, 10))
+        gains = summarize_gains(result, n_users=10)
+        # Paper: 6.84x over Oracle, 29x over ALOHA; we accept the band.
+        assert 4.0 < gains["throughput_vs_oracle"] < 12.0
+        assert 10.0 < gains["throughput_vs_aloha"] < 45.0
+        assert gains["latency_vs_aloha"] > 5.0
+
+    def test_choir_below_ideal(self):
+        result = run_density_vs_users(duration_s=10.0, user_counts=(10,))
+        rows = {r["system"]: r for r in result.rows}
+        assert rows["choir"]["throughput_bps"] < rows["ideal"]["throughput_bps"]
+
+
+class TestFig9:
+    def test_throughput_rises_with_team_size(self):
+        result = run_range_throughput()
+        throughputs = result.column("throughput_bps")
+        assert throughputs[0] == 0.0  # single node is beyond range
+        assert throughputs[-1] > 0.0
+        assert all(b >= a for a, b in zip(throughputs, throughputs[1:]))
+
+    def test_range_gain_matches_headline(self):
+        result = run_range_vs_team()
+        final = result.rows[-1]
+        assert final["gain_over_single"] == pytest.approx(2.65, abs=0.1)
+        assert final["max_distance_m"] == pytest.approx(2650, rel=0.05)
+
+    def test_waveform_validates_pooling(self):
+        solo = validate_team_decode(1, -9.0, n_symbols=8, seed=3)
+        team = validate_team_decode(10, -9.0, n_symbols=8, seed=3)
+        assert team["symbol_accuracy"] >= solo["symbol_accuracy"]
+        assert team["symbol_accuracy"] > 0.9
+
+
+class TestFig10:
+    def test_error_grows_with_distance(self):
+        result = run_resolution_vs_distance(distances_m=(500, 1500, 2500))
+        errors = result.column("temperature_error")
+        assert errors[0] < errors[1] < errors[2]
+
+    def test_headline_error_at_2500m(self):
+        result = run_resolution_vs_distance(distances_m=(2500,))
+        assert 0.05 < result.rows[0]["temperature_error"] < 0.25
+
+
+class TestFig11:
+    def test_center_distance_best(self):
+        result = run_grouping_error()
+        errors = {r["strategy"]: r["temperature_error"] for r in result.rows}
+        assert errors["center_dist"] < errors["random"]
+        assert errors["center_dist"] < errors["floor"]
+
+    def test_only_choir_reaches_far_sensors(self):
+        result = run_mixed_throughput(duration_s=10.0)
+        rows = {r["system"]: r for r in result.rows}
+        assert rows["aloha"]["far_packets_delivered"] == 0
+        assert rows["oracle"]["far_packets_delivered"] == 0
+        assert rows["choir"]["far_packets_delivered"] > 0
+        assert rows["choir"]["throughput_bps"] > rows["oracle"]["throughput_bps"]
+
+
+class TestFig12:
+    def test_system_ordering(self):
+        result = run_mimo_comparison(duration_s=15.0)
+        rows = {r["system"]: r["throughput_bps"] for r in result.rows}
+        assert rows["aloha"] < rows["oracle"] < rows["mu_mimo"]
+        assert rows["mu_mimo"] < rows["choir_1ant"] <= rows["choir_mimo"] * 1.05
+        assert rows["choir_mimo"] >= rows["choir_1ant"]

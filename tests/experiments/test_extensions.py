@@ -1,0 +1,31 @@
+"""Tests for the extension experiments."""
+
+import pytest
+
+from repro.experiments.extensions import run_multisf_demux, run_unb_separation
+
+
+class TestMultiSfExperiment:
+    def test_branch_user_counts(self):
+        result = run_multisf_demux()
+        for row in result.rows:
+            assert row["found_users"] == row["expected_users"]
+
+    def test_both_cancellation_modes_reported(self):
+        result = run_multisf_demux()
+        modes = {row["cancellation"] for row in result.rows}
+        assert modes == {"on", "off"}
+
+
+class TestUnbExperiment:
+    def test_all_population_sizes_separate(self):
+        result = run_unb_separation()
+        equal = [r for r in result.rows if "equal-power" in r["scenario"]]
+        assert all(
+            r["found_users"] == int(r["scenario"].split()[0]) for r in equal
+        )
+
+    def test_near_far_weak_user_decoded(self):
+        result = run_unb_separation()
+        near_far = next(r for r in result.rows if "near-far" in r["scenario"])
+        assert near_far["mean_bit_accuracy"] == 1.0

@@ -1,0 +1,41 @@
+"""Tests for the experiment result plumbing (tables, CSV)."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentResult, format_table
+
+
+class TestCsvExport:
+    def test_to_csv_roundtrip(self):
+        result = ExperimentResult("x")
+        result.add(a=1, b=2.5, c="hello")
+        result.add(a=3, b=4.5, c="world")
+        csv_text = result.to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "a,b,c"
+        assert lines[1] == "1,2.5,hello"
+        assert len(lines) == 3
+
+    def test_empty_csv(self):
+        assert ExperimentResult("empty").to_csv() == ""
+
+    def test_save_csv(self, tmp_path):
+        result = ExperimentResult("x")
+        result.add(value=42)
+        path = tmp_path / "out.csv"
+        result.save_csv(path)
+        assert path.read_text().startswith("value")
+
+
+class TestFormatting:
+    def test_scientific_for_tiny_values(self):
+        text = format_table([{"v": 1.5e-7}])
+        assert "e-07" in text
+
+    def test_plain_for_normal_values(self):
+        text = format_table([{"v": 3.25}])
+        assert "3.25" in text
+
+    def test_missing_column_blank(self):
+        text = format_table([{"a": 1, "b": 2}, {"a": 3}])
+        assert "3" in text

@@ -1,0 +1,59 @@
+"""Tests for the ADC quantization model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import AdcModel
+
+
+class TestAdcModel:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="bits"):
+            AdcModel(bits=0)
+        with pytest.raises(ValueError, match="full_scale"):
+            AdcModel(full_scale=0.0)
+
+    def test_step_size(self):
+        adc = AdcModel(bits=2, full_scale=1.0)
+        assert adc.step == pytest.approx(0.5)
+
+    def test_quantization_error_bounded_by_step(self):
+        adc = AdcModel(bits=8, full_scale=1.0)
+        rng = np.random.default_rng(0)
+        x = (rng.uniform(-0.9, 0.9, 500) + 1j * rng.uniform(-0.9, 0.9, 500))
+        q = adc.digitize(x)
+        assert np.max(np.abs(q.real - x.real)) <= adc.step / 2 + 1e-12
+        assert np.max(np.abs(q.imag - x.imag)) <= adc.step / 2 + 1e-12
+
+    def test_clipping(self):
+        adc = AdcModel(bits=8, full_scale=1.0)
+        q = adc.digitize(np.array([10.0 + 10.0j]))
+        assert q[0].real <= 1.0 and q[0].imag <= 1.0
+
+    def test_quantization_noise_power_theory(self):
+        adc = AdcModel(bits=10, full_scale=1.0)
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-0.99, 0.99, 20000) + 1j * rng.uniform(-0.99, 0.99, 20000)
+        q = adc.digitize(x)
+        measured = np.mean(np.abs(q - x) ** 2)
+        assert measured == pytest.approx(adc.quantization_noise_power, rel=0.1)
+
+    @given(st.integers(min_value=4, max_value=14))
+    @settings(max_examples=10, deadline=None)
+    def test_idempotent(self, bits):
+        adc = AdcModel(bits=bits)
+        rng = np.random.default_rng(bits)
+        x = rng.uniform(-0.9, 0.9, 64) + 1j * rng.uniform(-0.9, 0.9, 64)
+        once = adc.digitize(x)
+        twice = adc.digitize(once)
+        assert np.allclose(once, twice)
+
+    def test_weak_signal_below_lsb_lost(self):
+        # The Sec. 5.2 limit: signals below the quantization floor vanish.
+        adc = AdcModel(bits=4, full_scale=1.0)
+        weak = np.full(32, 1e-4 + 1e-4j)
+        q = adc.digitize(weak)
+        # Quantized to the same (constant) code as zero input.
+        assert np.allclose(q, adc.digitize(np.zeros(32, dtype=complex)))

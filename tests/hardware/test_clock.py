@@ -1,0 +1,44 @@
+"""Tests for the timing-offset model."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import TimingModel
+
+
+class TestTimingModel:
+    def test_offset_samples(self):
+        model = TimingModel(offset_s=10e-6)
+        assert model.offset_samples(125_000.0) == pytest.approx(1.25)
+
+    def test_apply_integer_delay_prepends_zeros(self):
+        model = TimingModel(offset_s=3 / 125e3)
+        x = np.ones(16, dtype=complex)
+        delayed = model.apply(x, 125e3)
+        assert delayed.size == 19
+        assert np.allclose(delayed[:3], 0.0)
+        assert np.allclose(delayed[3:], 1.0)
+
+    def test_apply_zero_delay(self):
+        model = TimingModel(offset_s=0.0)
+        x = np.arange(8, dtype=complex)
+        assert np.array_equal(model.apply(x, 125e3), x)
+
+    def test_fractional_delay_shifts_tone_phase(self):
+        model = TimingModel(offset_s=0.5 / 125e3)
+        n = 256
+        tone = np.exp(2j * np.pi * 10 * np.arange(n) / n)
+        delayed = model.apply(tone, 125e3)
+        expected_phase = -2 * np.pi * 10 * 0.5 / n
+        measured = np.angle(delayed[0] * np.conj(tone[0]))
+        assert measured == pytest.approx(expected_phase, abs=1e-6)
+
+    def test_sample_bounds(self):
+        rng = np.random.default_rng(0)
+        offsets = [TimingModel.sample(rng, max_offset_s=1e-4).offset_s for _ in range(100)]
+        assert all(0.0 <= o <= 1e-4 for o in offsets)
+
+    def test_sample_reproducible(self):
+        a = TimingModel.sample(np.random.default_rng(3))
+        b = TimingModel.sample(np.random.default_rng(3))
+        assert a.offset_s == b.offset_s and a.skew_ppm == b.skew_ppm

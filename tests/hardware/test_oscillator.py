@@ -1,0 +1,70 @@
+"""Tests for the crystal oscillator model."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import OscillatorModel
+from repro.phy import LoRaParams
+
+PARAMS = LoRaParams(spreading_factor=8)
+
+
+class TestOscillatorModel:
+    def test_apply_shifts_tone(self):
+        osc = OscillatorModel(offset_hz=1000.0)
+        fs = 125_000.0
+        baseline = np.ones(1024, dtype=complex)
+        shifted = osc.apply(baseline, fs)
+        spectrum = np.abs(np.fft.fft(shifted))
+        peak_hz = np.fft.fftfreq(1024, 1 / fs)[np.argmax(spectrum)]
+        assert peak_hz == pytest.approx(1000.0, abs=fs / 1024)
+
+    def test_zero_offset_identity(self):
+        osc = OscillatorModel(offset_hz=0.0)
+        x = np.exp(2j * np.pi * 0.1 * np.arange(64))
+        assert np.allclose(osc.apply(x, 125e3), x)
+
+    def test_preserves_magnitude(self):
+        osc = OscillatorModel(offset_hz=3333.0, drift_hz_per_s=10.0)
+        x = np.ones(256, dtype=complex)
+        assert np.allclose(np.abs(osc.apply(x, 125e3)), 1.0)
+
+    def test_drift_changes_frequency_over_time(self):
+        osc = OscillatorModel(offset_hz=0.0, drift_hz_per_s=100.0)
+        assert osc.frequency_at(0.0) == 0.0
+        assert osc.frequency_at(2.0) == pytest.approx(200.0)
+
+    def test_sample_within_tolerance(self):
+        rng = np.random.default_rng(0)
+        carrier = 902e6
+        tolerance = 25.0
+        offsets = [
+            OscillatorModel.sample(rng, tolerance_ppm=tolerance, carrier_hz=carrier).offset_hz
+            for _ in range(200)
+        ]
+        bound = tolerance * 1e-6 * carrier
+        assert all(-bound <= o <= bound for o in offsets)
+        # Spread should cover a good part of the range (uniform draw).
+        assert np.std(offsets) > bound / 4
+
+    def test_sample_reproducible(self):
+        a = OscillatorModel.sample(np.random.default_rng(7))
+        b = OscillatorModel.sample(np.random.default_rng(7))
+        assert a.offset_hz == b.offset_hz
+
+    def test_jitter_adds_phase_noise(self):
+        rng = np.random.default_rng(1)
+        osc = OscillatorModel(offset_hz=0.0, jitter_hz=50.0)
+        x = np.ones(4096, dtype=complex)
+        noisy = osc.apply(x, 125e3, rng=rng)
+        assert not np.allclose(noisy, x)
+        assert np.allclose(np.abs(noisy), 1.0)
+
+    def test_start_time_continues_phase(self):
+        osc = OscillatorModel(offset_hz=500.0)
+        fs = 125e3
+        x = np.ones(512, dtype=complex)
+        whole = osc.apply(x, fs)
+        first = osc.apply(x[:256], fs, start_time=0.0)
+        second = osc.apply(x[256:], fs, start_time=256 / fs)
+        assert np.allclose(np.concatenate([first, second]), whole)

@@ -1,0 +1,94 @@
+"""Tests for the LoRaRadio client model."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import LoRaRadio, OscillatorModel, TimingModel
+from repro.phy import LoRaParams
+from repro.phy.chirp import downchirp
+
+PARAMS = LoRaParams(spreading_factor=8, preamble_len=8)
+
+
+def _measure_offset_bins(params, waveform, window_index=2, oversample=16):
+    n = params.samples_per_symbol
+    window = waveform[window_index * n : (window_index + 1) * n] * downchirp(params)
+    spectrum = np.abs(np.fft.fft(window, n * oversample))
+    return np.argmax(spectrum) / oversample
+
+
+class TestTransmit:
+    def test_waveform_length_includes_delay(self):
+        radio = LoRaRadio(
+            PARAMS,
+            oscillator=OscillatorModel(0.0),
+            timing=TimingModel(10 / PARAMS.sample_rate),
+            rng=np.random.default_rng(0),
+        )
+        waveform, _ = radio.transmit_symbols([1, 2])
+        expected = (PARAMS.preamble_len + 2) * PARAMS.samples_per_symbol + 10
+        assert waveform.size == expected
+
+    def test_aggregate_offset_matches_measurement(self):
+        # The ground-truth aggregate offset (cfo - delay in bins) must
+        # match what a dechirp measurement of a preamble window sees.
+        rng = np.random.default_rng(1)
+        radio = LoRaRadio(
+            PARAMS,
+            oscillator=OscillatorModel(PARAMS.bins_to_hz(9.25)),
+            timing=TimingModel(3.5 / PARAMS.sample_rate),
+            rng=rng,
+        )
+        waveform, state = radio.transmit_symbols(np.zeros(2, dtype=int))
+        measured = _measure_offset_bins(PARAMS, waveform)
+        expected = state.aggregate_offset_bins(PARAMS) % PARAMS.chips_per_symbol
+        assert measured == pytest.approx(expected, abs=0.1)
+
+    def test_amplitude_scaling(self):
+        rng = np.random.default_rng(2)
+        radio = LoRaRadio(PARAMS, rng=rng)
+        waveform, state = radio.transmit_symbols([0], amplitude=4.0)
+        active = waveform[np.abs(waveform) > 0]
+        assert np.allclose(np.abs(active), 4.0, atol=1e-9)
+        assert state.amplitude == 4.0
+
+    def test_apply_timing_false_starts_immediately(self):
+        rng = np.random.default_rng(3)
+        radio = LoRaRadio(
+            PARAMS, timing=TimingModel(20 / PARAMS.sample_rate), rng=rng
+        )
+        waveform, state = radio.transmit_symbols([0], apply_timing=False)
+        assert abs(waveform[0]) > 0
+        assert state.timing_offset_s == 0.0
+
+    def test_transmit_payload_roundtrip_symbols(self):
+        rng = np.random.default_rng(4)
+        radio = LoRaRadio(PARAMS, rng=rng)
+        payload = b"sensor reading"
+        _, _, symbols = radio.transmit_payload(payload)
+        decoded = radio.framer.decode(symbols, len(payload))
+        assert decoded.payload == payload and decoded.crc_ok
+
+    def test_random_phase_differs_between_packets(self):
+        rng = np.random.default_rng(5)
+        radio = LoRaRadio(PARAMS, oscillator=OscillatorModel(0.0), timing=TimingModel(0.0), rng=rng)
+        w1, s1 = radio.transmit_symbols([0])
+        w2, s2 = radio.transmit_symbols([0])
+        assert s1.phase_rad != s2.phase_rad
+
+    def test_tx_power_linear(self):
+        radio = LoRaRadio(PARAMS, tx_power_dbm=20.0, rng=np.random.default_rng(6))
+        assert radio.tx_power_linear == pytest.approx(100.0)
+
+
+class TestTransmitterState:
+    def test_aggregate_offset_sign_convention(self):
+        radio = LoRaRadio(
+            PARAMS,
+            oscillator=OscillatorModel(PARAMS.bins_to_hz(5.0)),
+            timing=TimingModel(2.0 / PARAMS.sample_rate),
+            rng=np.random.default_rng(7),
+        )
+        state = radio.ground_truth()
+        # cfo 5 bins, delay 2 samples -> aggregate 3 bins.
+        assert state.aggregate_offset_bins(PARAMS) == pytest.approx(3.0)

@@ -1,0 +1,108 @@
+"""Tests for the beacon scheduler (Sec. 7.1)."""
+
+import numpy as np
+import pytest
+
+from repro.mac.beacon import (
+    BeaconRoundSimulator,
+    BeaconScheduler,
+    pooled_snr_db,
+)
+from repro.mac.phy import ChoirPhyModel
+from repro.phy import LoRaParams
+
+PARAMS = LoRaParams(spreading_factor=8)  # floor -15 dB
+
+
+class TestPooledSnr:
+    def test_doubles_to_3db(self):
+        assert pooled_snr_db([0.0, 0.0]) == pytest.approx(3.01, abs=0.01)
+
+    def test_empty(self):
+        assert pooled_snr_db([]) == float("-inf")
+
+    def test_dominated_by_strongest(self):
+        assert pooled_snr_db([20.0, -30.0]) == pytest.approx(20.0, abs=0.01)
+
+
+class TestBeaconScheduler:
+    def test_strong_nodes_go_alone(self):
+        scheduler = BeaconScheduler(PARAMS, margin_db=3.0)
+        schedule = scheduler.build_schedule({0: 10.0, 1: 5.0})
+        assert schedule.n_rounds == 2
+        assert all(not g.is_team for g in schedule.groups)
+
+    def test_weak_nodes_pooled_minimally(self):
+        scheduler = BeaconScheduler(PARAMS, margin_db=3.0)
+        # Floor+margin = -12 dB; four nodes at -17 dB pool to -11 dB.
+        snrs = {i: -17.0 for i in range(4)}
+        schedule = scheduler.build_schedule(snrs)
+        teams = [g for g in schedule.groups if g.is_team]
+        assert len(teams) == 1
+        assert teams[0].size == 4
+        assert teams[0].pooled_snr_db >= -12.0
+
+    def test_mixed_population(self):
+        scheduler = BeaconScheduler(PARAMS)
+        snrs = {0: 10.0, 1: -16.0, 2: -16.0, 3: -16.5, 4: -16.5}
+        schedule = scheduler.build_schedule(snrs)
+        singleton_ids = [g.node_ids[0] for g in schedule.groups if not g.is_team]
+        assert singleton_ids == [0]
+        team_members = {nid for g in schedule.groups if g.is_team for nid in g.node_ids}
+        assert team_members == {1, 2, 3, 4}
+        assert schedule.unreachable == ()
+
+    def test_unreachable_detected(self):
+        scheduler = BeaconScheduler(PARAMS, max_team_size=4)
+        snrs = {i: -40.0 for i in range(4)}  # 4 pooled: -34 dB, still < -12
+        schedule = scheduler.build_schedule(snrs)
+        assert set(schedule.unreachable) == {0, 1, 2, 3}
+        assert schedule.n_rounds == 0
+
+    def test_group_of_lookup(self):
+        scheduler = BeaconScheduler(PARAMS)
+        schedule = scheduler.build_schedule({7: 10.0})
+        assert schedule.group_of(7).node_ids == (7,)
+        assert schedule.group_of(99) is None
+
+    def test_team_size_cap_respected(self):
+        scheduler = BeaconScheduler(PARAMS, max_team_size=5)
+        snrs = {i: -18.0 for i in range(20)}
+        schedule = scheduler.build_schedule(snrs)
+        for group in schedule.groups:
+            assert group.size <= 5
+
+    def test_invalid_team_size(self):
+        with pytest.raises(ValueError, match="max_team_size"):
+            BeaconScheduler(PARAMS, max_team_size=0)
+
+    def test_resolution_gradient(self):
+        # Closer (stronger) nodes end up in smaller groups -- the paper's
+        # "resolution increases for sensors closer to the base station".
+        scheduler = BeaconScheduler(PARAMS)
+        snrs = {0: 5.0, 1: -16.0, 2: -16.0, 3: -21.0, 4: -21.0, 5: -21.0, 6: -21.5, 7: -21.5}
+        schedule = scheduler.build_schedule(snrs)
+        size_by_node = {
+            nid: g.size for g in schedule.groups for nid in g.node_ids
+        }
+        assert size_by_node[0] == 1
+        assert size_by_node[1] <= size_by_node[3]
+
+
+class TestBeaconRoundSimulator:
+    def test_mixed_rounds_deliver(self):
+        scheduler = BeaconScheduler(PARAMS)
+        sim = BeaconRoundSimulator(PARAMS, ChoirPhyModel(PARAMS), scheduler)
+        snrs = {0: 12.0, 1: 8.0, 2: -17.0, 3: -17.0, 4: -17.0, 5: -17.0}
+        metrics = sim.run(snrs, n_cycles=3, rng=np.random.default_rng(0))
+        assert metrics.rounds == 3 * scheduler.build_schedule(snrs).n_rounds
+        assert metrics.singleton_deliveries >= 4  # two strong nodes x 3 cycles-ish
+        assert metrics.team_deliveries >= 3
+        assert metrics.nodes_served >= {0, 1, 2}
+
+    def test_unreachable_not_served(self):
+        scheduler = BeaconScheduler(PARAMS, max_team_size=2)
+        sim = BeaconRoundSimulator(PARAMS, ChoirPhyModel(PARAMS), scheduler)
+        metrics = sim.run({0: -40.0, 1: -40.0}, n_cycles=2, rng=np.random.default_rng(1))
+        assert metrics.total_deliveries == 0
+        assert metrics.nodes_served == set()

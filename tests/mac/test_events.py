@@ -1,0 +1,57 @@
+"""Tests for the event scheduler."""
+
+import pytest
+
+from repro.mac import EventScheduler
+
+
+class TestEventScheduler:
+    def test_runs_in_time_order(self):
+        scheduler = EventScheduler()
+        log = []
+        scheduler.schedule(2.0, lambda: log.append("b"))
+        scheduler.schedule(1.0, lambda: log.append("a"))
+        scheduler.schedule(3.0, lambda: log.append("c"))
+        scheduler.run_until(10.0)
+        assert log == ["a", "b", "c"]
+
+    def test_ties_stable(self):
+        scheduler = EventScheduler()
+        log = []
+        for name in "abc":
+            scheduler.schedule(1.0, lambda n=name: log.append(n))
+        scheduler.run_until(2.0)
+        assert log == ["a", "b", "c"]
+
+    def test_horizon_respected(self):
+        scheduler = EventScheduler()
+        log = []
+        scheduler.schedule(5.0, lambda: log.append("late"))
+        scheduler.run_until(2.0)
+        assert log == []
+        assert scheduler.pending() == 1
+        assert scheduler.now == 2.0
+
+    def test_events_can_schedule_events(self):
+        scheduler = EventScheduler()
+        log = []
+
+        def first():
+            log.append("first")
+            scheduler.schedule(1.0, lambda: log.append("second"))
+
+        scheduler.schedule(1.0, first)
+        scheduler.run_until(5.0)
+        assert log == ["first", "second"]
+
+    def test_negative_delay_rejected(self):
+        scheduler = EventScheduler()
+        with pytest.raises(ValueError, match="delay"):
+            scheduler.schedule(-1.0, lambda: None)
+
+    def test_past_scheduling_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(1.0, lambda: None)
+        scheduler.run_until(2.0)
+        with pytest.raises(ValueError, match="past"):
+            scheduler.schedule_at(1.0, lambda: None)

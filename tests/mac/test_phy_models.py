@@ -1,0 +1,113 @@
+"""Tests for the MAC-level PHY outcome models."""
+
+import numpy as np
+import pytest
+
+from repro.mac.phy import (
+    ChoirPhyModel,
+    ComposedPhy,
+    MuMimoPhyModel,
+    SingleUserPhy,
+    Transmission,
+)
+from repro.phy import LoRaParams
+
+PARAMS = LoRaParams(spreading_factor=8)
+
+
+def _tx(node_id, snr_db=15.0):
+    return Transmission(node_id=node_id, snr_db=snr_db)
+
+
+class TestSingleUserPhy:
+    def test_lone_transmission_decodes(self):
+        phy = SingleUserPhy(PARAMS)
+        assert phy.resolve([_tx(1)]) == {1}
+
+    def test_below_threshold_lost(self):
+        phy = SingleUserPhy(PARAMS)
+        assert phy.resolve([_tx(1, snr_db=-30.0)]) == set()
+
+    def test_collision_destroys_all(self):
+        phy = SingleUserPhy(PARAMS)
+        assert phy.resolve([_tx(1), _tx(2)]) == set()
+
+    def test_capture_effect_optional(self):
+        phy = SingleUserPhy(PARAMS, capture_margin_db=6.0)
+        decoded = phy.resolve([_tx(1, snr_db=30.0), _tx(2, snr_db=5.0)])
+        assert decoded == {1}
+
+    def test_empty(self):
+        assert SingleUserPhy(PARAMS).resolve([]) == set()
+
+
+class TestChoirPhyModel:
+    def test_decodes_many_concurrent(self):
+        phy = ChoirPhyModel(PARAMS)
+        rng = np.random.default_rng(0)
+        transmissions = [_tx(i) for i in range(5)]
+        counts = [len(phy.resolve(transmissions, rng=rng)) for _ in range(50)]
+        # ~85% efficiency at 5 users (merges + fractional collisions cost
+        # the rest, matching Fig. 8d's sub-linear scaling).
+        assert np.mean(counts) > 3.7
+
+    def test_merge_probability_grows_with_density(self):
+        phy = ChoirPhyModel(PARAMS, offset_span_bins=20.0)  # cramped offsets
+        rng = np.random.default_rng(1)
+        few = np.mean(
+            [len(phy.resolve([_tx(i) for i in range(2)], rng=rng)) / 2 for _ in range(200)]
+        )
+        many = np.mean(
+            [len(phy.resolve([_tx(i) for i in range(12)], rng=rng)) / 12 for _ in range(200)]
+        )
+        assert many < few
+
+    def test_snr_floor(self):
+        phy = ChoirPhyModel(PARAMS)
+        assert phy.resolve([_tx(1, snr_db=-30.0)], rng=0) == set()
+
+    def test_near_far_limit(self):
+        phy = ChoirPhyModel(PARAMS, near_far_limit_db=20.0, separation_bins=0.0)
+        rng = np.random.default_rng(2)
+        decoded = phy.resolve([_tx(1, snr_db=40.0), _tx(2, snr_db=5.0)], rng=rng)
+        assert 2 not in decoded
+
+    def test_max_decodable_cap(self):
+        phy = ChoirPhyModel(PARAMS, max_decodable=3)
+        rng = np.random.default_rng(3)
+        decoded = phy.resolve([_tx(i) for i in range(10)], rng=rng)
+        assert len(decoded) <= 3
+
+    def test_reproducible(self):
+        phy = ChoirPhyModel(PARAMS)
+        txs = [_tx(i) for i in range(6)]
+        a = phy.resolve(txs, rng=np.random.default_rng(5))
+        b = phy.resolve(txs, rng=np.random.default_rng(5))
+        assert a == b
+
+
+class TestMuMimoPhyModel:
+    def test_within_antenna_budget(self):
+        phy = MuMimoPhyModel(PARAMS, n_antennas=3)
+        assert phy.resolve([_tx(1), _tx(2), _tx(3)]) == {1, 2, 3}
+
+    def test_over_budget_all_lost(self):
+        phy = MuMimoPhyModel(PARAMS, n_antennas=3)
+        assert phy.resolve([_tx(i) for i in range(4)]) == set()
+
+    def test_zf_penalty_applied(self):
+        phy = MuMimoPhyModel(PARAMS, n_antennas=2, zf_penalty_db=6.0, decode_snr_db=0.0)
+        # At 3 dB SNR: passes alone, fails with the 6 dB multi-stream penalty.
+        assert phy.resolve([_tx(1, snr_db=3.0)]) == {1}
+        assert phy.resolve([_tx(1, snr_db=3.0), _tx(2, snr_db=3.0)]) == set()
+
+
+class TestComposedPhy:
+    def test_diversity_gain_improves_outcomes(self):
+        base = ChoirPhyModel(PARAMS, collateral_symbol_error=0.2)
+        composed = ComposedPhy(base, n_antennas=3)
+        rng_a, rng_b = np.random.default_rng(7), np.random.default_rng(7)
+        txs = [_tx(i, snr_db=0.0) for i in range(8)]
+        base_total = sum(len(base.resolve(txs, rng=rng_a)) for _ in range(100))
+        comp_total = sum(len(composed.resolve(txs, rng=rng_b)) for _ in range(100))
+        assert comp_total >= base_total

@@ -1,0 +1,71 @@
+"""Tests for the MAC protocols."""
+
+import numpy as np
+import pytest
+
+from repro.mac.protocols import AlohaMac, ChoirMac, OracleMac
+
+
+class TestAlohaMac:
+    def test_all_ready_initially(self):
+        mac = AlohaMac()
+        mac.seed(np.random.default_rng(0))
+        assert mac.select_transmitters(0, [1, 2, 3], None) == [1, 2, 3]
+
+    def test_failure_triggers_backoff(self):
+        mac = AlohaMac()
+        mac.seed(np.random.default_rng(1))
+        mac.on_result(0, [1, 2], set())  # collision: nobody decoded
+        ready_later = mac.select_transmitters(1, [1, 2], None)
+        # With windows doubled and random waits, usually not both retry at
+        # slot 1; at minimum the wait bookkeeping must be populated.
+        assert mac._wait_until[1] >= 1 and mac._wait_until[2] >= 1
+
+    def test_success_resets_window(self):
+        mac = AlohaMac()
+        mac.seed(np.random.default_rng(2))
+        mac.on_result(0, [1], set())
+        mac.on_result(5, [1], {1})
+        assert mac._windows[1] == mac.initial_window
+
+    def test_window_capped(self):
+        mac = AlohaMac(initial_window=1, max_window=8)
+        mac.seed(np.random.default_rng(3))
+        for slot in range(10):
+            mac.on_result(slot, [1], set())
+        assert mac._windows[1] == 8
+
+
+class TestOracleMac:
+    def test_one_per_slot(self):
+        mac = OracleMac()
+        for slot in range(6):
+            chosen = mac.select_transmitters(slot, [3, 1, 2], None)
+            assert len(chosen) == 1
+
+    def test_round_robin_fair(self):
+        mac = OracleMac()
+        counts = {1: 0, 2: 0, 3: 0}
+        for slot in range(30):
+            chosen = mac.select_transmitters(slot, [1, 2, 3], None)[0]
+            counts[chosen] += 1
+        assert set(counts.values()) == {10}
+
+    def test_empty_backlog(self):
+        assert OracleMac().select_transmitters(0, [], None) == []
+
+
+class TestChoirMac:
+    def test_all_backlogged_transmit(self):
+        mac = ChoirMac()
+        assert mac.select_transmitters(0, [5, 1, 9], np.random.default_rng(0)) == [1, 5, 9]
+
+    def test_group_size_cap(self):
+        mac = ChoirMac(group_size=2)
+        chosen = mac.select_transmitters(0, [1, 2, 3, 4], np.random.default_rng(1))
+        assert len(chosen) == 2
+        assert set(chosen) <= {1, 2, 3, 4}
+
+    def test_group_smaller_than_cap(self):
+        mac = ChoirMac(group_size=10)
+        assert mac.select_transmitters(0, [1, 2], np.random.default_rng(2)) == [1, 2]

@@ -1,0 +1,110 @@
+"""Tests for the network simulator."""
+
+import numpy as np
+import pytest
+
+from repro.mac import (
+    AlohaMac,
+    ChoirMac,
+    ChoirPhyModel,
+    NetworkSimulator,
+    NodeConfig,
+    OracleMac,
+    SingleUserPhy,
+)
+from repro.phy import LoRaParams
+
+PARAMS = LoRaParams(spreading_factor=8, preamble_len=8)
+
+
+def _nodes(n, snr_db=15.0, **kwargs):
+    return [NodeConfig(i, snr_db=snr_db, **kwargs) for i in range(n)]
+
+
+class TestSimulatorBasics:
+    def test_unique_node_ids_required(self):
+        nodes = [NodeConfig(1, 10.0), NodeConfig(1, 10.0)]
+        with pytest.raises(ValueError, match="unique"):
+            NetworkSimulator(PARAMS, SingleUserPhy(PARAMS), OracleMac(), nodes)
+
+    def test_packet_airtime(self):
+        sim = NetworkSimulator(PARAMS, SingleUserPhy(PARAMS), OracleMac(), _nodes(1))
+        # 160 bits at SF8 -> 20 data symbols + 8 preamble = 28 symbols.
+        assert sim.packet_airtime_s(160) == pytest.approx(28 * PARAMS.symbol_duration)
+
+    def test_oracle_saturated_throughput_is_slot_rate(self):
+        sim = NetworkSimulator(
+            PARAMS, SingleUserPhy(PARAMS), OracleMac(), _nodes(4), rng=0
+        )
+        metrics = sim.run(20.0)
+        expected = 160 / sim.slot_s
+        assert metrics.throughput_bps == pytest.approx(expected, rel=0.02)
+        assert metrics.transmissions_per_packet == 1.0
+
+    def test_delivered_never_exceeds_transmissions(self):
+        for mac, phy in [
+            (AlohaMac(), SingleUserPhy(PARAMS)),
+            (ChoirMac(), ChoirPhyModel(PARAMS)),
+        ]:
+            sim = NetworkSimulator(PARAMS, phy, mac, _nodes(6), rng=1)
+            metrics = sim.run(10.0)
+            assert metrics.delivered_packets <= metrics.total_transmissions
+
+    def test_reproducible(self):
+        def run(seed):
+            sim = NetworkSimulator(
+                PARAMS, ChoirPhyModel(PARAMS), ChoirMac(), _nodes(5), rng=seed
+            )
+            return sim.run(10.0).delivered_packets
+
+        assert run(42) == run(42)
+
+    def test_zero_snr_nodes_deliver_nothing(self):
+        sim = NetworkSimulator(
+            PARAMS, SingleUserPhy(PARAMS), OracleMac(), _nodes(2, snr_db=-40.0), rng=2
+        )
+        metrics = sim.run(5.0)
+        assert metrics.delivered_packets == 0
+        assert metrics.throughput_bps == 0.0
+
+
+class TestTrafficModels:
+    def test_periodic_arrivals_limit_throughput(self):
+        nodes = _nodes(3, period_s=1.0)
+        sim = NetworkSimulator(PARAMS, SingleUserPhy(PARAMS), OracleMac(), nodes, rng=3)
+        metrics = sim.run(30.0)
+        # 3 nodes x 1 packet/s x 160 bits: arrival-limited, not slot-limited.
+        assert metrics.throughput_bps == pytest.approx(480.0, rel=0.1)
+
+    def test_saturated_latency_grows_with_population(self):
+        small = NetworkSimulator(
+            PARAMS, SingleUserPhy(PARAMS), OracleMac(), _nodes(2), rng=4
+        ).run(20.0)
+        large = NetworkSimulator(
+            PARAMS, SingleUserPhy(PARAMS), OracleMac(), _nodes(8), rng=4
+        ).run(20.0)
+        assert large.mean_latency_s > small.mean_latency_s
+
+
+class TestSystemComparison:
+    def test_choir_beats_baselines_at_density(self):
+        nodes = _nodes(8)
+        results = {}
+        for name, mac, phy in [
+            ("aloha", AlohaMac(), SingleUserPhy(PARAMS)),
+            ("oracle", OracleMac(), SingleUserPhy(PARAMS)),
+            ("choir", ChoirMac(), ChoirPhyModel(PARAMS)),
+        ]:
+            sim = NetworkSimulator(PARAMS, phy, mac, nodes, rng=5)
+            results[name] = sim.run(30.0)
+        assert results["choir"].throughput_bps > results["oracle"].throughput_bps
+        assert results["oracle"].throughput_bps > results["aloha"].throughput_bps
+        assert results["choir"].mean_latency_s < results["aloha"].mean_latency_s
+
+    def test_metrics_properties_empty(self):
+        from repro.mac.simulator import MacMetrics
+
+        empty = MacMetrics()
+        assert empty.throughput_bps == 0.0
+        assert empty.mean_latency_s == float("inf")
+        assert empty.transmissions_per_packet == float("inf")

@@ -1,0 +1,84 @@
+"""Property-based invariants of the network simulator.
+
+Conservation laws that must hold for any MAC/PHY/traffic combination:
+delivered <= transmitted, delivered bits = delivered packets x payload,
+latencies are positive and bounded by the simulation horizon, and the
+simulator is a pure function of its seed.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mac import (
+    AlohaMac,
+    ChoirMac,
+    ChoirPhyModel,
+    NetworkSimulator,
+    NodeConfig,
+    OracleMac,
+    SingleUserPhy,
+)
+from repro.phy import LoRaParams
+
+PARAMS = LoRaParams(spreading_factor=8, preamble_len=8)
+
+mac_strategy = st.sampled_from(["aloha", "oracle", "choir"])
+n_nodes_strategy = st.integers(min_value=1, max_value=8)
+snr_strategy = st.floats(min_value=-20.0, max_value=25.0)
+
+
+def _build(mac_name, n_nodes, snr_db, seed, period=None):
+    nodes = [NodeConfig(i, snr_db=snr_db, period_s=period) for i in range(n_nodes)]
+    if mac_name == "aloha":
+        mac, phy = AlohaMac(), SingleUserPhy(PARAMS)
+    elif mac_name == "oracle":
+        mac, phy = OracleMac(), SingleUserPhy(PARAMS)
+    else:
+        mac, phy = ChoirMac(), ChoirPhyModel(PARAMS)
+    return NetworkSimulator(PARAMS, phy, mac, nodes, rng=seed)
+
+
+class TestConservation:
+    @given(mac_strategy, n_nodes_strategy, snr_strategy, st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_delivered_bounded_by_transmissions(self, mac_name, n_nodes, snr, seed):
+        metrics = _build(mac_name, n_nodes, snr, seed).run(5.0)
+        assert metrics.delivered_packets <= metrics.total_transmissions
+
+    @given(mac_strategy, n_nodes_strategy, st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_bits_match_packets(self, mac_name, n_nodes, seed):
+        metrics = _build(mac_name, n_nodes, 15.0, seed).run(5.0)
+        assert metrics.delivered_bits == metrics.delivered_packets * 160
+
+    @given(mac_strategy, n_nodes_strategy, st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_latencies_positive_and_bounded(self, mac_name, n_nodes, seed):
+        sim = _build(mac_name, n_nodes, 15.0, seed)
+        metrics = sim.run(5.0)
+        for latency in metrics.latencies_s:
+            assert 0.0 < latency <= metrics.duration_s + sim.slot_s
+
+    @given(mac_strategy, n_nodes_strategy, st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic_in_seed(self, mac_name, n_nodes, seed):
+        a = _build(mac_name, n_nodes, 15.0, seed).run(5.0)
+        b = _build(mac_name, n_nodes, 15.0, seed).run(5.0)
+        assert a.delivered_packets == b.delivered_packets
+        assert a.total_transmissions == b.total_transmissions
+
+    @given(n_nodes_strategy, st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_per_node_counts_sum_to_total(self, n_nodes, seed):
+        metrics = _build("choir", n_nodes, 15.0, seed).run(5.0)
+        assert sum(metrics.per_node_delivered.values()) == metrics.delivered_packets
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_periodic_delivery_bounded_by_arrivals(self, seed):
+        sim = _build("oracle", 3, 15.0, seed, period=1.0)
+        metrics = sim.run(10.0)
+        max_arrivals = 3 * (int(metrics.duration_s / 1.0) + 1)
+        assert metrics.delivered_packets <= max_arrivals

@@ -1,0 +1,66 @@
+"""Tests for the client energy model."""
+
+import pytest
+
+from repro.mac import NetworkSimulator, NodeConfig, OracleMac, SingleUserPhy
+from repro.metrics.energy import (
+    RadioEnergyProfile,
+    battery_life_report,
+    energy_per_delivered_packet,
+    energy_report_from_metrics,
+    packet_airtime_s,
+)
+from repro.phy import LoRaParams
+
+PARAMS = LoRaParams(spreading_factor=8, preamble_len=8)
+
+
+class TestAirtime:
+    def test_160_bits_sf8(self):
+        # 20 data symbols + 8 preamble at 2.048 ms/symbol.
+        assert packet_airtime_s(PARAMS, 160) == pytest.approx(28 * 256 / 125e3)
+
+    def test_minimum_one_symbol(self):
+        assert packet_airtime_s(PARAMS, 1) == pytest.approx(9 * 256 / 125e3)
+
+
+class TestEnergyPerPacket:
+    def test_scales_with_retransmissions(self):
+        one = energy_per_delivered_packet(PARAMS, 1.0)
+        four = energy_per_delivered_packet(PARAMS, 4.0)
+        assert four == pytest.approx(4.0 * one)
+
+    def test_magnitude_sane(self):
+        # ~57 ms airtime at 120 mW plus a receive window: single-digit mJ.
+        energy = energy_per_delivered_packet(PARAMS, 1.0)
+        assert 1e-3 < energy < 20e-3
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="transmissions_per_packet"):
+            energy_per_delivered_packet(PARAMS, 0.5)
+        with pytest.raises(ValueError, match="power"):
+            RadioEnergyProfile(tx_power_w=-1.0)
+
+
+class TestBatteryLife:
+    def test_fewer_retransmissions_longer_life(self):
+        choir = battery_life_report(PARAMS, transmissions_per_packet=1.4)
+        aloha = battery_life_report(PARAMS, transmissions_per_packet=4.0)
+        assert choir.battery_life_years > aloha.battery_life_years
+
+    def test_ten_year_class(self):
+        # A well-behaved node reporting once a minute should land in the
+        # multi-year range the paper's framing assumes.
+        report = battery_life_report(PARAMS, transmissions_per_packet=1.0)
+        assert 2.0 < report.battery_life_years < 40.0
+
+    def test_report_str(self):
+        report = battery_life_report(PARAMS, transmissions_per_packet=1.0)
+        assert "mJ" in str(report) and "years" in str(report)
+
+    def test_from_mac_metrics(self):
+        nodes = [NodeConfig(i, snr_db=15.0) for i in range(3)]
+        sim = NetworkSimulator(PARAMS, SingleUserPhy(PARAMS), OracleMac(), nodes, rng=0)
+        metrics = sim.run(10.0)
+        report = energy_report_from_metrics(PARAMS, metrics)
+        assert report.battery_life_years > 0

@@ -1,0 +1,76 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    gain,
+    normalized_resolution_error,
+    packet_delivery,
+    safe_ratio,
+    symbol_accuracy,
+)
+
+
+class TestSymbolAccuracy:
+    def test_perfect(self):
+        assert symbol_accuracy(np.array([1, 2, 3]), np.array([1, 2, 3])) == 1.0
+
+    def test_partial(self):
+        assert symbol_accuracy(np.array([1, 0, 3, 0]), np.array([1, 2, 3, 4])) == 0.5
+
+    def test_length_mismatch_is_zero(self):
+        assert symbol_accuracy(np.array([1]), np.array([1, 2])) == 0.0
+
+    def test_empty(self):
+        assert symbol_accuracy(np.array([]), np.array([])) == 0.0
+
+
+class TestPacketDelivery:
+    def test_clean_packet_delivered(self):
+        stream = np.arange(32)
+        assert packet_delivery(stream, stream)
+
+    def test_one_error_in_32_tolerated(self):
+        truth = np.arange(32)
+        decoded = truth.copy()
+        decoded[5] = 99
+        assert packet_delivery(decoded, truth)
+
+    def test_heavy_errors_fail(self):
+        truth = np.arange(32)
+        decoded = truth.copy()
+        decoded[:8] = 0
+        assert not packet_delivery(decoded, truth)
+
+
+class TestResolutionError:
+    def test_zero_when_exact(self):
+        values = np.array([20.0, 21.0])
+        assert normalized_resolution_error(values, values, (0.0, 100.0)) == 0.0
+
+    def test_normalization(self):
+        error = normalized_resolution_error(
+            np.array([10.0]), np.array([20.0]), (0.0, 100.0)
+        )
+        assert error == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="equal length"):
+            normalized_resolution_error(np.array([1.0]), np.array([1.0, 2.0]), (0, 1))
+        with pytest.raises(ValueError, match="range"):
+            normalized_resolution_error(np.array([1.0]), np.array([1.0]), (1, 1))
+
+    def test_empty(self):
+        assert normalized_resolution_error(np.array([]), np.array([]), (0, 1)) == 0.0
+
+
+class TestRatios:
+    def test_gain(self):
+        assert gain(10.0, 2.0) == 5.0
+
+    def test_safe_ratio_zero_over_zero(self):
+        assert safe_ratio(0.0, 0.0) == 0.0
+
+    def test_safe_ratio_x_over_zero(self):
+        assert safe_ratio(5.0, 0.0) == float("inf")

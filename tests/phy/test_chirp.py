@@ -1,0 +1,125 @@
+"""Tests for chirp synthesis: dechirp purity, delays, orthogonality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy import LoRaParams, downchirp, upchirp
+from repro.phy.chirp import chirp_train, delayed_chirp_train, instantaneous_frequency
+
+PARAMS = LoRaParams(spreading_factor=8, bandwidth=125_000.0)
+
+
+def _peak_bin(dechirped: np.ndarray, oversample: int = 1) -> float:
+    spectrum = np.abs(np.fft.fft(dechirped, dechirped.size * oversample))
+    return np.argmax(spectrum) / oversample
+
+
+class TestUpchirp:
+    def test_unit_amplitude(self):
+        chirp = upchirp(PARAMS, 0)
+        assert np.allclose(np.abs(chirp), 1.0)
+
+    def test_length(self):
+        assert upchirp(PARAMS, 0).size == PARAMS.samples_per_symbol
+
+    def test_symbol_out_of_range(self):
+        with pytest.raises(ValueError, match="symbol"):
+            upchirp(PARAMS, 256)
+        with pytest.raises(ValueError, match="symbol"):
+            upchirp(PARAMS, -1)
+
+    @given(st.integers(min_value=0, max_value=255))
+    @settings(max_examples=30, deadline=None)
+    def test_dechirp_gives_pure_tone_at_symbol(self, symbol):
+        dechirped = upchirp(PARAMS, symbol) * downchirp(PARAMS)
+        assert _peak_bin(dechirped) == symbol
+        # Purity: all energy in one bin.
+        spectrum = np.abs(np.fft.fft(dechirped))
+        assert spectrum[symbol] == pytest.approx(PARAMS.chips_per_symbol, rel=1e-9)
+
+    def test_distinct_symbols_orthogonal(self):
+        a = upchirp(PARAMS, 10)
+        b = upchirp(PARAMS, 11)
+        assert abs(np.vdot(a, b)) < 1e-6 * a.size
+
+    def test_oversampled_chirp_band_limited(self):
+        params = LoRaParams(spreading_factor=8, oversampling=4)
+        chirp = upchirp(params, 0)
+        freqs = instantaneous_frequency(chirp, params.sample_rate)
+        assert np.all(np.abs(freqs) <= params.bandwidth / 2 + params.bin_width_hz)
+
+
+class TestChirpTrain:
+    def test_concatenation_length(self):
+        train = chirp_train(PARAMS, [0, 1, 2])
+        assert train.size == 3 * PARAMS.samples_per_symbol
+
+    def test_empty_train(self):
+        assert chirp_train(PARAMS, []).size == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            chirp_train(PARAMS, np.zeros((2, 2), dtype=int))
+
+    def test_preamble_phase_continuous(self):
+        # Consecutive symbol-0 chirps are phase continuous for even N.
+        train = chirp_train(PARAMS, [0, 0])
+        n = PARAMS.samples_per_symbol
+        jump = np.angle(train[n] * np.conj(train[n - 1]))
+        step = np.angle(train[1] * np.conj(train[0]))
+        assert abs(jump - step) < 0.1
+
+
+class TestDelayedChirpTrain:
+    def test_zero_delay_matches_plain_train(self):
+        plain = chirp_train(PARAMS, [3, 200])
+        delayed = delayed_chirp_train(PARAMS, [3, 200], 0.0)
+        assert np.allclose(plain, delayed[: plain.size])
+
+    def test_integer_delay_prefixes_zeros(self):
+        delayed = delayed_chirp_train(PARAMS, [0], 5.0)
+        assert np.allclose(delayed[:5], 0.0)
+        assert abs(delayed[5]) == pytest.approx(1.0)
+
+    @given(st.floats(min_value=0.0, max_value=30.0))
+    @settings(max_examples=20, deadline=None)
+    def test_delay_shifts_peak_down(self, delay):
+        # Dechirping a delayed symbol-0 train in a window past the start
+        # gives a pure tone at -delay bins (Eqn. 5).
+        waveform = delayed_chirp_train(PARAMS, [0, 0, 0], delay)
+        n = PARAMS.samples_per_symbol
+        window = waveform[n : 2 * n] * downchirp(PARAMS)
+        peak = _peak_bin(window, oversample=16)
+        expected = (-delay) % PARAMS.chips_per_symbol
+        distance = min(abs(peak - expected), PARAMS.chips_per_symbol - abs(peak - expected))
+        assert distance < 0.2
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="delay"):
+            delayed_chirp_train(PARAMS, [0], -1.0)
+
+    def test_oversampling_rejected(self):
+        params = LoRaParams(oversampling=2)
+        with pytest.raises(ValueError, match="oversampling"):
+            delayed_chirp_train(params, [0], 1.0)
+
+
+class TestInstantaneousFrequency:
+    def test_constant_tone(self):
+        tone = np.exp(2j * np.pi * 1000.0 * np.arange(1000) / 125_000.0)
+        freqs = instantaneous_frequency(tone, 125_000.0)
+        assert np.allclose(freqs, 1000.0, atol=1.0)
+
+    def test_chirp_sweeps_linearly(self):
+        chirp = upchirp(PARAMS, 0)
+        freqs = instantaneous_frequency(chirp, PARAMS.sample_rate)
+        # First half of the sweep (before the alias wrap) is linear.
+        half = freqs[: PARAMS.samples_per_symbol // 2 - 1]
+        slope = np.polyfit(np.arange(half.size), half, 1)[0]
+        expected = PARAMS.bandwidth / PARAMS.samples_per_symbol
+        assert slope == pytest.approx(expected, rel=0.05)
+
+    def test_short_input(self):
+        assert instantaneous_frequency(np.zeros(1), 1.0).size == 0

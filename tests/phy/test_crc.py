@@ -1,0 +1,33 @@
+"""Tests for CRC-16/CCITT."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy.crc import append_crc, check_crc, crc16_ccitt
+
+
+class TestCrc16:
+    def test_known_vector(self):
+        # CRC-16/CCITT (init 0x0000, aka XModem) of "123456789" is 0x31C3.
+        assert crc16_ccitt(b"123456789") == 0x31C3
+
+    def test_empty(self):
+        assert crc16_ccitt(b"") == 0x0000
+
+    @given(st.binary(min_size=0, max_size=128))
+    def test_append_check_roundtrip(self, data):
+        assert check_crc(append_crc(data))
+
+    @given(st.binary(min_size=1, max_size=64), st.integers(min_value=0, max_value=7))
+    def test_detects_single_bit_flip(self, data, bit):
+        framed = bytearray(append_crc(data))
+        framed[0] ^= 1 << bit
+        assert not check_crc(bytes(framed))
+
+    def test_check_too_short(self):
+        assert not check_crc(b"")
+        assert not check_crc(b"\x00")
+
+    def test_crc_depends_on_order(self):
+        assert crc16_ccitt(b"ab") != crc16_ccitt(b"ba")

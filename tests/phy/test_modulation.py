@@ -1,0 +1,53 @@
+"""Tests for CSS modulation and the frame modulator."""
+
+import numpy as np
+import pytest
+
+from repro.phy import CssModulator, LoRaParams, modulate_symbols
+from repro.phy.chirp import upchirp
+
+PARAMS = LoRaParams(spreading_factor=8, preamble_len=8)
+
+
+class TestModulateSymbols:
+    def test_matches_individual_chirps(self):
+        symbols = [0, 100, 255]
+        waveform = modulate_symbols(PARAMS, symbols)
+        n = PARAMS.samples_per_symbol
+        for i, s in enumerate(symbols):
+            assert np.allclose(waveform[i * n : (i + 1) * n], upchirp(PARAMS, s))
+
+    def test_constant_envelope(self):
+        waveform = modulate_symbols(PARAMS, [7, 77, 177])
+        assert np.allclose(np.abs(waveform), 1.0)
+
+
+class TestCssModulator:
+    def test_preamble_is_base_chirps(self):
+        mod = CssModulator(PARAMS)
+        preamble = mod.preamble()
+        assert preamble.size == PARAMS.preamble_len * PARAMS.samples_per_symbol
+        n = PARAMS.samples_per_symbol
+        assert np.allclose(preamble[:n], upchirp(PARAMS, 0))
+
+    def test_frame_symbols_layout(self):
+        mod = CssModulator(PARAMS)
+        frame = mod.frame_symbols([9, 8, 7])
+        assert list(frame[: PARAMS.preamble_len]) == [0] * PARAMS.preamble_len
+        assert list(frame[PARAMS.preamble_len :]) == [9, 8, 7]
+
+    def test_sync_word_included(self):
+        mod = CssModulator(PARAMS, sync_word=42)
+        frame = mod.frame_symbols([1])
+        assert frame[PARAMS.preamble_len] == 42
+        assert mod.frame_num_symbols(1) == PARAMS.preamble_len + 2
+
+    def test_invalid_sync_word(self):
+        with pytest.raises(ValueError, match="sync_word"):
+            CssModulator(PARAMS, sync_word=256)
+
+    def test_frame_waveform_length(self):
+        mod = CssModulator(PARAMS)
+        waveform = mod.frame_waveform([1, 2])
+        expected = (PARAMS.preamble_len + 2) * PARAMS.samples_per_symbol
+        assert waveform.size == expected

@@ -1,0 +1,67 @@
+"""Tests for LoRaParams derived quantities and validation."""
+
+import pytest
+
+from repro.phy import LoRaParams
+
+
+class TestValidation:
+    def test_rejects_bad_spreading_factor(self):
+        with pytest.raises(ValueError, match="spreading_factor"):
+            LoRaParams(spreading_factor=5)
+        with pytest.raises(ValueError, match="spreading_factor"):
+            LoRaParams(spreading_factor=13)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            LoRaParams(bandwidth=0.0)
+
+    def test_rejects_bad_preamble(self):
+        with pytest.raises(ValueError, match="preamble_len"):
+            LoRaParams(preamble_len=0)
+
+    def test_rejects_fractional_oversampling(self):
+        with pytest.raises(ValueError, match="oversampling"):
+            LoRaParams(oversampling=0)
+
+
+class TestDerivedQuantities:
+    def test_chips_per_symbol(self):
+        assert LoRaParams(spreading_factor=7).chips_per_symbol == 128
+        assert LoRaParams(spreading_factor=12).chips_per_symbol == 4096
+
+    def test_symbol_duration_sf8_125k(self):
+        params = LoRaParams(spreading_factor=8, bandwidth=125_000.0)
+        assert params.symbol_duration == pytest.approx(256 / 125_000.0)
+
+    def test_sample_rate_with_oversampling(self):
+        params = LoRaParams(bandwidth=125_000.0, oversampling=4)
+        assert params.sample_rate == pytest.approx(500_000.0)
+        assert params.samples_per_symbol == 4 * params.chips_per_symbol
+
+    def test_bin_width(self):
+        params = LoRaParams(spreading_factor=8, bandwidth=125_000.0)
+        assert params.bin_width_hz == pytest.approx(488.28125)
+
+    def test_raw_bit_rate_sf7(self):
+        params = LoRaParams(spreading_factor=7, bandwidth=125_000.0)
+        # SF7 at 125 kHz: 7 bits / (128/125000) s = 6836 bps.
+        assert params.raw_bit_rate == pytest.approx(6835.94, rel=1e-4)
+
+    def test_hz_bins_roundtrip(self):
+        params = LoRaParams(spreading_factor=9)
+        assert params.hz_to_bins(params.bins_to_hz(3.7)) == pytest.approx(3.7)
+
+    def test_seconds_to_samples(self):
+        params = LoRaParams(bandwidth=125_000.0)
+        assert params.seconds_to_samples(1.0) == pytest.approx(125_000.0)
+
+    def test_symbol_value_range(self):
+        params = LoRaParams(spreading_factor=7)
+        values = params.symbol_value_range()
+        assert values.start == 0 and values.stop == 128
+
+    def test_params_frozen(self):
+        params = LoRaParams()
+        with pytest.raises(AttributeError):
+            params.spreading_factor = 9

@@ -1,0 +1,96 @@
+"""Tests for MSB-overlap analysis and data splicing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sensing import consensus_bits, merge_chunks, msb_overlap, splice_bits
+from repro.sensing.correlation import group_value_estimate
+from repro.sensing.sensors import bits_to_code, code_to_bits
+
+
+class TestMsbOverlap:
+    def test_identical_codes_full_overlap(self):
+        assert msb_overlap([0b101010101010] * 5, 12) == 12
+
+    def test_single_code(self):
+        assert msb_overlap([7], 12) == 12
+
+    def test_empty(self):
+        assert msb_overlap([], 12) == 0
+
+    def test_known_prefix(self):
+        codes = [0b111100000000, 0b111100001111, 0b111101010101]
+        assert msb_overlap(codes, 12) == 5  # first disagreement at bit 5
+
+    @given(
+        st.integers(min_value=0, max_value=4095),
+        st.integers(min_value=0, max_value=63),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_nearby_values_share_msbs(self, base, delta):
+        # Values within 64 LSBs of each other share at least the top 5 bits
+        # unless they straddle a power-of-two boundary... so assert the
+        # weaker monotone property: overlap of [v, v] >= overlap of [v, v+d].
+        full = msb_overlap([base, base], 12)
+        partial = msb_overlap([base, min(base + delta, 4095)], 12)
+        assert full >= partial
+
+
+class TestConsensus:
+    def test_majority_wins(self):
+        codes = [0b1000, 0b1000, 0b0000]
+        assert list(consensus_bits(codes, 4)) == [1, 0, 0, 0]
+
+    def test_tie_goes_to_zero(self):
+        codes = [0b1000, 0b0000]
+        assert consensus_bits(codes, 4)[0] == 0
+
+    def test_group_value_estimate_midpoint_fill(self):
+        codes = [0b110000000000] * 4
+        estimate = group_value_estimate(codes, 12, recovered_prefix=4)
+        bits = code_to_bits(estimate, 12)
+        assert list(bits[:4]) == [1, 1, 0, 0]
+        assert bits[4] == 1 and bits[5:].sum() == 0
+
+    def test_full_prefix_is_exact(self):
+        code = 0b101010111100
+        assert group_value_estimate([code], 12, recovered_prefix=12) == code
+
+
+class TestSplicing:
+    @given(st.integers(min_value=0, max_value=4095))
+    @settings(max_examples=40, deadline=None)
+    def test_splice_merge_roundtrip(self, code):
+        bits = code_to_bits(code, 12)
+        chunks = splice_bits(bits, [4, 4, 4])
+        merged, n_known = merge_chunks(chunks, [4, 4, 4])
+        assert bits_to_code(merged) == code
+        assert n_known == 12
+
+    def test_missing_tail_chunk_midpoint_filled(self):
+        bits = code_to_bits(0b111111111111, 12)
+        chunks = splice_bits(bits, [4, 4, 4])
+        merged, n_known = merge_chunks([chunks[0], chunks[1], None], [4, 4, 4])
+        assert n_known == 8
+        assert list(merged[:8]) == [1] * 8
+        assert list(merged[8:]) == [1, 0, 0, 0]  # midpoint completion
+
+    def test_missing_middle_chunk_truncates(self):
+        bits = code_to_bits(0b111111111111, 12)
+        chunks = splice_bits(bits, [4, 4, 4])
+        merged, n_known = merge_chunks([chunks[0], None, chunks[2]], [4, 4, 4])
+        assert n_known == 4  # only the leading run counts
+
+    def test_splice_validation(self):
+        with pytest.raises(ValueError, match="chunk_sizes"):
+            splice_bits(np.zeros(12, dtype=np.uint8), [4, 4])
+        with pytest.raises(ValueError, match="positive"):
+            splice_bits(np.zeros(8, dtype=np.uint8), [8, 0])
+
+    def test_merge_validation(self):
+        with pytest.raises(ValueError, match="align"):
+            merge_chunks([None], [4, 4])
+        with pytest.raises(ValueError, match="expected"):
+            merge_chunks([np.zeros(3, dtype=np.uint8)], [4])

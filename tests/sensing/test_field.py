@@ -1,0 +1,51 @@
+"""Tests for the spatial environment field."""
+
+import numpy as np
+import pytest
+
+from repro.sensing import EnvironmentField
+
+
+class TestEnvironmentField:
+    def test_core_near_setpoint(self):
+        field = EnvironmentField(microclimate_sigma=0.0)
+        core = field.temperature(0.5, 0.5, floor=0)
+        assert core == pytest.approx(field.indoor_setpoint_c, abs=1.5)
+
+    def test_wall_pulled_toward_outdoor(self):
+        field = EnvironmentField(microclimate_sigma=0.0)
+        wall = field.temperature(0.0, 0.5, floor=0)
+        core = field.temperature(0.5, 0.5, floor=0)
+        # Outdoor default is colder than the setpoint.
+        assert wall < core
+
+    def test_floor_gradient(self):
+        field = EnvironmentField(microclimate_sigma=0.0)
+        t0 = field.temperature(0.5, 0.5, floor=0)
+        t3 = field.temperature(0.5, 0.5, floor=3)
+        assert t3 - t0 == pytest.approx(3 * field.floor_gradient_c)
+
+    def test_humidity_bounded(self):
+        field = EnvironmentField()
+        for u in np.linspace(0, 1, 7):
+            for v in np.linspace(0, 1, 7):
+                assert 0.0 <= field.humidity(u, v) <= 100.0
+
+    def test_microclimate_smooth(self):
+        # Nearby points must read nearby values (spatial correlation).
+        field = EnvironmentField(microclimate_sigma=1.0, rng_seed=1)
+        a = field.temperature(0.40, 0.40)
+        b = field.temperature(0.41, 0.41)
+        assert abs(a - b) < 0.5
+
+    def test_reproducible_with_seed(self):
+        a = EnvironmentField(rng_seed=7).temperature(0.3, 0.6)
+        b = EnvironmentField(rng_seed=7).temperature(0.3, 0.6)
+        assert a == b
+
+    def test_humidity_envelope_effect(self):
+        field = EnvironmentField(microclimate_sigma=0.0)
+        wall = field.humidity(0.0, 0.5)
+        core = field.humidity(0.5, 0.5)
+        # Outdoor humidity default is higher than indoor.
+        assert wall > core

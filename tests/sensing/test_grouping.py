@@ -1,0 +1,92 @@
+"""Tests for grouping strategies and their error metric."""
+
+import numpy as np
+import pytest
+
+from repro.sensing import (
+    EnvironmentField,
+    SensorNode,
+    group_by_center_distance,
+    group_by_floor,
+    group_random,
+    grouping_error,
+)
+from repro.sensing.sensors import TEMP_RANGE_C
+
+
+def _sensors(n=36, n_floors=4, rng=None):
+    rng = rng or np.random.default_rng(0)
+    return [
+        SensorNode(
+            sensor_id=i,
+            u=float(rng.uniform(0.02, 0.98)),
+            v=float(rng.uniform(0.02, 0.98)),
+            floor=i % n_floors,
+        )
+        for i in range(n)
+    ]
+
+
+class TestPartitions:
+    def test_random_partitions_everyone(self):
+        sensors = _sensors()
+        groups = group_random(sensors, 4, rng=1)
+        ids = sorted(s.sensor_id for g in groups for s in g)
+        assert ids == list(range(36))
+
+    def test_random_group_count_validation(self):
+        with pytest.raises(ValueError, match="n_groups"):
+            group_random(_sensors(), 0)
+
+    def test_floor_groups(self):
+        sensors = _sensors()
+        groups = group_by_floor(sensors)
+        assert len(groups) == 4
+        for group in groups:
+            floors = {s.floor for s in group}
+            assert len(floors) == 1
+
+    def test_center_distance_bands_ordered(self):
+        sensors = _sensors()
+        bands = group_by_center_distance(sensors, n_bands=3)
+        maxima = [max(s.center_distance() for s in band) for band in bands]
+        minima = [min(s.center_distance() for s in band) for band in bands]
+        for i in range(len(bands) - 1):
+            assert maxima[i] <= minima[i + 1] + 1e-9
+
+    def test_center_bands_validation(self):
+        with pytest.raises(ValueError, match="n_bands"):
+            group_by_center_distance(_sensors(), 0)
+
+
+class TestGroupingError:
+    def test_identical_readings_zero_error(self):
+        sensors = _sensors(8)
+        readings = {s.sensor_id: 20.0 for s in sensors}
+        assert grouping_error([sensors], readings, TEMP_RANGE_C) == 0.0
+
+    def test_error_normalized_by_range(self):
+        sensors = _sensors(2)
+        readings = {0: 10.0, 1: 20.0}
+        error = grouping_error([sensors[:2]], readings, (0.0, 100.0))
+        # Median 15, deviations 5 each -> mean 5/100.
+        assert error == pytest.approx(0.05)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError, match="range"):
+            grouping_error([], {}, (1.0, 1.0))
+
+    def test_center_distance_beats_random_on_envelope_field(self):
+        # The Fig. 11a ordering on a field dominated by the envelope
+        # gradient.
+        rng = np.random.default_rng(3)
+        field = EnvironmentField(microclimate_sigma=0.1, rng_seed=3)
+        sensors = _sensors(rng=rng)
+        readings = {s.sensor_id: s.read_temperature(field, rng) for s in sensors}
+        random_error = grouping_error(
+            group_random(sensors, 4, rng=rng), readings, TEMP_RANGE_C
+        )
+        center_error = grouping_error(
+            group_by_center_distance(sensors, 4), readings, TEMP_RANGE_C
+        )
+        assert center_error < random_error

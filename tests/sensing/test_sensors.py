@@ -1,0 +1,79 @@
+"""Tests for sensor sampling and quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sensing import EnvironmentField, SensorNode, dequantize_reading, quantize_reading
+from repro.sensing.sensors import TEMP_RANGE_C, bits_to_code, code_to_bits
+
+
+class TestQuantization:
+    @given(st.floats(min_value=-20.0, max_value=60.0))
+    def test_roundtrip_within_lsb(self, value):
+        code = quantize_reading(value, TEMP_RANGE_C, 12)
+        recovered = dequantize_reading(code, TEMP_RANGE_C, 12)
+        lsb = (TEMP_RANGE_C[1] - TEMP_RANGE_C[0]) / (2**12 - 1)
+        assert abs(recovered - value) <= lsb
+
+    def test_clipping(self):
+        assert quantize_reading(-100.0, TEMP_RANGE_C, 8) == 0
+        assert quantize_reading(200.0, TEMP_RANGE_C, 8) == 255
+
+    def test_monotone(self):
+        codes = [quantize_reading(v, TEMP_RANGE_C, 12) for v in (-10.0, 0.0, 25.0, 50.0)]
+        assert codes == sorted(codes)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError, match="range"):
+            quantize_reading(1.0, (5.0, 5.0), 8)
+
+    @given(st.integers(min_value=0, max_value=4095))
+    def test_code_bits_roundtrip(self, code):
+        assert bits_to_code(code_to_bits(code, 12)) == code
+
+    def test_bits_msb_first(self):
+        bits = code_to_bits(0b100000000001, 12)
+        assert bits[0] == 1 and bits[-1] == 1 and bits[1:-1].sum() == 0
+
+
+class TestSensorNode:
+    def test_reading_near_field_value(self):
+        field = EnvironmentField(microclimate_sigma=0.0)
+        sensor = SensorNode(sensor_id=0, u=0.5, v=0.5, noise_c=0.0)
+        assert sensor.read_temperature(field, rng=0) == pytest.approx(
+            field.temperature(0.5, 0.5), abs=1e-9
+        )
+
+    def test_noise_applied(self):
+        field = EnvironmentField()
+        sensor = SensorNode(sensor_id=0, u=0.5, v=0.5, noise_c=0.5)
+        rng = np.random.default_rng(0)
+        readings = [sensor.read_temperature(field, rng) for _ in range(200)]
+        assert np.std(readings) == pytest.approx(0.5, rel=0.25)
+
+    def test_center_distance(self):
+        assert SensorNode(0, 0.5, 0.5).center_distance() == 0.0
+        corner = SensorNode(0, 0.0, 0.0).center_distance()
+        assert corner == pytest.approx(np.sqrt(0.5))
+
+    def test_codes_in_range(self):
+        field = EnvironmentField()
+        sensor = SensorNode(0, 0.3, 0.7, floor=2)
+        rng = np.random.default_rng(1)
+        assert 0 <= sensor.temperature_code(field, 12, rng) < 4096
+        assert 0 <= sensor.humidity_code(field, 12, rng) < 4096
+
+    def test_colocated_sensors_share_msbs(self):
+        from repro.sensing import msb_overlap
+
+        field = EnvironmentField(rng_seed=2)
+        rng = np.random.default_rng(2)
+        codes = [
+            SensorNode(i, 0.50 + 0.01 * i, 0.50, noise_c=0.05).temperature_code(
+                field, 12, rng
+            )
+            for i in range(5)
+        ]
+        assert msb_overlap(codes, 12) >= 4

@@ -1,0 +1,88 @@
+"""Tests for the CLI and the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+from repro.utils.ascii_plot import ascii_bars, ascii_cdf, ascii_line
+
+
+class TestAsciiPlots:
+    def test_line_renders(self):
+        chart = ascii_line(np.sin(np.linspace(0, 6, 100)), label="sine")
+        assert "sine" in chart
+        assert "*" in chart
+
+    def test_line_empty(self):
+        assert ascii_line(np.array([])) == "(empty series)"
+
+    def test_line_constant_series(self):
+        chart = ascii_line(np.ones(10))
+        assert "*" in chart  # no div-by-zero on flat data
+
+    def test_bars_scaled_to_peak(self):
+        chart = ascii_bars(["a", "bb"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_bars_validation(self):
+        with pytest.raises(ValueError, match="align"):
+            ascii_bars(["a"], [1.0, 2.0])
+
+    def test_bars_empty(self):
+        assert ascii_bars([], []) == "(no bars)"
+
+    def test_cdf_monotone_render(self):
+        chart = ascii_cdf(np.random.default_rng(0).uniform(size=200), label="u")
+        assert "u" in chart
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_run_fast_experiment(self, capsys):
+        assert main(["run", "fig9b"]) == 0
+        out = capsys.readouterr().out
+        assert "max distance" in out
+        assert "2644" in out or "264" in out
+
+    def test_run_with_chart(self, capsys):
+        assert main(["run", "fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "resolution error" in out
+
+    def test_every_registered_experiment_callable(self):
+        for name, (fn, description) in EXPERIMENTS.items():
+            assert callable(fn)
+            assert description
+
+
+class TestReportCommand:
+    def test_report_writes_files(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path), "fig3", "fig9b"]) == 0
+        assert (tmp_path / "fig3.txt").exists()
+        assert (tmp_path / "fig3.csv").exists()
+        assert (tmp_path / "INDEX.md").exists()
+        index = (tmp_path / "INDEX.md").read_text()
+        assert "fig3" in index and "fig9b" in index
+
+    def test_report_unknown_experiment(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path), "nope"]) == 2
+
+    def test_report_csv_parses(self, tmp_path):
+        import csv
+
+        main(["report", str(tmp_path), "fig9b"])
+        with open(tmp_path / "fig9b.csv") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 3
+        assert "max_distance_m" in rows[0]

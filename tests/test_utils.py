@@ -1,0 +1,131 @@
+"""Unit and property tests for repro.utils."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import (
+    circular_distance,
+    db_to_linear,
+    ensure_rng,
+    fractional_delay,
+    fractional_part,
+    linear_to_db,
+    next_pow2,
+    signal_power,
+    snr_db,
+    wrap_to_half,
+)
+
+
+class TestConversions:
+    def test_db_to_linear_known_values(self):
+        assert db_to_linear(0.0) == pytest.approx(1.0)
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+        assert db_to_linear(-10.0) == pytest.approx(0.1)
+        assert db_to_linear(3.0) == pytest.approx(1.9953, rel=1e-3)
+
+    def test_linear_to_db_known_values(self):
+        assert linear_to_db(1.0) == pytest.approx(0.0)
+        assert linear_to_db(100.0) == pytest.approx(20.0)
+
+    def test_linear_to_db_clamps_at_floor(self):
+        assert np.isfinite(linear_to_db(0.0))
+        assert np.isfinite(linear_to_db(-5.0))
+
+    @given(st.floats(min_value=-120.0, max_value=120.0))
+    def test_db_roundtrip(self, value_db):
+        assert linear_to_db(db_to_linear(value_db)) == pytest.approx(value_db, abs=1e-9)
+
+    def test_signal_power_unit_tone(self):
+        tone = np.exp(2j * np.pi * 0.1 * np.arange(256))
+        assert signal_power(tone) == pytest.approx(1.0)
+
+    def test_signal_power_empty(self):
+        assert signal_power(np.array([])) == 0.0
+
+    def test_signal_power_scales_quadratically(self):
+        x = np.ones(64)
+        assert signal_power(3.0 * x) == pytest.approx(9.0 * signal_power(x))
+
+    def test_snr_db_matches_construction(self):
+        rng = np.random.default_rng(0)
+        signal = np.exp(2j * np.pi * 0.05 * np.arange(4096)) * 10.0
+        noise = (rng.normal(size=4096) + 1j * rng.normal(size=4096)) / np.sqrt(2)
+        measured = snr_db(signal, noise)
+        assert measured == pytest.approx(20.0, abs=0.5)
+
+    def test_snr_db_zero_noise_is_inf(self):
+        assert snr_db(np.ones(4), np.zeros(4)) == float("inf")
+
+
+class TestRng:
+    def test_ensure_rng_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+    def test_ensure_rng_seed_reproducible(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_ensure_rng_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestDspHelpers:
+    @pytest.mark.parametrize(
+        "n,expected", [(0, 1), (1, 1), (2, 2), (3, 4), (129, 256), (1024, 1024)]
+    )
+    def test_next_pow2(self, n, expected):
+        assert next_pow2(n) == expected
+
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    def test_fractional_part_in_range(self, value):
+        frac = fractional_part(value)
+        assert 0.0 <= frac < 1.0
+
+    def test_fractional_part_negative(self):
+        assert fractional_part(-0.25) == pytest.approx(0.75)
+
+    @given(st.floats(min_value=-100.0, max_value=100.0))
+    def test_wrap_to_half_range(self, value):
+        wrapped = wrap_to_half(value)
+        assert -0.5 <= wrapped < 0.5
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+        st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+    )
+    def test_circular_distance_symmetric_and_bounded(self, a, b):
+        d = circular_distance(a, b)
+        assert d == pytest.approx(circular_distance(b, a))
+        assert 0.0 <= d <= 0.5
+
+    def test_circular_distance_wraps(self):
+        assert circular_distance(0.02, 0.98) == pytest.approx(0.04)
+
+    def test_circular_distance_custom_period(self):
+        assert circular_distance(1.0, 255.0, period=256.0) == pytest.approx(2.0)
+
+    def test_fractional_delay_integer_is_roll(self):
+        x = np.exp(2j * np.pi * 0.11 * np.arange(64))
+        delayed = fractional_delay(x, 3.0)
+        assert np.allclose(delayed, np.roll(x, 3), atol=1e-9)
+
+    def test_fractional_delay_preserves_energy(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=128) + 1j * rng.normal(size=128)
+        delayed = fractional_delay(x, 0.37)
+        assert signal_power(delayed) == pytest.approx(signal_power(x), rel=1e-9)
+
+    def test_fractional_delay_zero_is_identity(self):
+        x = np.arange(8, dtype=complex)
+        assert np.array_equal(fractional_delay(x, 0.0), x)
+
+    def test_fractional_delay_composes(self):
+        x = np.exp(2j * np.pi * 0.07 * np.arange(256))
+        once = fractional_delay(fractional_delay(x, 0.3), 0.4)
+        direct = fractional_delay(x, 0.7)
+        assert np.allclose(once, direct, atol=1e-9)

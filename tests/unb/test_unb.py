@@ -1,0 +1,128 @@
+"""Tests for the ultra-narrowband extension (Sec. 5.2's generalization)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.unb import (
+    UnbCollisionDecoder,
+    UnbParams,
+    modulate_dbpsk,
+    random_bits,
+    receive_unb_collision,
+)
+from repro.unb.phy import demodulate_dbpsk_baseband
+
+PARAMS = UnbParams()
+
+
+class TestUnbParams:
+    def test_defaults_sigfox_class(self):
+        assert PARAMS.bit_rate == 100.0
+        assert PARAMS.samples_per_bit == 480.0
+        assert PARAMS.occupied_bandwidth_hz == 200.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            UnbParams(bit_rate=0.0)
+        with pytest.raises(ValueError, match="oversample"):
+            UnbParams(bit_rate=100.0, sample_rate=500.0)
+        with pytest.raises(ValueError, match="integer multiple"):
+            UnbParams(bit_rate=100.0, sample_rate=48_030.0)
+
+
+class TestDbpsk:
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_noiseless_roundtrip(self, bits):
+        bits = np.array(bits, dtype=np.uint8)
+        waveform = modulate_dbpsk(PARAMS, bits)
+        decoded = demodulate_dbpsk_baseband(PARAMS, waveform, bits.size)
+        assert np.array_equal(decoded, bits)
+
+    def test_constant_envelope(self):
+        waveform = modulate_dbpsk(PARAMS, np.array([0, 1, 1, 0], dtype=np.uint8))
+        assert np.allclose(np.abs(waveform), 1.0)
+
+    def test_residual_cfo_tolerated(self):
+        # DBPSK survives a small carrier error (a fraction of the bit rate).
+        bits = random_bits(30, np.random.default_rng(0))
+        waveform = modulate_dbpsk(PARAMS, bits)
+        n = np.arange(waveform.size)
+        drifted = waveform * np.exp(2j * np.pi * 3.0 * n / PARAMS.sample_rate)
+        decoded = demodulate_dbpsk_baseband(PARAMS, drifted, bits.size)
+        assert np.array_equal(decoded, bits)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError, match="need"):
+            demodulate_dbpsk_baseband(PARAMS, np.zeros(10, dtype=complex), 5)
+
+
+class TestCollisionDecoding:
+    def test_five_user_collision(self):
+        rng = np.random.default_rng(1)
+        n_bits = 40
+        cfos = [-9000.0, -3000.0, 500.0, 4000.0, 10_000.0]
+        streams = [random_bits(n_bits, rng) for _ in cfos]
+        capture, _ = receive_unb_collision(
+            PARAMS, [(b, f, 1.0) for b, f in zip(streams, cfos)], rng=rng
+        )
+        users = UnbCollisionDecoder(PARAMS).decode(capture, n_bits)
+        assert len(users) == 5
+        for user in users:
+            best = max(float(np.mean(user.bits == b)) for b in streams)
+            assert best == 1.0
+
+    def test_carrier_estimates_accurate(self):
+        rng = np.random.default_rng(2)
+        capture, _ = receive_unb_collision(
+            PARAMS, [(random_bits(40, rng), -7777.0, 1.0)], rng=rng
+        )
+        carriers = UnbCollisionDecoder(PARAMS).find_carriers(capture)
+        assert len(carriers) == 1
+        assert carriers[0][0] == pytest.approx(-7777.0, abs=25.0)
+
+    def test_near_far_unb(self):
+        # Filtering separation is power-robust: a 26 dB weaker user in its
+        # own subchannel still decodes.
+        rng = np.random.default_rng(3)
+        n_bits = 40
+        strong = random_bits(n_bits, rng)
+        weak = random_bits(n_bits, rng)
+        capture, _ = receive_unb_collision(
+            PARAMS,
+            [(strong, -5000.0, 20.0), (weak, 6000.0, 1.0)],
+            rng=rng,
+        )
+        users = UnbCollisionDecoder(PARAMS).decode(capture, n_bits)
+        by_carrier = {round(u.carrier_hz, -3): u for u in users}
+        assert 6000.0 in by_carrier
+        assert np.array_equal(by_carrier[6000.0].bits, weak)
+
+    def test_noise_only_finds_nothing(self):
+        rng = np.random.default_rng(4)
+        capture = (rng.normal(size=48_000) + 1j * rng.normal(size=48_000)) / np.sqrt(2)
+        users = UnbCollisionDecoder(PARAMS, threshold_snr=8.0).decode(capture, 20)
+        assert users == []
+
+    def test_cfo_out_of_window_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            receive_unb_collision(PARAMS, [(np.zeros(4, dtype=np.uint8), 30_000.0, 1.0)])
+
+    def test_empty_transmissions_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            receive_unb_collision(PARAMS, [])
+
+    def test_same_subchannel_merges(self):
+        # Two users closer than the occupied bandwidth cannot be separated
+        # by filtering -- the UNB analogue of Choir's offset merging.
+        rng = np.random.default_rng(5)
+        n_bits = 40
+        capture, _ = receive_unb_collision(
+            PARAMS,
+            [(random_bits(n_bits, rng), 1000.0, 1.0), (random_bits(n_bits, rng), 1120.0, 1.0)],
+            rng=rng,
+        )
+        users = UnbCollisionDecoder(PARAMS).decode(capture, n_bits)
+        assert len(users) == 1
