@@ -1,0 +1,31 @@
+# Developer workflow for the Choir reproduction.
+#
+#   make lint       repo-specific AST rules (R001-R006) + ruff, if installed
+#   make typecheck  mypy per the gradual-strictness table in pyproject.toml
+#   make test       the tier-1 suite (includes the static-analysis gate)
+#   make check      all of the above
+
+PYTHON   ?= python
+PYTHONPATH := src
+
+.PHONY: lint typecheck test check
+
+lint:
+	$(PYTHON) tools/repro_lint.py src tools
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests tools; \
+	else \
+		echo "ruff not installed (pip install -e '.[lint]'); skipping"; \
+	fi
+
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "mypy not installed (pip install -e '.[lint]'); skipping"; \
+	fi
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+check: lint typecheck test

@@ -10,13 +10,12 @@ sensor-data substrate behind the range-extension results.
 
 Quick start::
 
-    import numpy as np
     from repro import (
-        ChoirDecoder, CollisionChannel, LoRaParams, LoRaRadio,
+        ChoirDecoder, CollisionChannel, LoRaParams, LoRaRadio, ensure_rng,
     )
 
     params = LoRaParams(spreading_factor=8)
-    rng = np.random.default_rng(0)
+    rng = ensure_rng(0)
     radios = [LoRaRadio(params, node_id=i, rng=rng) for i in range(3)]
     channel = CollisionChannel(params)
     packet = channel.receive(
@@ -51,6 +50,7 @@ from repro.mac import (
 from repro.mimo import ZfMimoDecoder, decode_choir_multiantenna, receive_multiantenna
 from repro.sensing import EnvironmentField, SensorNode
 from repro.deployment import Building, CampusTestbed, Position
+from repro.utils.rng import RngLike, ensure_rng
 
 __version__ = "1.0.0"
 
@@ -87,5 +87,7 @@ __all__ = [
     "Building",
     "CampusTestbed",
     "Position",
+    "RngLike",
+    "ensure_rng",
     "__version__",
 ]

@@ -17,7 +17,7 @@ from repro.channel.noise import awgn
 from repro.hardware.adc import AdcModel
 from repro.hardware.radio import LoRaRadio, TransmitterState
 from repro.phy.params import LoRaParams
-from repro.utils import ensure_rng
+from repro.utils import RngLike, ensure_rng
 
 
 @dataclass(frozen=True)
@@ -71,7 +71,7 @@ class CollisionChannel:
     def receive(
         self,
         transmissions: list[tuple[LoRaRadio, np.ndarray, complex]],
-        rng=None,
+        rng: RngLike = None,
         extra_noise_symbols: int = 1,
     ) -> ReceivedPacket:
         """Superimpose transmissions and add noise.
@@ -121,7 +121,7 @@ def receive_mixed_sf(
     transmissions: list[tuple[LoRaRadio, np.ndarray, complex]],
     noise_power: float = 1.0,
     adc: AdcModel | None = None,
-    rng=None,
+    rng: RngLike = None,
     extra_noise_samples: int = 1024,
 ) -> tuple[np.ndarray, list[CollidedUser]]:
     """Superimpose transmissions whose radios use *different* SFs.

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.utils import db_to_linear, ensure_rng
+from repro.utils import RngLike, db_to_linear, ensure_rng
 
 
 @dataclass(frozen=True)
@@ -29,7 +29,7 @@ class FlatFadingChannel:
 
     rician_k_db: float | None = None
 
-    def sample_gain(self, rng=None) -> complex:
+    def sample_gain(self, rng: RngLike = None) -> complex:
         """Draw one unit-mean-power complex channel gain."""
         rng = ensure_rng(rng)
         scatter = (rng.normal(0.0, 1.0) + 1j * rng.normal(0.0, 1.0)) / np.sqrt(2.0)
@@ -40,7 +40,7 @@ class FlatFadingChannel:
         los = np.sqrt(k / (k + 1.0)) * np.exp(1j * los_phase)
         return complex(los + scatter / np.sqrt(k + 1.0))
 
-    def sample_gains(self, n: int, rng=None) -> np.ndarray:
+    def sample_gains(self, n: int, rng: RngLike = None) -> np.ndarray:
         """Draw ``n`` independent link gains."""
         rng = ensure_rng(rng)
         return np.array([self.sample_gain(rng) for _ in range(n)], dtype=complex)

@@ -9,7 +9,7 @@ import numpy as np
 from repro.channel.fading import FlatFadingChannel
 from repro.channel.noise import noise_power_dbm
 from repro.channel.pathloss import UrbanPathLoss
-from repro.utils import db_to_linear, ensure_rng
+from repro.utils import RngLike, db_to_linear, ensure_rng
 
 
 @dataclass(frozen=True)
@@ -89,7 +89,7 @@ class LinkModel:
         )
         return self.pathloss.distance_for_loss(loss_db)
 
-    def packet_gain(self, distance_m: float, rng=None) -> complex:
+    def packet_gain(self, distance_m: float, rng: RngLike = None) -> complex:
         """Draw one packet's complex channel gain (noise power == 1 ref).
 
         The magnitude is scaled so ``|gain|^2`` equals the linear SNR;

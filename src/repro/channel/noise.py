@@ -4,13 +4,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.utils import db_to_linear, ensure_rng
+from repro.utils import RngLike, db_to_linear, ensure_rng
 
 #: Boltzmann constant (J/K) for thermal-noise computation.
 BOLTZMANN = 1.380649e-23
 
 
-def thermal_noise_power(bandwidth_hz: float, noise_figure_db: float = 6.0, temperature_k: float = 290.0) -> float:
+def thermal_noise_power(
+    bandwidth_hz: float, noise_figure_db: float = 6.0, temperature_k: float = 290.0
+) -> float:
     """Receiver noise power in watts over ``bandwidth_hz``.
 
     ``kTB`` plus the receiver noise figure; with a 125 kHz LoRa channel and
@@ -26,7 +28,7 @@ def noise_power_dbm(bandwidth_hz: float, noise_figure_db: float = 6.0) -> float:
     return 10.0 * np.log10(watts * 1e3)
 
 
-def awgn(waveform: np.ndarray, noise_power: float, rng=None) -> np.ndarray:
+def awgn(waveform: np.ndarray, noise_power: float, rng: RngLike = None) -> np.ndarray:
     """Add complex AWGN of total (I+Q) power ``noise_power`` to a waveform."""
     rng = ensure_rng(rng)
     waveform = np.asarray(waveform, dtype=complex)
@@ -35,7 +37,12 @@ def awgn(waveform: np.ndarray, noise_power: float, rng=None) -> np.ndarray:
     return waveform + noise
 
 
-def awgn_for_snr(waveform: np.ndarray, snr_db_target: float, signal_power: float | None = None, rng=None) -> np.ndarray:
+def awgn_for_snr(
+    waveform: np.ndarray,
+    snr_db_target: float,
+    signal_power: float | None = None,
+    rng: RngLike = None,
+) -> np.ndarray:
     """Add AWGN so the result has the requested SNR relative to the signal.
 
     If ``signal_power`` is not given it is measured from ``waveform`` --

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.utils import ensure_rng
+from repro.utils import RngLike, ensure_rng
 
 
 @dataclass(frozen=True)
@@ -55,7 +55,7 @@ class UrbanPathLoss:
     shadowing_sigma_db: float = 0.0
     carrier_hz: float = 902e6
 
-    def loss_db(self, distance_m: float | np.ndarray, rng=None) -> float | np.ndarray:
+    def loss_db(self, distance_m: float | np.ndarray, rng: RngLike = None) -> float | np.ndarray:
         """Path loss in dB at ``distance_m`` (with shadowing if configured)."""
         distance_m = np.maximum(np.asarray(distance_m, dtype=float), self.reference_m)
         loss = self.reference_loss_db + 10.0 * self.exponent * np.log10(

@@ -33,7 +33,14 @@ from repro.core.isi import deduplicate_symbol_streams
 from repro.core.tracking import ConstrainedClusterer, assign_peaks_to_users
 from repro.core.detection import accumulate_preamble, detect_preamble
 from repro.core.joint_ml import joint_ml_decode, template_correlation_decode
-from repro.core.decoder import ChoirDecoder, DecodedUser
+from repro.core.decoder import (
+    DECODE_METHODS,
+    TEAM_DECODE_METHODS,
+    ChoirDecoder,
+    DecodedUser,
+    DecodeMethod,
+    TeamDecodeMethod,
+)
 from repro.core.multisf import (
     MultiSfDecoder,
     SfBranchResult,
@@ -64,6 +71,10 @@ __all__ = [
     "template_correlation_decode",
     "ChoirDecoder",
     "DecodedUser",
+    "DecodeMethod",
+    "TeamDecodeMethod",
+    "DECODE_METHODS",
+    "TEAM_DECODE_METHODS",
     "MultiSfDecoder",
     "SfBranchResult",
     "cross_sf_interference_penalty_db",

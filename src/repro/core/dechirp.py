@@ -17,7 +17,9 @@ from repro.phy.params import LoRaParams
 DEFAULT_OVERSAMPLE = 10
 
 
-def dechirp_windows(params: LoRaParams, samples: np.ndarray, n_windows: int | None = None, start: int = 0) -> np.ndarray:
+def dechirp_windows(
+    params: LoRaParams, samples: np.ndarray, n_windows: int | None = None, start: int = 0
+) -> np.ndarray:
     """Dechirp consecutive symbol windows of a capture.
 
     Returns an array of shape ``(n_windows, samples_per_symbol)`` where row
@@ -67,7 +69,12 @@ def evaluate_spectrum_at(dechirped: np.ndarray, positions_bins: np.ndarray) -> n
     return basis @ dechirped
 
 
-def spectrogram(params: LoRaParams, samples: np.ndarray, window_len: int | None = None, hop: int | None = None) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+def spectrogram(
+    params: LoRaParams,
+    samples: np.ndarray,
+    window_len: int | None = None,
+    hop: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Short-time Fourier magnitude of a raw (not dechirped) capture.
 
     Only used for visualisation (reproducing the paper's Fig. 2/3

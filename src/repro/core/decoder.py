@@ -15,6 +15,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Literal, get_args
 
 import numpy as np
 
@@ -38,6 +39,18 @@ from repro.core.tracking import ConstrainedClusterer, centroids_from_estimates
 from repro.phy.packet import DecodedFrame, LoRaFramer
 from repro.phy.params import LoRaParams
 from repro.utils import circular_distance, ensure_rng
+from repro.utils.rng import RngLike
+
+#: Data-stage algorithms accepted by :meth:`ChoirDecoder.decode`.  Typed as
+#: a ``Literal`` so mypy rejects a misspelled method at the call site; the
+#: runtime check against :data:`DECODE_METHODS` covers untyped callers.
+DecodeMethod = Literal["sic", "clustering"]
+
+#: Team-decode algorithms accepted by :meth:`ChoirDecoder.decode_team`.
+TeamDecodeMethod = Literal["template", "members"]
+
+DECODE_METHODS: tuple[str, ...] = get_args(DecodeMethod)
+TEAM_DECODE_METHODS: tuple[str, ...] = get_args(TeamDecodeMethod)
 
 
 @dataclass
@@ -49,10 +62,12 @@ class DecodedUser:
 
     @property
     def offset_bins(self) -> float:
+        """Aggregate spectral offset (in FFT bins) identifying this user."""
         return self.estimate.position_bins
 
     @property
     def fractional(self) -> float:
+        """Fractional part of the offset (the collision-resolving signature)."""
         return self.estimate.fractional
 
     def decode_payload(self, framer: LoRaFramer, payload_len: int) -> DecodedFrame:
@@ -97,8 +112,8 @@ class ChoirDecoder:
         threshold_snr: float = 4.0,
         tier_ratio_db: float = 9.0,
         refine: bool = True,
-        rng=None,
-    ):
+        rng: RngLike = None,
+    ) -> None:
         self.params = params
         self.oversample = oversample
         self.threshold_snr = threshold_snr
@@ -124,7 +139,9 @@ class ChoirDecoder:
     # ------------------------------------------------------------------
     # Preamble stage
     # ------------------------------------------------------------------
-    def estimate_users(self, samples: np.ndarray, max_users: int | None = None) -> list[UserEstimate]:
+    def estimate_users(
+        self, samples: np.ndarray, max_users: int | None = None
+    ) -> list[UserEstimate]:
         """Phased-SIC user discovery on the preamble.
 
         The first preamble window is skipped: a delayed user's transmission
@@ -349,7 +366,7 @@ class ChoirDecoder:
         samples: np.ndarray,
         n_data_symbols: int,
         max_users: int | None = None,
-        method: str = "sic",
+        method: DecodeMethod = "sic",
     ) -> list[DecodedUser]:
         """Disentangle and decode every discernible user in a collision.
 
@@ -365,6 +382,11 @@ class ChoirDecoder:
         channel magnitude.  SIC is more robust under near-far; clustering
         is the paper-faithful alternative and a useful cross-check.
         """
+        if method not in DECODE_METHODS:
+            raise ValueError(
+                f"unknown decode method: {method!r}; expected one of "
+                f"{DECODE_METHODS}"
+            )
         users = self.estimate_users(samples, max_users=max_users)
         if not users:
             return []
@@ -374,8 +396,6 @@ class ChoirDecoder:
         )
         if method == "clustering":
             return self._decode_clustering(windows, users)
-        if method != "sic":
-            raise ValueError(f"unknown decode method: {method!r}")
         per_user_symbols = np.zeros((len(users), windows.shape[0]), dtype=np.int64)
         # The symbol preceding the first data window is the last preamble
         # chirp (value 0) for every user.
@@ -448,7 +468,7 @@ class ChoirDecoder:
         samples: np.ndarray,
         n_data_symbols: int,
         detection_pfa: float = 1e-3,
-        method: str = "template",
+        method: TeamDecodeMethod = "template",
         coherent: bool = False,
         max_members: int | None = None,
     ) -> TeamDecodeResult:
@@ -466,6 +486,11 @@ class ChoirDecoder:
         per-member decoder of Eqn. 6 (set ``coherent=True`` for the exact
         metric when channel phases are trustworthy).
         """
+        if method not in TEAM_DECODE_METHODS:
+            raise ValueError(
+                f"unknown team decode method: {method!r}; expected one of "
+                f"{TEAM_DECODE_METHODS}"
+            )
         detection = sliding_packet_search(
             self.params,
             samples,
@@ -526,7 +551,7 @@ class ChoirDecoder:
                 symbols[m], _ = template_correlation_decode(
                     template, window_power, self.oversample
                 )
-        elif method == "members":
+        else:
             for m in range(windows.shape[0]):
                 window_members = [
                     TeamMember(
@@ -539,8 +564,6 @@ class ChoirDecoder:
                 symbols[m], _ = joint_ml_decode(
                     windows[m], window_members, coherent=coherent
                 )
-        else:
-            raise ValueError(f"unknown team decode method: {method!r}")
         return TeamDecodeResult(
             detected=True,
             symbols=symbols,

@@ -51,6 +51,7 @@ class DetectionResult:
 
     @property
     def n_peaks(self) -> int:
+        """Number of distinct accumulated-preamble peaks (team members seen)."""
         return len(self.peaks)
 
 

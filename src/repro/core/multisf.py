@@ -23,7 +23,7 @@ import numpy as np
 from repro.core.decoder import ChoirDecoder, DecodedUser
 from repro.phy.chirp import delayed_chirp_train
 from repro.phy.params import LoRaParams
-from repro.utils import ensure_rng
+from repro.utils import RngLike, ensure_rng
 
 
 def reconstruct_user_waveform(
@@ -87,6 +87,7 @@ class SfBranchResult:
 
     @property
     def n_users(self) -> int:
+        """Number of users decoded at this spreading factor."""
         return len(self.users)
 
 
@@ -110,8 +111,8 @@ class MultiSfDecoder:
         bandwidth: float = 125_000.0,
         preamble_len: int = 8,
         threshold_snr: float = 4.0,
-        rng=None,
-    ):
+        rng: RngLike = None,
+    ) -> None:
         if not spreading_factors:
             raise ValueError("at least one spreading factor is required")
         if len(set(spreading_factors)) != len(spreading_factors):

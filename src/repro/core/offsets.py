@@ -28,7 +28,7 @@ from repro.core.dechirp import DEFAULT_OVERSAMPLE, dechirp_windows, oversampled_
 from repro.core.peaks import Peak, find_peaks
 from repro.core.residual import residual_power
 from repro.phy.params import LoRaParams
-from repro.utils import ensure_rng
+from repro.utils import RngLike, ensure_rng
 
 #: Largest sub-symbol delay (in samples) the delay search considers.  The
 #: beacon-slotted MAC keeps wake-up offsets well under this (Sec. 7.1).
@@ -168,7 +168,7 @@ def refine_offsets(
     n_sweeps: int = 2,
     tol_bins: float = 1e-3,
     method: str = "coordinate",
-    rng=None,
+    rng: RngLike = None,
 ) -> np.ndarray:
     """Refine offsets to sub-bin accuracy by residual minimization.
 
@@ -212,7 +212,7 @@ def _refine_nelder_mead(
     half_width_bins: float,
     delays_samples: np.ndarray | None,
     n_restarts: int = 2,
-    rng=None,
+    rng: RngLike = None,
 ) -> np.ndarray:
     """Joint Nelder-Mead refinement with random restarts."""
     rng = ensure_rng(rng)
@@ -335,7 +335,7 @@ def estimate_offsets(
     max_users: int | None = None,
     refine: bool = True,
     estimate_timing: bool = True,
-    rng=None,
+    rng: RngLike = None,
 ) -> list[UserEstimate]:
     """Estimate every discernible user's offset + channel from a preamble.
 

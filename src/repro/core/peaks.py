@@ -42,6 +42,7 @@ class Peak:
 
     @property
     def magnitude(self) -> float:
+        """Absolute value of the fitted complex amplitude."""
         return abs(self.amplitude)
 
 

@@ -29,7 +29,7 @@ from repro.core.offsets import (
     refine_offsets,
 )
 from repro.core.residual import residual_power
-from repro.utils import circular_distance
+from repro.utils import RngLike, circular_distance
 
 
 def _merge_duplicates(
@@ -231,7 +231,7 @@ def phased_sic(
     estimate_timing: bool = True,
     min_separation_bins: float = 0.75,
     min_relative_magnitude: float = 0.02,
-    rng=None,
+    rng: RngLike = None,
 ) -> list[UserEstimate]:
     """Detect and estimate users tier by tier.
 

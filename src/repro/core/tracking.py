@@ -34,6 +34,7 @@ class PeakFeatures:
 
     @classmethod
     def from_peak(cls, peak: Peak) -> "PeakFeatures":
+        """Project a spectral peak into the clustering feature space."""
         return cls(
             fractional=peak.fractional,
             log_magnitude=float(np.log(max(peak.magnitude, 1e-30))),
@@ -128,7 +129,7 @@ class ConstrainedClusterer:
         seeds: list[UserCentroid] | None = None,
         max_distance: float = 0.45,
         n_iterations: int = 3,
-    ):
+    ) -> None:
         if n_users < 1:
             raise ValueError(f"n_users must be >= 1, got {n_users}")
         self.n_users = n_users

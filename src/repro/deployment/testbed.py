@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.channel.link import LinkModel
 from repro.deployment.geometry import Building, Position
-from repro.utils import ensure_rng
+from repro.utils import RngLike, ensure_rng
 
 
 @dataclass(frozen=True)
@@ -67,7 +67,7 @@ class CampusTestbed:
         self._rng = rng
 
     # ------------------------------------------------------------------
-    def place_outdoor_nodes(self, n_nodes: int, rng=None) -> list[PlacedNode]:
+    def place_outdoor_nodes(self, n_nodes: int, rng: RngLike = None) -> list[PlacedNode]:
         """Scatter nodes uniformly over the map (roads/walkways of Sec. 8)."""
         rng = ensure_rng(rng if rng is not None else self._rng)
         nodes = []
@@ -85,7 +85,7 @@ class CampusTestbed:
         return nodes
 
     def place_indoor_nodes(
-        self, n_nodes: int, building_index: int = 0, rng=None
+        self, n_nodes: int, building_index: int = 0, rng: RngLike = None
     ) -> list[PlacedNode]:
         """Place nodes across the floors of one instrumented building."""
         rng = ensure_rng(rng if rng is not None else self._rng)
@@ -106,7 +106,7 @@ class CampusTestbed:
             )
         return nodes
 
-    def place_at_distance(self, node_id: int, distance_m: float, rng=None) -> PlacedNode:
+    def place_at_distance(self, node_id: int, distance_m: float, rng: RngLike = None) -> PlacedNode:
         """Place one node at an exact ground distance from the base station."""
         rng = ensure_rng(rng if rng is not None else self._rng)
         angle = float(rng.uniform(0.0, 2.0 * np.pi))
@@ -128,6 +128,6 @@ class CampusTestbed:
         """Fading-free link SNR for a node."""
         return self.link.mean_snr_db(self.distance(node))
 
-    def packet_gain(self, node: PlacedNode, rng=None) -> complex:
+    def packet_gain(self, node: PlacedNode, rng: RngLike = None) -> complex:
         """Per-packet complex channel gain (includes shadowing/fading)."""
         return self.link.packet_gain(self.distance(node), rng=rng)

@@ -33,7 +33,7 @@ from repro.sensing.grouping import (
     grouping_error,
 )
 from repro.sensing.sensors import HUMIDITY_RANGE, TEMP_RANGE_C, SensorNode
-from repro.utils import ensure_rng
+from repro.utils import RngLike, ensure_rng
 
 
 def _build_sensors(n_sensors: int, n_floors: int, rng) -> list[SensorNode]:
@@ -85,12 +85,12 @@ class _TeamAwareChoirPhy(PhyModel):
     floor.  Everyone else goes through the normal Choir collision model.
     """
 
-    def __init__(self, params, team_ids: set[int]):
+    def __init__(self, params, team_ids: set[int]) -> None:
         self.choir = ChoirPhyModel(params)
         self.team_ids = team_ids
         self.params = params
 
-    def resolve(self, transmissions: list[Transmission], rng=None) -> set[int]:
+    def resolve(self, transmissions: list[Transmission], rng: RngLike = None) -> set[int]:
         team = [t for t in transmissions if t.node_id in self.team_ids]
         solo = [t for t in transmissions if t.node_id not in self.team_ids]
         decoded = self.choir.resolve(solo, rng=rng)

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.utils import ensure_rng
+from repro.utils import RngLike, ensure_rng
 from repro.utils.dsp import fractional_delay
 
 
@@ -37,7 +37,7 @@ class TimingModel:
     @classmethod
     def sample(
         cls,
-        rng=None,
+        rng: RngLike = None,
         max_offset_s: float = 256e-6,
         skew_ppm_sigma: float = 5.0,
     ) -> "TimingModel":

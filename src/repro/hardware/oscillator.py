@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.utils import ensure_rng
+from repro.utils import RngLike, ensure_rng
 
 
 @dataclass
@@ -40,7 +40,7 @@ class OscillatorModel:
     @classmethod
     def sample(
         cls,
-        rng=None,
+        rng: RngLike = None,
         tolerance_ppm: float = 25.0,
         carrier_hz: float = 902e6,
         drift_ppm_per_s: float = 2e-4,
@@ -65,7 +65,7 @@ class OscillatorModel:
         waveform: np.ndarray,
         sample_rate: float,
         start_time: float = 0.0,
-        rng=None,
+        rng: RngLike = None,
     ) -> np.ndarray:
         """Impose this oscillator's offset (and noise) on a waveform.
 

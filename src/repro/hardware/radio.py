@@ -18,7 +18,7 @@ from repro.phy.chirp import delayed_chirp_train
 from repro.phy.modulation import CssModulator
 from repro.phy.packet import LoRaFramer
 from repro.phy.params import LoRaParams
-from repro.utils import db_to_linear, ensure_rng
+from repro.utils import RngLike, db_to_linear, ensure_rng
 
 
 @dataclass(frozen=True)
@@ -69,8 +69,8 @@ class LoRaRadio:
         tx_power_dbm: float = 14.0,
         node_id: int = 0,
         coding_rate: int = 4,
-        rng=None,
-    ):
+        rng: RngLike = None,
+    ) -> None:
         rng = ensure_rng(rng)
         self.params = params
         self.oscillator = oscillator or OscillatorModel.sample(

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.mac.phy import DEFAULT_DECODE_SNR_DB, PhyModel, Transmission
 from repro.phy.params import LoRaParams
-from repro.utils import ensure_rng
+from repro.utils import RngLike, ensure_rng
 
 
 @dataclass(frozen=True)
@@ -89,7 +89,7 @@ class BeaconScheduler:
         margin_db: float = 3.0,
         max_team_size: int = 30,
         decode_snr_db: float | None = None,
-    ):
+    ) -> None:
         if max_team_size < 1:
             raise ValueError(f"max_team_size must be >= 1, got {max_team_size}")
         self.params = params
@@ -200,13 +200,13 @@ class BeaconRoundSimulator:
     decoder's operating condition).
     """
 
-    def __init__(self, params: LoRaParams, phy: PhyModel, scheduler: BeaconScheduler):
+    def __init__(self, params: LoRaParams, phy: PhyModel, scheduler: BeaconScheduler) -> None:
         self.params = params
         self.phy = phy
         self.scheduler = scheduler
 
     def run(
-        self, node_snrs_db: dict[int, float], n_cycles: int = 1, rng=None
+        self, node_snrs_db: dict[int, float], n_cycles: int = 1, rng: RngLike = None
     ) -> BeaconRoundMetrics:
         """Run ``n_cycles`` passes over the full schedule."""
         rng = ensure_rng(rng)

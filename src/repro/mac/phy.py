@@ -22,7 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.phy.params import LoRaParams
-from repro.utils import circular_distance, db_to_linear, ensure_rng
+from repro.utils import RngLike, circular_distance, db_to_linear, ensure_rng
 
 #: Minimum per-symbol SNR (dB) for reliable CSS demodulation.  CSS has a
 #: processing gain of 2**SF, so this is the post-despreading requirement
@@ -43,7 +43,7 @@ class Transmission:
 class PhyModel:
     """Interface: given simultaneous transmissions, which nodes decode?"""
 
-    def resolve(self, transmissions: list[Transmission], rng=None) -> set[int]:
+    def resolve(self, transmissions: list[Transmission], rng: RngLike = None) -> set[int]:
         """Node ids successfully decoded from this slot's collision."""
         raise NotImplementedError
 
@@ -67,7 +67,7 @@ class SingleUserPhy(PhyModel):
             return self.decode_snr_db
         return DEFAULT_DECODE_SNR_DB.get(self.params.spreading_factor, -15.0)
 
-    def resolve(self, transmissions: list[Transmission], rng=None) -> set[int]:
+    def resolve(self, transmissions: list[Transmission], rng: RngLike = None) -> set[int]:
         """See :meth:`PhyModel.resolve`."""
         if not transmissions:
             return set()
@@ -131,7 +131,7 @@ class ChoirPhyModel(PhyModel):
             return self.decode_snr_db
         return DEFAULT_DECODE_SNR_DB.get(self.params.spreading_factor, -15.0)
 
-    def resolve(self, transmissions: list[Transmission], rng=None) -> set[int]:
+    def resolve(self, transmissions: list[Transmission], rng: RngLike = None) -> set[int]:
         """See :meth:`PhyModel.resolve`."""
         rng = ensure_rng(rng)
         if not transmissions:
@@ -207,7 +207,7 @@ class MuMimoPhyModel(PhyModel):
             return self.decode_snr_db
         return DEFAULT_DECODE_SNR_DB.get(self.params.spreading_factor, -15.0)
 
-    def resolve(self, transmissions: list[Transmission], rng=None) -> set[int]:
+    def resolve(self, transmissions: list[Transmission], rng: RngLike = None) -> set[int]:
         """See :meth:`PhyModel.resolve`."""
         if not transmissions:
             return set()
@@ -235,7 +235,7 @@ class ComposedPhy(PhyModel):
     choir: ChoirPhyModel
     n_antennas: int = 3
 
-    def resolve(self, transmissions: list[Transmission], rng=None) -> set[int]:
+    def resolve(self, transmissions: list[Transmission], rng: RngLike = None) -> set[int]:
         """See :meth:`PhyModel.resolve`."""
         gain = 10.0 * np.log10(self.n_antennas)
         boosted = [

@@ -17,7 +17,7 @@ import numpy as np
 from repro.mac.phy import PhyModel, Transmission
 from repro.mac.protocols import AlohaMac, Mac
 from repro.phy.params import LoRaParams
-from repro.utils import ensure_rng
+from repro.utils import RngLike, ensure_rng
 
 
 @dataclass(frozen=True)
@@ -108,8 +108,8 @@ class NetworkSimulator:
         mac: Mac,
         nodes: list[NodeConfig],
         slot_overhead_s: float | None = None,
-        rng=None,
-    ):
+        rng: RngLike = None,
+    ) -> None:
         self.params = params
         self.phy = phy
         self.mac = mac

@@ -23,7 +23,7 @@ from repro.hardware.radio import LoRaRadio
 from repro.mac.phy import PhyModel, Transmission
 from repro.metrics.accuracy import packet_delivery
 from repro.phy.params import LoRaParams
-from repro.utils import circular_distance, db_to_linear, ensure_rng
+from repro.utils import RngLike, circular_distance, db_to_linear, ensure_rng
 
 
 class WaveformPhy(PhyModel):
@@ -44,8 +44,8 @@ class WaveformPhy(PhyModel):
         self,
         params: LoRaParams,
         fec_tolerance: float = 0.06,
-        rng=None,
-    ):
+        rng: RngLike = None,
+    ) -> None:
         self.params = params
         self.fec_tolerance = fec_tolerance
         self._rng = ensure_rng(rng)
@@ -60,7 +60,7 @@ class WaveformPhy(PhyModel):
             )
         return self._radios[node_id]
 
-    def resolve(self, transmissions: list[Transmission], rng=None) -> set[int]:
+    def resolve(self, transmissions: list[Transmission], rng: RngLike = None) -> set[int]:
         """Synthesize the slot's collision and decode it (see PhyModel)."""
         rng = ensure_rng(rng if rng is not None else self._rng)
         if not transmissions:

@@ -9,7 +9,7 @@ import numpy as np
 from repro.channel.noise import awgn
 from repro.hardware.radio import LoRaRadio, TransmitterState
 from repro.phy.params import LoRaParams
-from repro.utils import ensure_rng
+from repro.utils import RngLike, ensure_rng
 
 
 @dataclass(frozen=True)
@@ -36,7 +36,7 @@ def receive_multiantenna(
     transmissions: list[tuple[LoRaRadio, np.ndarray]],
     channel_matrix: np.ndarray,
     noise_power: float = 1.0,
-    rng=None,
+    rng: RngLike = None,
 ) -> MultiAntennaCapture:
     """Render a collision at an M-antenna base station.
 

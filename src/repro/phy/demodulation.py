@@ -52,7 +52,7 @@ class CssDemodulator:
     machinery.
     """
 
-    def __init__(self, params: LoRaParams, sync_word: int | None = None):
+    def __init__(self, params: LoRaParams, sync_word: int | None = None) -> None:
         self.params = params
         self.sync_word = sync_word
 

@@ -26,7 +26,7 @@ class CssModulator:
     standard demodulator can delimit preamble from data.
     """
 
-    def __init__(self, params: LoRaParams, sync_word: int | None = None):
+    def __init__(self, params: LoRaParams, sync_word: int | None = None) -> None:
         self.params = params
         if sync_word is not None and not 0 <= sync_word < params.chips_per_symbol:
             raise ValueError(f"sync_word out of range: {sync_word}")

@@ -37,6 +37,7 @@ class LoRaFrame:
 
     @property
     def n_symbols(self) -> int:
+        """Number of data symbols in the encoded frame."""
         return int(self.symbols.size)
 
 
@@ -52,7 +53,7 @@ class DecodedFrame:
 class LoRaFramer:
     """Encode payload bytes to symbols and decode symbols back to bytes."""
 
-    def __init__(self, params: LoRaParams, coding_rate: int = 4):
+    def __init__(self, params: LoRaParams, coding_rate: int = 4) -> None:
         if not 1 <= coding_rate <= 4:
             raise ValueError(f"coding_rate must be in 1..4, got {coding_rate}")
         self.params = params

@@ -13,10 +13,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sensing.sensors import SensorNode
-from repro.utils import ensure_rng
+from repro.utils import RngLike, ensure_rng
 
 
-def group_random(sensors: list[SensorNode], n_groups: int, rng=None) -> list[list[SensorNode]]:
+def group_random(
+    sensors: list[SensorNode], n_groups: int, rng: RngLike = None
+) -> list[list[SensorNode]]:
     """Partition sensors uniformly at random into ``n_groups`` groups."""
     rng = ensure_rng(rng)
     if n_groups < 1:

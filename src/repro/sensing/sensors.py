@@ -13,7 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.sensing.field import EnvironmentField
-from repro.utils import ensure_rng
+from repro.utils import RngLike, ensure_rng
 
 #: Fixed-point ranges for the two sensed quantities.
 TEMP_RANGE_C = (-20.0, 60.0)
@@ -73,12 +73,12 @@ class SensorNode:
     noise_c: float = 0.1
     noise_humidity: float = 0.5
 
-    def read_temperature(self, field: EnvironmentField, rng=None) -> float:
+    def read_temperature(self, field: EnvironmentField, rng: RngLike = None) -> float:
         """Sample the local temperature with measurement noise."""
         rng = ensure_rng(rng)
         return field.temperature(self.u, self.v, self.floor) + rng.normal(0.0, self.noise_c)
 
-    def read_humidity(self, field: EnvironmentField, rng=None) -> float:
+    def read_humidity(self, field: EnvironmentField, rng: RngLike = None) -> float:
         """Sample the local relative humidity with measurement noise."""
         rng = ensure_rng(rng)
         value = field.humidity(self.u, self.v, self.floor) + rng.normal(
@@ -86,11 +86,13 @@ class SensorNode:
         )
         return float(np.clip(value, 0.0, 100.0))
 
-    def temperature_code(self, field: EnvironmentField, n_bits: int = 12, rng=None) -> int:
+    def temperature_code(
+        self, field: EnvironmentField, n_bits: int = 12, rng: RngLike = None
+    ) -> int:
         """Quantized temperature reading."""
         return quantize_reading(self.read_temperature(field, rng), TEMP_RANGE_C, n_bits)
 
-    def humidity_code(self, field: EnvironmentField, n_bits: int = 12, rng=None) -> int:
+    def humidity_code(self, field: EnvironmentField, n_bits: int = 12, rng: RngLike = None) -> int:
         """Quantized humidity reading."""
         return quantize_reading(self.read_humidity(field, rng), HUMIDITY_RANGE, n_bits)
 

@@ -1,0 +1,10 @@
+"""Developer tooling that ships with the package (static analysis, gates)."""
+
+from repro.tools.lint import Diagnostic, RULES, lint_paths, lint_source
+
+__all__ = [
+    "Diagnostic",
+    "RULES",
+    "lint_paths",
+    "lint_source",
+]

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.channel.noise import awgn
 from repro.unb.phy import UnbParams, demodulate_dbpsk_baseband, modulate_dbpsk
-from repro.utils import ensure_rng
+from repro.utils import RngLike, ensure_rng
 
 
 @dataclass(frozen=True)
@@ -43,7 +43,7 @@ def receive_unb_collision(
     params: UnbParams,
     transmissions: list[tuple[np.ndarray, float, float]],
     noise_power: float = 1.0,
-    rng=None,
+    rng: RngLike = None,
     guard_bits: int = 2,
 ) -> tuple[np.ndarray, list[dict]]:
     """Render colliding UNB uplinks into one wideband capture.
@@ -84,12 +84,14 @@ def receive_unb_collision(
 class UnbCollisionDecoder:
     """Separate and decode every discernible UNB transmitter."""
 
-    def __init__(self, params: UnbParams, threshold_snr: float = 5.0):
+    def __init__(self, params: UnbParams, threshold_snr: float = 5.0) -> None:
         self.params = params
         self.threshold_snr = threshold_snr
 
     # ------------------------------------------------------------------
-    def find_carriers(self, capture: np.ndarray, max_users: int | None = None) -> list[tuple[float, float]]:
+    def find_carriers(
+        self, capture: np.ndarray, max_users: int | None = None
+    ) -> list[tuple[float, float]]:
         """Locate occupied subchannels: ``(carrier_hz, peak_snr_db)`` pairs.
 
         Peaks are found in the capture's smoothed power spectrum; maxima

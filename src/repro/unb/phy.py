@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.utils import ensure_rng
+from repro.utils import RngLike, ensure_rng
 
 
 @dataclass(frozen=True)
@@ -53,7 +53,7 @@ class UnbParams:
         return 2.0 * self.bit_rate
 
 
-def random_bits(n: int, rng=None) -> np.ndarray:
+def random_bits(n: int, rng: RngLike = None) -> np.ndarray:
     """Convenience: a random payload bit vector."""
     rng = ensure_rng(rng)
     return rng.integers(0, 2, n).astype(np.uint8)

@@ -7,7 +7,7 @@ from repro.utils.conversions import (
     signal_power,
     snr_db,
 )
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.dsp import (
     circular_distance,
     fractional_delay,
@@ -22,6 +22,7 @@ __all__ = [
     "power_db",
     "signal_power",
     "snr_db",
+    "RngLike",
     "ensure_rng",
     "circular_distance",
     "fractional_delay",

@@ -30,7 +30,9 @@ def wrap_to_half(value: float | np.ndarray) -> float | np.ndarray:
     return np.mod(np.asarray(value, dtype=float) + 0.5, 1.0) - 0.5
 
 
-def circular_distance(a: float | np.ndarray, b: float | np.ndarray, period: float = 1.0) -> float | np.ndarray:
+def circular_distance(
+    a: float | np.ndarray, b: float | np.ndarray, period: float = 1.0
+) -> float | np.ndarray:
     """Shortest distance between ``a`` and ``b`` on a circle of ``period``.
 
     Used to compare fractional peak positions, which live on a circle of

@@ -1,13 +1,18 @@
 """The README quickstart must keep working verbatim."""
 
-import numpy as np
-
-from repro import ChoirDecoder, CollisionChannel, LoRaFramer, LoRaParams, LoRaRadio
+from repro import (
+    ChoirDecoder,
+    CollisionChannel,
+    LoRaFramer,
+    LoRaParams,
+    LoRaRadio,
+    ensure_rng,
+)
 
 
 def test_readme_quickstart_recovers_all_payloads():
     params = LoRaParams(spreading_factor=8, bandwidth=125_000.0, preamble_len=8)
-    rng = np.random.default_rng(9)
+    rng = ensure_rng(9)
     framer = LoRaFramer(params, coding_rate=4)
 
     payloads = [b"station-A: 21.4C", b"station-B: 19.8C", b"station-C: 22.3C"]

@@ -73,6 +73,46 @@ class TestRng:
     def test_ensure_rng_none_gives_generator(self):
         assert isinstance(ensure_rng(None), np.random.Generator)
 
+    def test_ensure_rng_default_argument_is_none(self):
+        assert isinstance(ensure_rng(), np.random.Generator)
+
+    def test_ensure_rng_none_streams_are_independent(self):
+        # Fresh nondeterministic generators must not share a stream.
+        a = ensure_rng(None).random(8)
+        b = ensure_rng(None).random(8)
+        assert not np.array_equal(a, b)
+
+    def test_ensure_rng_seed_sequence(self):
+        seq = np.random.SeedSequence(7)
+        a = ensure_rng(seq).random(5)
+        b = ensure_rng(np.random.SeedSequence(7)).random(5)
+        assert isinstance(ensure_rng(np.random.SeedSequence(7)), np.random.Generator)
+        assert np.array_equal(a, b)
+
+    def test_ensure_rng_int_matches_default_rng(self):
+        assert np.array_equal(
+            ensure_rng(123).random(5), np.random.default_rng(123).random(5)
+        )
+
+    def test_ensure_rng_passthrough_preserves_stream_position(self):
+        # Passing an existing generator twice must keep consuming the SAME
+        # stream, not restart it -- the property that lets one experiment
+        # seed deterministically derive every component's draws.
+        gen = np.random.default_rng(5)
+        first = ensure_rng(gen).random(3)
+        second = ensure_rng(gen).random(3)
+        reference = np.random.default_rng(5).random(6)
+        assert np.array_equal(np.concatenate([first, second]), reference)
+
+    def test_ensure_rng_derived_streams_deterministic(self):
+        def derive(seed):
+            root = ensure_rng(seed)
+            children = [ensure_rng(root) for _ in range(3)]
+            return [child.random(4) for child in children]
+
+        for a, b in zip(derive(99), derive(99)):
+            assert np.array_equal(a, b)
+
 
 class TestDspHelpers:
     @pytest.mark.parametrize(

@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+"""Runnable wrapper for the repro-lint static-analysis pass.
+
+Usage::
+
+    python tools/repro_lint.py [paths...]      # default: src
+    python tools/repro_lint.py --list-rules
+
+The implementation lives in :mod:`repro.tools.lint` so it ships with the
+package (console script ``repro-lint``); this wrapper only makes it
+runnable from a source checkout without installation.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.tools.lint import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
