@@ -1,14 +1,15 @@
 # Developer workflow for the Choir reproduction.
 #
-#   make lint       repo-specific AST rules (R001-R006) + ruff, if installed
-#   make typecheck  mypy per the gradual-strictness table in pyproject.toml
-#   make test       the tier-1 suite (includes the static-analysis gate)
-#   make check      all of the above
+#   make lint          repo-specific AST rules (R001-R006) + ruff, if installed
+#   make typecheck     mypy per the gradual-strictness table in pyproject.toml
+#   make test          the tier-1 suite (includes the static-analysis gate)
+#   make check         all of the above
+#   make bench-gateway streaming-gateway throughput -> BENCH_gateway.json
 
 PYTHON   ?= python
 PYTHONPATH := src
 
-.PHONY: lint typecheck test check
+.PHONY: lint typecheck test check bench-gateway
 
 lint:
 	$(PYTHON) tools/repro_lint.py src tools
@@ -29,3 +30,6 @@ test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
 check: lint typecheck test
+
+bench-gateway:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/bench_report.py --out BENCH_gateway.json

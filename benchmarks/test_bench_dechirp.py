@@ -1,0 +1,76 @@
+"""Dechirp micro-benchmarks: the cached base reference vs rebuilding it.
+
+``dechirp_windows`` runs in every detection scan and every decode window,
+so the base downchirp it multiplies by is the hottest constant in the
+receiver.  These benchmarks quantify what :func:`repro.core.dechirp.cached_downchirp`
+saves: the cache-hit path skips the per-call chirp synthesis (an exp over
+``n * oversampling`` points) and hands back the same read-only array.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dechirp import _downchirp_for, cached_downchirp, dechirp_windows
+from repro.phy import LoRaParams
+
+PARAMS = LoRaParams(spreading_factor=8, preamble_len=8)
+
+
+def _fresh_downchirp(params: LoRaParams) -> np.ndarray:
+    """The uncached work: synthesize the base downchirp from scratch."""
+    from repro.phy.chirp import downchirp
+
+    return downchirp(params)
+
+
+def test_bench_downchirp_uncached(benchmark):
+    result = benchmark(_fresh_downchirp, PARAMS)
+    assert result.size == PARAMS.samples_per_symbol
+
+
+def test_bench_downchirp_cached(benchmark):
+    cached_downchirp(PARAMS)  # warm the cache outside the timed region
+    result = benchmark(cached_downchirp, PARAMS)
+    assert result.size == PARAMS.samples_per_symbol
+
+
+def test_bench_dechirp_windows_stream(benchmark):
+    """End-to-end dechirp cost over a detection-scan-sized capture."""
+    rng = np.random.default_rng(0)
+    n = PARAMS.samples_per_symbol
+    capture = rng.standard_normal(64 * n) + 1j * rng.standard_normal(64 * n)
+    windows = benchmark(dechirp_windows, PARAMS, capture)
+    assert windows.shape == (64, n)
+
+
+def test_cached_downchirp_is_cached_and_correct():
+    """The cache returns one identical read-only array per parameter key."""
+    a = cached_downchirp(PARAMS)
+    b = cached_downchirp(LoRaParams(spreading_factor=8, preamble_len=8))
+    assert a is b  # same key -> same object, no rebuild
+    assert not a.flags.writeable
+    np.testing.assert_allclose(a, _fresh_downchirp(PARAMS))
+    other = cached_downchirp(LoRaParams(spreading_factor=7))
+    assert other is not a
+    assert other.size == 128
+    info = _downchirp_for.cache_info()
+    assert info.hits >= 1
+
+
+def test_cached_downchirp_speedup(benchmark):
+    """The cache must beat synthesis by a wide margin (the satellite's claim)."""
+    import time
+
+    cached_downchirp(PARAMS)
+    reps = 200
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        _fresh_downchirp(PARAMS)
+    fresh = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        cached_downchirp(PARAMS)
+    hit = time.perf_counter() - t0
+    benchmark.extra_info["speedup"] = fresh / max(hit, 1e-12)
+    benchmark(cached_downchirp, PARAMS)
+    assert fresh > 2.0 * hit, f"cache hit ({hit:.6f}s) not faster than rebuild ({fresh:.6f}s)"

@@ -37,6 +37,7 @@ from repro.channel import (
     UrbanPathLoss,
 )
 from repro.core import ChoirDecoder, DecodedUser
+from repro.gateway import Gateway, GatewayConfig, GatewayReport
 from repro.mac import (
     AlohaMac,
     ChoirMac,
@@ -71,6 +72,9 @@ __all__ = [
     "UrbanPathLoss",
     "ChoirDecoder",
     "DecodedUser",
+    "Gateway",
+    "GatewayConfig",
+    "GatewayReport",
     "AlohaMac",
     "OracleMac",
     "ChoirMac",

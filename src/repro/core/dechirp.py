@@ -8,6 +8,8 @@ tone as a sinc whose *fractional* peak position carries the user identity.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.phy.chirp import downchirp
@@ -15,6 +17,43 @@ from repro.phy.params import LoRaParams
 
 #: Zero-padding factor the paper uses for its wide FFTs (Sec. 5.1, Fig. 3d).
 DEFAULT_OVERSAMPLE = 10
+
+
+@lru_cache(maxsize=64)
+def _downchirp_for(
+    spreading_factor: int, bandwidth: float, sample_rate: float, oversampling: int
+) -> np.ndarray:
+    """Base down-chirp for one PHY configuration, generated once.
+
+    The returned array is marked read-only: it is shared by every caller,
+    and an in-place edit would silently corrupt all future dechirps.
+    """
+    del sample_rate  # implied by (bandwidth, oversampling); kept in the key
+    params = LoRaParams(
+        spreading_factor=spreading_factor,
+        bandwidth=bandwidth,
+        oversampling=oversampling,
+    )
+    chirp = downchirp(params)
+    chirp.setflags(write=False)
+    return chirp
+
+
+def cached_downchirp(params: LoRaParams) -> np.ndarray:
+    """Read-only cached base down-chirp for ``params``.
+
+    :func:`dechirp_windows` runs in every decode of every packet, and
+    regenerating the conjugate chirp (two transcendental passes over
+    ``samples_per_symbol`` points) dominated its cost for short captures.
+    The cache is keyed on ``(sf, bw, fs, oversampling)`` -- everything the
+    waveform depends on -- so distinct PHY configurations never collide.
+    """
+    return _downchirp_for(
+        params.spreading_factor,
+        params.bandwidth,
+        params.sample_rate,
+        params.oversampling,
+    )
 
 
 def dechirp_windows(
@@ -35,7 +74,7 @@ def dechirp_windows(
     if n_windows <= 0:
         return np.zeros((0, n), dtype=complex)
     segment = samples[start : start + n_windows * n].reshape(n_windows, n)
-    return segment * downchirp(params)[None, :]
+    return segment * cached_downchirp(params)[None, :]
 
 
 def oversampled_spectrum(dechirped: np.ndarray, oversample: int = DEFAULT_OVERSAMPLE) -> np.ndarray:

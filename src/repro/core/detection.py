@@ -122,6 +122,7 @@ def align_to_window_grid(
     oversample: int = 4,
     guard_samples: int = 8,
     ridge_tolerance: float = 0.85,
+    candidate_range: tuple[int, int] | None = None,
 ) -> tuple[int, float]:
     """Find the sample offset placing the preamble at the window grid start.
 
@@ -138,6 +139,15 @@ def align_to_window_grid(
     positive residual delay -- the regime the per-user delay estimator is
     built for; ``ridge_tolerance`` must sit above the mid-chirp score
     plateau (~0.76 of the peak) but below the ridge's own noise spread.
+
+    ``candidate_range`` restricts the considered start samples to the
+    half-open interval ``[lo, hi)``.  Callers that already know where the
+    boundary must lie -- the streaming gateway cuts windows with one
+    symbol of lead, bounding the true start to the first two symbols --
+    should pass it: inside the preamble the repeated chirp is
+    phase-continuous, so when the first data symbol's tone happens to
+    fall near the preamble tone the ridge can stretch several windows
+    past the true boundary, and an unconstrained "latest" pick overshoots.
 
     Returns ``(sample_offset, score)``; feed ``samples[sample_offset:]`` to
     :meth:`repro.core.ChoirDecoder.decode`.
@@ -159,6 +169,11 @@ def align_to_window_grid(
                 accumulated.max() / max(np.median(accumulated), 1e-30)
             )
             candidates.append((offset + w * n, score))
+    if candidate_range is not None:
+        lo, hi = candidate_range
+        bounded = [(s, score) for s, score in candidates if lo <= s < hi]
+        if bounded:
+            candidates = bounded
     if not candidates:
         return 0, 0.0
     best_score = max(score for _, score in candidates)
@@ -173,6 +188,7 @@ def sliding_packet_search(
     oversample: int = DEFAULT_OVERSAMPLE,
     pfa: float = 1e-3,
     max_start_windows: int | None = None,
+    earliest: bool = False,
 ) -> DetectionResult:
     """Search for a preamble over window-aligned start positions.
 
@@ -181,6 +197,13 @@ def sliding_packet_search(
     window-scale alignment) and returns the best-scoring start.  The
     per-attempt ``pfa`` is divided by the number of starts tried, so the
     search-level false-alarm rate stays at ``pfa``.
+
+    With ``earliest=True`` (the streaming-gateway mode), the search stops at
+    the *first* detection instead of the global best: once a start crosses
+    the threshold, only the next ``preamble_len - 1`` starts compete for the
+    local score peak.  A capture holding several back-to-back packets then
+    reports the first packet's preamble rather than whichever is strongest,
+    so a caller consuming the buffer front-to-back never skips one.
     """
     samples = np.asarray(samples)
     n = params.samples_per_symbol
@@ -194,7 +217,10 @@ def sliding_packet_search(
     spectra_power = np.abs(oversampled_spectrum(all_windows, oversample)) ** 2
     per_start_pfa = pfa / n_starts
     best = DetectionResult(detected=False, start_window=0, peaks=(), score=-np.inf)
+    last_start: int | None = None
     for start in range(n_starts):
+        if last_start is not None and start > last_start:
+            break
         accumulated = np.mean(
             spectra_power[start : start + params.preamble_len], axis=0
         )
@@ -211,4 +237,8 @@ def sliding_packet_search(
                 peaks=result.peaks,
                 score=result.score,
             )
+        if earliest and result.detected and last_start is None:
+            # Keep refining within one preamble span of the first crossing,
+            # then stop -- later packets must not outbid this one.
+            last_start = start + params.preamble_len - 1
     return best

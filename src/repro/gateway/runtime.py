@@ -1,0 +1,366 @@
+"""The streaming gateway runtime: ingest -> detect -> dispatch -> decode.
+
+This is the base-station-side loop the paper assumes but the rest of the
+repo never had: instead of decoding one pre-cut capture, the gateway
+consumes a continuous IQ stream in chunks, finds packets on the fly, and
+keeps decoding while the stream keeps arriving.
+
+Stages (each instrumented through :mod:`repro.gateway.telemetry`):
+
+1. **ingest** -- append the next source chunk to a bounded
+   :class:`repro.gateway.ring.SampleRing` (overflow evicts the oldest
+   samples, counted as loss).
+2. **detect** -- slide :func:`repro.core.detection.sliding_packet_search`
+   (``earliest=True``) over the unscanned span of the ring.  A detection
+   whose frame tail has not arrived yet stays pending until the next
+   chunk, which is how packets straddling chunk boundaries survive.
+3. **dispatch** -- cut the packet window (one guard symbol of lead for
+   :func:`repro.core.detection.align_to_window_grid` to find the exact
+   boundary) and submit it to the
+   :class:`repro.gateway.workers.DecodeWorkerPool`; the bounded queue's
+   drop policy is the backpressure valve.
+4. **decode** -- workers run the full :class:`repro.core.ChoirDecoder`
+   pipeline plus the LoRa FEC/CRC chain and report per-user payloads.
+
+``Gateway.run(source)`` returns a :class:`GatewayReport` with counts,
+throughput, per-stage latency percentiles and every decode outcome.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.detection import sliding_packet_search
+from repro.gateway.ring import SampleRing
+from repro.gateway.sources import SampleSource
+from repro.gateway.telemetry import Telemetry
+from repro.gateway.workers import DecodeJob, DecodeOutcome, DecodeWorkerPool
+from repro.phy.packet import LoRaFramer
+from repro.phy.params import LoRaParams
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Everything configurable about one gateway run.
+
+    Parameters
+    ----------
+    params:
+        Shared PHY configuration (must match the traffic).
+    payload_len:
+        Application payload bytes per packet; fixes the frame geometry
+        the detector paces by and the decoder decodes.
+    n_workers, executor, queue_capacity, drop_policy:
+        Decode pool shape; see
+        :class:`repro.gateway.workers.DecodeWorkerPool`.
+    ring_symbols:
+        Ring-buffer capacity in symbols (must hold at least two frames;
+        sized automatically when 0).
+    detection_pfa:
+        Search-level false-alarm probability per detection scan.
+    max_users:
+        Cap on SIC user estimates per decoded window; bounds the
+        worst-case decode time on windows full of interference
+        (None = uncapped).
+    seed:
+        Master seed; per-job decode RNGs derive from it.
+    """
+
+    params: LoRaParams = field(default_factory=LoRaParams)
+    payload_len: int = 8
+    n_workers: int = 1
+    executor: str = "thread"
+    queue_capacity: int = 8
+    drop_policy: str = "newest"
+    ring_symbols: int = 0
+    detection_pfa: float = 1e-3
+    coding_rate: int = 4
+    synchronize: bool = True
+    max_users: Optional[int] = 4
+    seed: Optional[int] = None
+
+    def n_data_symbols(self) -> int:
+        """Data symbols per frame for this payload length."""
+        framer = LoRaFramer(self.params, coding_rate=self.coding_rate)
+        return framer.n_symbols_for_payload(self.payload_len)
+
+    def frame_samples(self) -> int:
+        """Samples per frame: preamble plus data symbols."""
+        return (
+            self.params.preamble_len + self.n_data_symbols()
+        ) * self.params.samples_per_symbol
+
+
+@dataclass
+class GatewayReport:
+    """Outcome of one gateway run: counts, rates, latencies, payloads."""
+
+    samples_in: int
+    chunks_in: int
+    samples_evicted: int
+    packets_detected: int
+    packets_dropped: int
+    packets_decoded: int
+    crc_failures: int
+    decode_errors: int
+    wall_s: float
+    stream_s: float
+    outcomes: List[DecodeOutcome]
+    telemetry: Dict[str, Dict[str, Any]]
+
+    # ------------------------------------------------------------------
+    @property
+    def decoded_payloads(self) -> List[bytes]:
+        """CRC-verified payloads in stream order."""
+        return [o.payload for o in self.outcomes if o.crc_ok and o.payload is not None]
+
+    @property
+    def packets_per_s(self) -> float:
+        """CRC-verified packets per wall-clock second."""
+        return self.packets_decoded / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def samples_per_s(self) -> float:
+        """Ingested samples processed per wall-clock second."""
+        return self.samples_in / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def realtime_factor(self) -> float:
+        """Stream seconds processed per wall second (>1 keeps up live)."""
+        return self.stream_s / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def decode_success_rate(self) -> float:
+        """CRC-verified fraction of detected-and-decoded windows."""
+        attempted = self.packets_detected - self.packets_dropped
+        return self.packets_decoded / attempted if attempted > 0 else 0.0
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of detected packets lost to backpressure."""
+        return (
+            self.packets_dropped / self.packets_detected
+            if self.packets_detected > 0
+            else 0.0
+        )
+
+    # ------------------------------------------------------------------
+    def _stage_line(self, label: str, metric: str) -> str:
+        state = self.telemetry.get(metric)
+        if state is None or state.get("count", 0) == 0:
+            return f"  {label:<12} (no events)"
+        return (
+            f"  {label:<12} n={state['count']:<5d}"
+            f" p50={1e3 * state['p50_s']:7.2f}ms"
+            f" p95={1e3 * state['p95_s']:7.2f}ms"
+            f" max={1e3 * state['max_s']:7.2f}ms"
+        )
+
+    def summary(self) -> str:
+        """Human-readable run summary (what ``repro gateway`` prints)."""
+        lines = [
+            "gateway run summary",
+            f"  stream       {self.stream_s:.2f}s ({self.samples_in} samples,"
+            f" {self.chunks_in} chunks)",
+            f"  wall         {self.wall_s:.2f}s"
+            f" ({self.realtime_factor:.2f}x realtime,"
+            f" {self.samples_per_s / 1e6:.2f} Msamples/s)",
+            f"  detected     {self.packets_detected} packets",
+            f"  decoded      {self.packets_decoded} crc-ok"
+            f" ({100.0 * self.decode_success_rate:.0f}% of attempted,"
+            f" {self.packets_per_s:.2f} packets/s)",
+            f"  crc-failed   {self.crc_failures}",
+            f"  dropped      {self.packets_dropped}"
+            f" ({100.0 * self.drop_rate:.0f}% of detected)"
+            + (f", {self.samples_evicted} samples evicted" if self.samples_evicted else ""),
+        ]
+        if self.decode_errors:
+            lines.append(f"  errors       {self.decode_errors}")
+        lines.append("per-stage latency")
+        lines.append(self._stage_line("ingest", "ingest.chunk_s"))
+        lines.append(self._stage_line("detect", "detect.scan_s"))
+        lines.append(self._stage_line("queue-wait", "decode.queue_wait_s"))
+        lines.append(self._stage_line("decode", "decode.decode_s"))
+        return "\n".join(lines)
+
+
+class Gateway:
+    """Streaming base-station runtime around a decode worker pool.
+
+    Construct with a :class:`GatewayConfig`, then :meth:`run` it over any
+    :class:`repro.gateway.sources.SampleSource`.  A fresh
+    :class:`Telemetry` registry is created per run unless one is
+    injected (e.g. to aggregate several runs).
+    """
+
+    def __init__(self, config: GatewayConfig, telemetry: Optional[Telemetry] = None) -> None:
+        self.config = config
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        n = config.params.samples_per_symbol
+        frame = config.frame_samples()
+        if config.ring_symbols:
+            capacity = config.ring_symbols * n
+            if capacity < 2 * frame:
+                raise ValueError(
+                    f"ring_symbols={config.ring_symbols} holds less than two "
+                    f"frames ({2 * frame // n} symbols needed)"
+                )
+        else:
+            # Default: four frames -- room for one packet mid-decode-cut,
+            # one arriving, and scan overlap, without unbounded growth.
+            capacity = 4 * frame
+        self._ring_capacity = capacity
+
+    # ------------------------------------------------------------------
+    def run(self, source: SampleSource) -> GatewayReport:
+        """Consume ``source`` to exhaustion and report what was decoded."""
+        config = self.config
+        params = config.params
+        telemetry = self.telemetry
+        n = params.samples_per_symbol
+        n_data_symbols = config.n_data_symbols()
+        frame = config.frame_samples()
+        # Lead/tail slack around the detected window-granular start: two
+        # symbols of lead so align_to_window_grid can find the true
+        # boundary even when a back-to-back predecessor's frame skip ate
+        # into this packet's preamble, two symbols of tail for
+        # timing-offset spill.
+        lead = 2 * n
+        tail = 2 * n
+        ring = SampleRing(self._ring_capacity)
+        pool = DecodeWorkerPool(
+            params,
+            n_workers=config.n_workers,
+            executor=config.executor,
+            queue_capacity=config.queue_capacity,
+            drop_policy=config.drop_policy,
+            synchronize=config.synchronize,
+            coding_rate=config.coding_rate,
+            # The cut gives two symbols of lead before the (window-granular)
+            # detected start, so the true boundary is inside the first three.
+            sync_search_symbols=3,
+            max_users=config.max_users,
+            rng=config.seed,
+            telemetry=telemetry,
+        )
+        samples_in = 0
+        chunks_in = 0
+        evicted = 0
+        detected = 0
+        next_job_id = 0
+        scan_pos = 0  # absolute sample index of the next unscanned sample
+        started = time.perf_counter()
+        for chunk in source.chunks():
+            with telemetry.timer("ingest.chunk_s"):
+                evicted += ring.append(chunk)
+                samples_in += len(chunk)
+                chunks_in += 1
+                telemetry.counter("ingest.samples").inc(len(chunk))
+            scan_pos, detected, next_job_id = self._scan(
+                ring, pool, scan_pos, detected, next_job_id, n_data_symbols, frame, lead, tail
+            )
+        # Final drain: scan whatever remains after the last chunk.
+        scan_pos, detected, next_job_id = self._scan(
+            ring, pool, scan_pos, detected, next_job_id,
+            n_data_symbols, frame, lead, tail, final=True,
+        )
+        outcomes = pool.close()
+        wall = time.perf_counter() - started
+        snapshot = telemetry.snapshot()
+        crc_ok = sum(1 for o in outcomes if o.crc_ok)
+        errors = sum(1 for o in outcomes if o.error is not None)
+        return GatewayReport(
+            samples_in=samples_in,
+            chunks_in=chunks_in,
+            samples_evicted=evicted,
+            packets_detected=detected,
+            packets_dropped=pool.dropped,
+            packets_decoded=crc_ok,
+            crc_failures=sum(1 for o in outcomes if not o.crc_ok and o.error is None),
+            decode_errors=errors,
+            wall_s=wall,
+            stream_s=samples_in / params.sample_rate,
+            outcomes=outcomes,
+            telemetry=snapshot,
+        )
+
+    # ------------------------------------------------------------------
+    def _scan(
+        self,
+        ring: SampleRing,
+        pool: DecodeWorkerPool,
+        scan_pos: int,
+        detected: int,
+        next_job_id: int,
+        n_data_symbols: int,
+        frame: int,
+        lead: int,
+        tail: int,
+        final: bool = False,
+    ) -> tuple[int, int, int]:
+        """Detect and dispatch every complete packet in the unscanned span.
+
+        Returns the updated ``(scan_pos, detected, next_job_id)``.  A
+        detection whose frame has not fully arrived is left unconsumed
+        (``scan_pos`` stays put) so the next chunk completes it -- unless
+        ``final``, in which case the truncated window is dispatched anyway
+        (the decoder may still salvage it if only slack is missing).
+        """
+        params = self.config.params
+        n = params.samples_per_symbol
+        min_span = (params.preamble_len + 1) * n
+        telemetry = self.telemetry
+        while True:
+            scan_pos = max(scan_pos, ring.start)
+            available = ring.end - scan_pos
+            if available < min_span:
+                break
+            segment = ring.view(scan_pos, available)
+            with telemetry.timer("detect.scan_s"):
+                result = sliding_packet_search(
+                    params,
+                    segment,
+                    pfa=self.config.detection_pfa,
+                    earliest=True,
+                )
+            telemetry.counter("detect.scans").inc()
+            if not result.detected:
+                # Keep a preamble's worth of overlap so a packet whose
+                # head just arrived is still detectable next scan.
+                scan_pos = max(scan_pos, ring.end - min_span)
+                ring.consume(scan_pos - lead)
+                break
+            start = scan_pos + result.start_window * n
+            window_end = start + frame + tail
+            if window_end > ring.end and not final:
+                # Straddles the chunk boundary: wait for the tail.
+                ring.consume(max(start - lead, ring.start))
+                break
+            window_start = max(start - lead, ring.start)
+            window_end = min(window_end, ring.end)
+            job = DecodeJob(
+                job_id=next_job_id,
+                samples=ring.view(window_start, window_end - window_start),
+                n_data_symbols=n_data_symbols,
+                payload_len=self.config.payload_len,
+                start_sample=window_start,
+                detection_score=result.score,
+                created_at=time.perf_counter(),
+            )
+            detected += 1
+            next_job_id += 1
+            telemetry.counter("detect.packets").inc()
+            pool.submit(job)
+            # The detected start is window-granular and may sit up to one
+            # window before the true (mid-window) packet start; skip one
+            # extra symbol past the nominal frame end so the leftover
+            # partial chirp cannot re-trigger detection.  A back-to-back
+            # successor only loses a fraction of its first preamble
+            # window, which the accumulation detector absorbs.
+            scan_pos = start + frame + n
+            ring.consume(scan_pos - lead)
+            if window_end >= ring.end and final:
+                break
+        return scan_pos, detected, next_job_id

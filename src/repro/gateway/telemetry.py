@@ -1,0 +1,260 @@
+"""Lightweight per-stage telemetry for the streaming gateway.
+
+Three instrument kinds, all thread-safe and allocation-light so they can
+sit on the hot path of every chunk and every decode job:
+
+* :class:`Counter` -- monotonic event counts (samples ingested, packets
+  detected, jobs dropped).
+* :class:`Gauge` -- a sampled level with its running peak (queue depth).
+* :class:`DurationHistogram` -- per-stage latencies with percentile
+  queries (detect time per chunk, queue wait, decode time).
+
+:class:`Telemetry` is the registry tying them together: stages create
+instruments by name on demand, the runtime snapshots everything into a
+plain dict, exports JSON-lines for machines, and renders a human summary
+table for the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List
+
+import numpy as np
+
+#: Percentiles reported for every duration histogram.
+SUMMARY_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` events (``n`` must be non-negative)."""
+        if n < 0:
+            raise ValueError(f"counter increment must be >= 0, got {n}")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready state of this instrument."""
+        return {"metric": self.name, "type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A sampled level that also remembers its peak."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._peak = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        with self._lock:
+            self._value = float(value)
+            if value > self._peak:
+                self._peak = float(value)
+
+    @property
+    def value(self) -> float:
+        """Most recently recorded level."""
+        with self._lock:
+            return self._value
+
+    @property
+    def peak(self) -> float:
+        """Highest level ever recorded."""
+        with self._lock:
+            return self._peak
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready state of this instrument."""
+        with self._lock:
+            return {
+                "metric": self.name,
+                "type": "gauge",
+                "value": self._value,
+                "peak": self._peak,
+            }
+
+
+class DurationHistogram:
+    """Recorded durations (seconds) with percentile queries.
+
+    Stores raw samples; gateway runs are short enough (thousands of
+    packets) that exact percentiles beat bucketing error, and the memory
+    is a few float64 per event.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: List[float] = []
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        """Record one duration."""
+        with self._lock:
+            self._values.append(float(seconds))
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Context manager recording the wrapped block's wall time."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(time.perf_counter() - start)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded durations."""
+        with self._lock:
+            return len(self._values)
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile duration, or 0.0 when empty."""
+        with self._lock:
+            if not self._values:
+                return 0.0
+            return float(np.percentile(self._values, p))
+
+    def mean(self) -> float:
+        """Mean duration, or 0.0 when empty."""
+        with self._lock:
+            if not self._values:
+                return 0.0
+            return float(np.mean(self._values))
+
+    def total(self) -> float:
+        """Sum of all recorded durations."""
+        with self._lock:
+            return float(np.sum(self._values)) if self._values else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready state: count, mean, max and summary percentiles."""
+        with self._lock:
+            values = list(self._values)
+        out: Dict[str, Any] = {
+            "metric": self.name,
+            "type": "histogram",
+            "count": len(values),
+            "mean_s": float(np.mean(values)) if values else 0.0,
+            "max_s": float(np.max(values)) if values else 0.0,
+            "total_s": float(np.sum(values)) if values else 0.0,
+        }
+        for p in SUMMARY_PERCENTILES:
+            key = f"p{p:g}_s"
+            out[key] = float(np.percentile(values, p)) if values else 0.0
+        return out
+
+
+class Telemetry:
+    """Registry of named instruments shared by all gateway stages.
+
+    Instrument names are dotted ``stage.metric`` strings (for example
+    ``detect.chunk_s`` or ``dispatch.dropped``); creation is idempotent,
+    so stages do not coordinate beyond agreeing on names.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, kind: type) -> Any:
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = kind(name)
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, kind):
+                raise TypeError(
+                    f"telemetry metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {kind.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name``, created on first use."""
+        instrument = self._get(name, Counter)
+        assert isinstance(instrument, Counter)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name``, created on first use."""
+        instrument = self._get(name, Gauge)
+        assert isinstance(instrument, Gauge)
+        return instrument
+
+    def histogram(self, name: str) -> DurationHistogram:
+        """The duration histogram named ``name``, created on first use."""
+        instrument = self._get(name, DurationHistogram)
+        assert isinstance(instrument, DurationHistogram)
+        return instrument
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Time a block into the histogram named ``name``."""
+        with self.histogram(name).time():
+            yield
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """All instruments' states, keyed by metric name."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        return {inst.name: inst.snapshot() for inst in instruments}
+
+    def jsonl(self) -> str:
+        """One JSON object per line per instrument (machine export)."""
+        rows = [
+            json.dumps(state, sort_keys=True)
+            for _, state in sorted(self.snapshot().items())
+        ]
+        return "\n".join(rows) + ("\n" if rows else "")
+
+    def write_jsonl(self, path: str) -> None:
+        """Write :meth:`jsonl` to ``path``."""
+        with open(path, "w") as handle:
+            handle.write(self.jsonl())
+
+    def summary(self) -> str:
+        """Human-readable table of every instrument."""
+        states = sorted(self.snapshot().items())
+        if not states:
+            return "(no telemetry recorded)"
+        lines = []
+        width = max(len(name) for name, _ in states)
+        for name, state in states:
+            label = name.ljust(width)
+            if state["type"] == "counter":
+                lines.append(f"{label}  {state['value']}")
+            elif state["type"] == "gauge":
+                lines.append(
+                    f"{label}  {state['value']:g} (peak {state['peak']:g})"
+                )
+            else:
+                lines.append(
+                    f"{label}  n={state['count']}"
+                    f"  p50={1e3 * state['p50_s']:.2f}ms"
+                    f"  p95={1e3 * state['p95_s']:.2f}ms"
+                    f"  max={1e3 * state['max_s']:.2f}ms"
+                )
+        return "\n".join(lines)

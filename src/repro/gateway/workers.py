@@ -1,0 +1,463 @@
+"""Parallel decode workers wrapping :class:`repro.core.ChoirDecoder`.
+
+The gateway's dispatch stage hands detected packet windows to a
+:class:`DecodeWorkerPool`.  Three executors share one code path:
+
+* ``"serial"`` -- decode inline in the caller (deterministic baseline,
+  also what the tests lean on),
+* ``"thread"`` -- a bounded queue drained by worker threads (numpy's FFTs
+  release the GIL for the hot part),
+* ``"process"`` -- a :class:`concurrent.futures.ProcessPoolExecutor` for
+  per-core scaling when thread-level parallelism is not enough.
+
+Backpressure is explicit: the queue is bounded and the drop policy says
+what happens when decode falls behind ingest -- drop the ``"newest"``
+window (default: keep latency bounded, lose the packet that arrived into
+an overloaded system), drop the ``"oldest"`` (favor fresh traffic), or
+``"block"`` ingest (lossless, at the price of stalling the stream).
+
+Every decode job carries its own RNG derived from the pool seed and the
+job id (:func:`repro.utils.derive_rng`), so which worker decodes which
+packet -- or whether any parallelism is used at all -- never changes the
+result.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.decoder import ChoirDecoder
+from repro.core.detection import align_to_window_grid
+from repro.gateway.telemetry import Telemetry
+from repro.phy.packet import LoRaFramer
+from repro.phy.params import LoRaParams
+from repro.utils import RngLike, as_seed_sequence, derive_rng
+
+#: Accepted overload behaviors for the bounded decode queue.
+DROP_POLICIES: Tuple[str, ...] = ("newest", "oldest", "block")
+
+#: Accepted executor kinds.
+EXECUTORS: Tuple[str, ...] = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class DecodeJob:
+    """One detected packet window, ready to decode."""
+
+    job_id: int
+    samples: np.ndarray
+    n_data_symbols: int
+    payload_len: int
+    start_sample: int
+    detection_score: float
+    created_at: float  # time.perf_counter() at submission
+
+
+@dataclass(frozen=True)
+class UserResult:
+    """One decoded user's payload attempt within a window."""
+
+    offset_bins: float
+    payload: bytes
+    crc_ok: bool
+
+
+@dataclass(frozen=True)
+class DecodeOutcome:
+    """Result of decoding one packet window."""
+
+    job_id: int
+    start_sample: int
+    users: Tuple[UserResult, ...]
+    payload: Optional[bytes]
+    crc_ok: bool
+    queue_wait_s: float
+    decode_s: float
+    detection_score: float
+    sync_retries: int = 0
+    error: Optional[str] = None
+
+    @property
+    def n_users(self) -> int:
+        """How many users the decoder disentangled in this window."""
+        return len(self.users)
+
+
+def _decode_at(
+    decoder: ChoirDecoder,
+    framer: LoRaFramer,
+    job: DecodeJob,
+    offset: int,
+    max_users: Optional[int],
+) -> List[UserResult]:
+    """Decode ``job.samples[offset:]`` and CRC-check every user found."""
+    users = decoder.decode(job.samples[offset:], job.n_data_symbols, max_users=max_users)
+    results: List[UserResult] = []
+    for user in users:
+        if user.symbols.size < framer.n_symbols_for_payload(job.payload_len):
+            continue
+        frame = user.decode_payload(framer, job.payload_len)
+        results.append(
+            UserResult(
+                offset_bins=user.offset_bins,
+                payload=frame.payload,
+                crc_ok=frame.crc_ok,
+            )
+        )
+    return results
+
+
+def decode_packet_window(
+    job: DecodeJob,
+    params: LoRaParams,
+    base_seed: np.random.SeedSequence,
+    synchronize: bool = True,
+    coding_rate: int = 4,
+    sync_search_symbols: int = 0,
+    max_users: Optional[int] = None,
+) -> DecodeOutcome:
+    """Decode one packet window with a job-keyed deterministic RNG.
+
+    When ``synchronize`` is set, the window is first snapped to the
+    preamble grid with :func:`repro.core.detection.align_to_window_grid`;
+    ``sync_search_symbols`` (when nonzero) bounds that search to the first
+    so-many symbols of the window -- the streaming gateway cuts windows
+    with one symbol of lead before the detected start, so the true
+    boundary always lies within the first two.  If no user passes CRC at
+    the estimated alignment, a small ladder of alternative alignments is
+    retried (CRC as the oracle): the alignment ridge is degenerate inside
+    the phase-continuous preamble, and the per-user delay search only
+    covers a sub-window range, so an estimate a fraction of a window off
+    can sink an otherwise decodable packet.
+
+    Module-level (rather than a pool method) so the process executor can
+    ship it to workers; everything it touches is picklable.
+    """
+    started = time.perf_counter()
+    decoder = ChoirDecoder(params, rng=derive_rng(base_seed, job.job_id))
+    framer = LoRaFramer(params, coding_rate=coding_rate)
+    n = params.samples_per_symbol
+    if synchronize:
+        candidate_range = (
+            (0, sync_search_symbols * n) if sync_search_symbols > 0 else None
+        )
+        base, _ = align_to_window_grid(
+            params,
+            job.samples,
+            candidate_range=candidate_range,
+        )
+        # The decoder's sweet spot is a grid a fraction of a window
+        # *after* the true boundary (the small data leak is absorbed by
+        # the boundary-glitch model), while the ridge's "latest" pick can
+        # overshoot it by a variable amount.  Quarter-window ladder steps
+        # cover the overshoot spread (biased earlier) without gaps.
+        offsets = [base]
+        for delta in (-n // 4, n // 4, -n // 2, -3 * n // 4):
+            candidate = base + delta
+            if candidate >= 0 and candidate not in offsets:
+                offsets.append(candidate)
+    else:
+        offsets = [0]
+    results: List[UserResult] = []
+    retries = 0
+    for attempt, offset in enumerate(offsets):
+        attempt_results = _decode_at(decoder, framer, job, offset, max_users)
+        if attempt == 0:
+            results = attempt_results
+        else:
+            retries += 1
+        if any(r.crc_ok for r in attempt_results):
+            results = attempt_results
+            break
+    verified = [r for r in results if r.crc_ok]
+    best = verified[0] if verified else (results[0] if results else None)
+    return DecodeOutcome(
+        job_id=job.job_id,
+        start_sample=job.start_sample,
+        users=tuple(results),
+        payload=best.payload if best is not None else None,
+        crc_ok=bool(verified),
+        queue_wait_s=max(started - job.created_at, 0.0),
+        decode_s=time.perf_counter() - started,
+        detection_score=job.detection_score,
+        sync_retries=retries,
+    )
+
+
+class DecodeWorkerPool:
+    """Bounded-queue pool of Choir decode workers.
+
+    Parameters
+    ----------
+    params:
+        Shared PHY configuration.
+    n_workers:
+        Parallel decoders (ignored for ``executor="serial"``).
+    executor:
+        ``"serial"``, ``"thread"`` or ``"process"``.
+    queue_capacity:
+        Maximum windows awaiting decode before the drop policy applies.
+    drop_policy:
+        Overload behavior; see :data:`DROP_POLICIES`.
+    synchronize:
+        Snap each window to the preamble grid first (needed when windows
+        are cut at detection granularity, as the gateway does; disable
+        for pre-aligned captures).
+    sync_search_symbols:
+        Bound the grid search to the first so-many symbols of each
+        window (0 = unbounded); set by callers that control the cut.
+    max_users:
+        Cap on SIC user estimates per window (None = uncapped); bounds
+        the worst-case decode time on windows full of interference.
+    rng:
+        Pool seed; each job's decoder RNG is derived from it by job id.
+    telemetry:
+        Optional registry receiving dispatch/decode instruments.
+    """
+
+    def __init__(
+        self,
+        params: LoRaParams,
+        n_workers: int = 1,
+        executor: str = "thread",
+        queue_capacity: int = 8,
+        drop_policy: str = "newest",
+        synchronize: bool = True,
+        coding_rate: int = 4,
+        sync_search_symbols: int = 0,
+        max_users: Optional[int] = None,
+        rng: RngLike = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        if executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        if drop_policy not in DROP_POLICIES:
+            raise ValueError(
+                f"drop_policy must be one of {DROP_POLICIES}, got {drop_policy!r}"
+            )
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if queue_capacity < 1:
+            raise ValueError(f"queue_capacity must be >= 1, got {queue_capacity}")
+        self.params = params
+        self.n_workers = n_workers
+        self.executor = executor
+        self.queue_capacity = queue_capacity
+        self.drop_policy = drop_policy
+        self.synchronize = synchronize
+        self.coding_rate = coding_rate
+        self.sync_search_symbols = sync_search_symbols
+        self.max_users = max_users
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._base_seed = as_seed_sequence(rng)
+        self._outcomes: List[DecodeOutcome] = []
+        self._lock = threading.Lock()
+        self._closed = False
+        self._queue: "queue.Queue[Optional[DecodeJob]]" = queue.Queue(
+            maxsize=queue_capacity
+        )
+        self._threads: List[threading.Thread] = []
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._futures: Dict[int, "Future[DecodeOutcome]"] = {}
+        if executor == "thread":
+            self._threads = [
+                threading.Thread(
+                    target=self._thread_worker, name=f"decode-{i}", daemon=True
+                )
+                for i in range(n_workers)
+            ]
+            for thread in self._threads:
+                thread.start()
+        elif executor == "process":
+            self._pool = ProcessPoolExecutor(max_workers=n_workers)
+
+    # ------------------------------------------------------------------
+    # Shared decode + accounting
+    # ------------------------------------------------------------------
+    def _decode(self, job: DecodeJob) -> DecodeOutcome:
+        try:
+            return decode_packet_window(
+                job,
+                self.params,
+                self._base_seed,
+                synchronize=self.synchronize,
+                coding_rate=self.coding_rate,
+                sync_search_symbols=self.sync_search_symbols,
+                max_users=self.max_users,
+            )
+        except Exception as exc:  # defensive: a worker must never die
+            self.telemetry.counter("decode.errors").inc()
+            return DecodeOutcome(
+                job_id=job.job_id,
+                start_sample=job.start_sample,
+                users=(),
+                payload=None,
+                crc_ok=False,
+                queue_wait_s=0.0,
+                decode_s=0.0,
+                detection_score=job.detection_score,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+
+    def _record(self, outcome: DecodeOutcome) -> None:
+        with self._lock:
+            self._outcomes.append(outcome)
+        self.telemetry.histogram("decode.queue_wait_s").record(outcome.queue_wait_s)
+        self.telemetry.histogram("decode.decode_s").record(outcome.decode_s)
+        if outcome.sync_retries:
+            self.telemetry.counter("decode.sync_retries").inc(outcome.sync_retries)
+        if outcome.crc_ok:
+            self.telemetry.counter("decode.crc_ok").inc()
+        elif outcome.error is None:
+            self.telemetry.counter("decode.crc_failed").inc()
+
+    # ------------------------------------------------------------------
+    # Thread executor
+    # ------------------------------------------------------------------
+    def _thread_worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                self._queue.task_done()
+                return
+            self.telemetry.gauge("dispatch.queue_depth").set(self._queue.qsize())
+            self._record(self._decode(job))
+            self._queue.task_done()
+
+    def _submit_thread(self, job: DecodeJob) -> bool:
+        while True:
+            try:
+                self._queue.put_nowait(job)
+                return True
+            except queue.Full:
+                if self.drop_policy == "newest":
+                    self.telemetry.counter("dispatch.dropped").inc()
+                    return False
+                if self.drop_policy == "block":
+                    self._queue.put(job)
+                    return True
+                # oldest: evict one queued job, then retry the put.
+                try:
+                    self._queue.get_nowait()
+                    self._queue.task_done()
+                    self.telemetry.counter("dispatch.dropped").inc()
+                except queue.Empty:
+                    pass  # a worker drained it first; just retry
+
+    # ------------------------------------------------------------------
+    # Process executor
+    # ------------------------------------------------------------------
+    def _in_flight(self) -> int:
+        with self._lock:
+            return sum(1 for f in self._futures.values() if not f.done())
+
+    def _submit_process(self, job: DecodeJob) -> bool:
+        assert self._pool is not None
+        while self._in_flight() >= self.queue_capacity:
+            if self.drop_policy == "newest":
+                self.telemetry.counter("dispatch.dropped").inc()
+                return False
+            if self.drop_policy == "oldest":
+                with self._lock:
+                    pending = sorted(
+                        (jid for jid, f in self._futures.items() if not f.done())
+                    )
+                cancelled = False
+                for jid in pending:
+                    with self._lock:
+                        future = self._futures.get(jid)
+                    if future is not None and future.cancel():
+                        with self._lock:
+                            self._futures.pop(jid, None)
+                        self.telemetry.counter("dispatch.dropped").inc()
+                        cancelled = True
+                        break
+                if not cancelled:
+                    # Everything already running; drop the incoming job.
+                    self.telemetry.counter("dispatch.dropped").inc()
+                    return False
+                continue
+            time.sleep(0.001)  # block: poll until a slot frees
+        future = self._pool.submit(
+            decode_packet_window,
+            job,
+            self.params,
+            self._base_seed,
+            synchronize=self.synchronize,
+            coding_rate=self.coding_rate,
+            sync_search_symbols=self.sync_search_symbols,
+            max_users=self.max_users,
+        )
+        with self._lock:
+            self._futures[job.job_id] = future
+        future.add_done_callback(lambda f, jid=job.job_id: self._process_done(jid, f))
+        return True
+
+    def _process_done(self, job_id: int, future: "Future[DecodeOutcome]") -> None:
+        if future.cancelled():
+            return
+        exc = future.exception()
+        if exc is not None:
+            self.telemetry.counter("decode.errors").inc()
+            return
+        self._record(future.result())
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def submit(self, job: DecodeJob) -> bool:
+        """Enqueue ``job``; returns False when the drop policy rejected it.
+
+        Dropped jobs (either the incoming one or an evicted older one,
+        per policy) are counted under ``dispatch.dropped``.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        self.telemetry.counter("dispatch.submitted").inc()
+        if self.executor == "serial":
+            self._record(self._decode(job))
+            return True
+        if self.executor == "thread":
+            accepted = self._submit_thread(job)
+            self.telemetry.gauge("dispatch.queue_depth").set(self._queue.qsize())
+            return accepted
+        return self._submit_process(job)
+
+    @property
+    def dropped(self) -> int:
+        """Jobs lost to the drop policy so far."""
+        return self.telemetry.counter("dispatch.dropped").value
+
+    def close(self) -> List[DecodeOutcome]:
+        """Drain all pending work, stop the workers, return every outcome.
+
+        Outcomes are sorted by job id, so callers see stream order
+        regardless of decode interleaving.
+        """
+        if not self._closed:
+            self._closed = True
+            if self.executor == "thread":
+                for _ in self._threads:
+                    self._queue.put(None)
+                for thread in self._threads:
+                    thread.join()
+            elif self.executor == "process":
+                assert self._pool is not None
+                with self._lock:
+                    futures = list(self._futures.values())
+                for future in futures:
+                    if not future.cancelled():
+                        try:
+                            future.result()
+                        except Exception:
+                            pass  # already counted in _process_done
+                self._pool.shutdown()
+        with self._lock:
+            return sorted(self._outcomes, key=lambda o: o.job_id)

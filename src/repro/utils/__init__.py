@@ -7,7 +7,13 @@ from repro.utils.conversions import (
     signal_power,
     snr_db,
 )
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import (
+    RngLike,
+    as_seed_sequence,
+    derive_rng,
+    ensure_rng,
+    spawn_seeds,
+)
 from repro.utils.dsp import (
     circular_distance,
     fractional_delay,
@@ -23,7 +29,10 @@ __all__ = [
     "signal_power",
     "snr_db",
     "RngLike",
+    "as_seed_sequence",
+    "derive_rng",
     "ensure_rng",
+    "spawn_seeds",
     "circular_distance",
     "fractional_delay",
     "fractional_part",

@@ -1,0 +1,115 @@
+"""Streaming-relevant edge cases for the packet-detection search.
+
+The gateway consumes its ring front-to-back, so detection must (a) find
+the *first* packet when several sit in one capture, (b) not fire on pure
+noise, and (c) recover packets whose samples arrive split across chunk
+boundaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.noise import awgn
+from repro.core.detection import align_to_window_grid, sliding_packet_search
+from repro.gateway import Gateway, GatewayConfig, SyntheticTrafficSource
+from repro.hardware.radio import LoRaRadio
+from tests.gateway.conftest import PARAMS, PAYLOAD_LEN, periodic_node
+
+
+def _frame(seed: int, amplitude: float) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    radio = LoRaRadio(PARAMS, node_id=seed, rng=rng)
+    payload = bytes(rng.integers(0, 256, PAYLOAD_LEN, dtype=np.uint8))
+    waveform, _, _ = radio.transmit_payload(payload, amplitude=amplitude)
+    return waveform
+
+
+class TestEarliestDetection:
+    def test_back_to_back_packets_report_the_first(self):
+        # A weak packet directly followed by a much stronger one, no idle
+        # gap: global-best search locks onto the strong one, but the
+        # streaming consumer needs the first.
+        n = PARAMS.samples_per_symbol
+        rng = np.random.default_rng(0)
+        capture = np.concatenate(
+            [np.zeros(2 * n, dtype=complex), _frame(1, 4.0), _frame(2, 12.0)]
+        )
+        capture = awgn(capture, 1.0, rng=rng)
+        first = sliding_packet_search(PARAMS, capture, earliest=True)
+        best = sliding_packet_search(PARAMS, capture, earliest=False)
+        assert first.detected and best.detected
+        assert first.start_window == 2
+        assert best.start_window > first.start_window  # strong one wins globally
+
+    def test_earliest_still_refines_locally(self):
+        # With one packet, earliest mode must agree with the global best.
+        n = PARAMS.samples_per_symbol
+        rng = np.random.default_rng(1)
+        capture = np.concatenate(
+            [np.zeros(5 * n, dtype=complex), _frame(3, 10.0), np.zeros(3 * n, dtype=complex)]
+        )
+        capture = awgn(capture, 1.0, rng=rng)
+        first = sliding_packet_search(PARAMS, capture, earliest=True)
+        best = sliding_packet_search(PARAMS, capture, earliest=False)
+        assert first.start_window == best.start_window == 5
+
+    def test_all_noise_stream_has_no_false_detection(self):
+        # A long all-noise capture: the pfa calibration divides by the
+        # number of starts, so the search-level false-alarm rate holds.
+        rng = np.random.default_rng(2)
+        n = PARAMS.samples_per_symbol
+        noise = (
+            rng.standard_normal(200 * n) + 1j * rng.standard_normal(200 * n)
+        ) / np.sqrt(2)
+        for earliest in (False, True):
+            result = sliding_packet_search(PARAMS, noise, earliest=earliest)
+            assert not result.detected
+
+
+class TestAlignCandidateRange:
+    def test_range_bounds_the_estimate(self):
+        n = PARAMS.samples_per_symbol
+        rng = np.random.default_rng(3)
+        shift = 150
+        capture = np.concatenate(
+            [np.zeros(shift, dtype=complex), _frame(4, 10.0), np.zeros(n, dtype=complex)]
+        )
+        capture = awgn(capture, 1.0, rng=rng)
+        start, score = align_to_window_grid(
+            PARAMS, capture, candidate_range=(0, 2 * n)
+        )
+        assert 0 <= start < 2 * n
+        assert score > 1.0
+
+    def test_empty_range_falls_back_to_all_candidates(self):
+        n = PARAMS.samples_per_symbol
+        rng = np.random.default_rng(4)
+        capture = awgn(
+            np.concatenate([_frame(5, 10.0), np.zeros(n, dtype=complex)]), 1.0, rng=rng
+        )
+        bounded, _ = align_to_window_grid(PARAMS, capture, candidate_range=(-5, -1))
+        unbounded, _ = align_to_window_grid(PARAMS, capture)
+        assert bounded == unbounded
+
+
+class TestChunkStraddle:
+    @pytest.mark.parametrize("chunk_samples", [1000, 2048])
+    def test_packet_straddling_chunk_boundaries_is_decoded(self, chunk_samples):
+        # Chunks smaller than a frame (3072 samples): every packet spans
+        # several chunks and the detection straddle path must reassemble
+        # it from the ring before dispatch.
+        source = SyntheticTrafficSource(
+            PARAMS,
+            [periodic_node(period_s=0.3)],
+            duration_s=1.0,
+            payload_len=PAYLOAD_LEN,
+            chunk_samples=chunk_samples,
+            rng=1,
+        )
+        config = GatewayConfig(
+            params=PARAMS, payload_len=PAYLOAD_LEN, executor="serial", seed=1
+        )
+        report = Gateway(config).run(source)
+        sent = sorted(p.payload for p in source.transmitted)
+        assert len(sent) > 0
+        assert sorted(report.decoded_payloads) == sent

@@ -1,0 +1,91 @@
+"""Tests for the absolute-indexed IQ ring buffer."""
+
+import numpy as np
+import pytest
+
+from repro.gateway.ring import SampleRing
+
+
+def _chunk(start: int, length: int) -> np.ndarray:
+    """Complex ramp whose values encode their absolute stream index."""
+    return np.arange(start, start + length, dtype=float) + 0j
+
+
+class TestAppendAndView:
+    def test_absolute_indexing_survives_wrap(self):
+        ring = SampleRing(10)
+        for a in range(0, 40, 5):
+            ring.append(_chunk(a, 5))
+        # After 40 samples through a 10-deep ring, the last 10 remain.
+        assert ring.start == 30
+        assert ring.end == 40
+        np.testing.assert_array_equal(ring.view(30, 10).real, np.arange(30, 40))
+        np.testing.assert_array_equal(ring.view(33, 4).real, np.arange(33, 37))
+
+    def test_eviction_counted(self):
+        ring = SampleRing(8)
+        assert ring.append(_chunk(0, 6)) == 0
+        assert ring.append(_chunk(6, 6)) == 4  # 12 total, 8 retained
+        assert ring.start == 4
+
+    def test_chunk_larger_than_capacity_keeps_newest(self):
+        ring = SampleRing(4)
+        ring.append(_chunk(0, 3))
+        evicted = ring.append(_chunk(3, 10))
+        assert evicted == 3 + (10 - 4)
+        assert (ring.start, ring.end) == (9, 13)
+        np.testing.assert_array_equal(ring.view(9, 4).real, np.arange(9, 13))
+
+    def test_len_tracks_retained(self):
+        ring = SampleRing(6)
+        ring.append(_chunk(0, 4))
+        assert len(ring) == 4
+        ring.append(_chunk(4, 4))
+        assert len(ring) == 6
+
+
+class TestConsume:
+    def test_consume_releases_prefix(self):
+        ring = SampleRing(10)
+        ring.append(_chunk(0, 10))
+        ring.consume(6)
+        assert ring.start == 6
+        with pytest.raises(IndexError):
+            ring.view(5, 2)
+        np.testing.assert_array_equal(ring.view(6, 4).real, np.arange(6, 10))
+
+    def test_consume_is_monotonic(self):
+        ring = SampleRing(10)
+        ring.append(_chunk(0, 10))
+        ring.consume(7)
+        ring.consume(3)  # going backwards is a no-op
+        assert ring.start == 7
+
+    def test_consumed_space_is_reusable(self):
+        ring = SampleRing(6)
+        ring.append(_chunk(0, 6))
+        ring.consume(4)
+        assert ring.append(_chunk(6, 4)) == 0  # no eviction: space was freed
+        np.testing.assert_array_equal(ring.view(4, 6).real, np.arange(4, 10))
+
+
+class TestValidation:
+    def test_positive_capacity_required(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SampleRing(0)
+
+    def test_view_outside_span_raises(self):
+        ring = SampleRing(8)
+        ring.append(_chunk(0, 4))
+        with pytest.raises(IndexError):
+            ring.view(2, 10)  # beyond end
+
+    def test_negative_length_raises(self):
+        ring = SampleRing(8)
+        with pytest.raises(ValueError, match="length"):
+            ring.view(0, -1)
+
+    def test_zero_length_view(self):
+        ring = SampleRing(8)
+        ring.append(_chunk(0, 4))
+        assert ring.view(2, 0).size == 0

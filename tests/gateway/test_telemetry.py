@@ -1,0 +1,147 @@
+"""Tests for the gateway telemetry instruments and registry."""
+
+import json
+import threading
+
+import pytest
+
+from repro.gateway.telemetry import Counter, DurationHistogram, Gauge, Telemetry
+
+
+class TestCounter:
+    def test_counts_increments(self):
+        counter = Counter("x")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Counter("x").inc(-1)
+
+    def test_snapshot_shape(self):
+        counter = Counter("stage.events")
+        counter.inc(2)
+        assert counter.snapshot() == {
+            "metric": "stage.events",
+            "type": "counter",
+            "value": 2,
+        }
+
+    def test_thread_safety(self):
+        counter = Counter("x")
+
+        def bump():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+
+class TestGauge:
+    def test_tracks_level_and_peak(self):
+        gauge = Gauge("depth")
+        gauge.set(3)
+        gauge.set(7)
+        gauge.set(2)
+        assert gauge.value == 2
+        assert gauge.peak == 7
+
+    def test_snapshot_shape(self):
+        gauge = Gauge("depth")
+        gauge.set(1.5)
+        state = gauge.snapshot()
+        assert state["type"] == "gauge"
+        assert state["value"] == 1.5
+        assert state["peak"] == 1.5
+
+
+class TestDurationHistogram:
+    def test_percentiles_and_stats(self):
+        hist = DurationHistogram("lat")
+        for v in (0.01, 0.02, 0.03, 0.04, 0.10):
+            hist.record(v)
+        assert hist.count == 5
+        assert hist.percentile(50) == pytest.approx(0.03)
+        assert hist.mean() == pytest.approx(0.04)
+        assert hist.total() == pytest.approx(0.20)
+
+    def test_empty_histogram_is_zero(self):
+        hist = DurationHistogram("lat")
+        assert hist.percentile(95) == 0.0
+        assert hist.mean() == 0.0
+        assert hist.total() == 0.0
+        state = hist.snapshot()
+        assert state["count"] == 0
+        assert state["p50_s"] == 0.0
+
+    def test_snapshot_has_summary_percentiles(self):
+        hist = DurationHistogram("lat")
+        hist.record(0.5)
+        state = hist.snapshot()
+        for key in ("p50_s", "p95_s", "p99_s", "mean_s", "max_s", "total_s"):
+            assert key in state
+
+    def test_time_context_manager_records(self):
+        hist = DurationHistogram("lat")
+        with hist.time():
+            pass
+        assert hist.count == 1
+        assert hist.percentile(50) >= 0.0
+
+
+class TestTelemetry:
+    def test_instruments_created_on_demand_and_idempotent(self):
+        t = Telemetry()
+        assert t.counter("a") is t.counter("a")
+        assert t.gauge("b") is t.gauge("b")
+        assert t.histogram("c") is t.histogram("c")
+
+    def test_kind_conflict_raises(self):
+        t = Telemetry()
+        t.counter("metric")
+        with pytest.raises(TypeError, match="already registered"):
+            t.gauge("metric")
+
+    def test_timer_records_into_histogram(self):
+        t = Telemetry()
+        with t.timer("stage.seconds"):
+            pass
+        assert t.histogram("stage.seconds").count == 1
+
+    def test_snapshot_keys(self):
+        t = Telemetry()
+        t.counter("ingest.samples").inc(10)
+        t.gauge("queue.depth").set(2)
+        snap = t.snapshot()
+        assert snap["ingest.samples"]["value"] == 10
+        assert snap["queue.depth"]["peak"] == 2
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        t = Telemetry()
+        t.counter("events").inc(3)
+        t.histogram("lat").record(0.25)
+        path = tmp_path / "telemetry.jsonl"
+        t.write_jsonl(str(path))
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        by_name = {row["metric"]: row for row in rows}
+        assert by_name["events"]["value"] == 3
+        assert by_name["lat"]["count"] == 1
+
+    def test_summary_renders_every_kind(self):
+        t = Telemetry()
+        t.counter("events").inc(1)
+        t.gauge("depth").set(4)
+        t.histogram("lat").record(0.002)
+        text = t.summary()
+        assert "events" in text
+        assert "peak 4" in text
+        assert "p95=" in text
+
+    def test_summary_empty(self):
+        assert Telemetry().summary() == "(no telemetry recorded)"

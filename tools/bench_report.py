@@ -1,0 +1,157 @@
+"""Gateway throughput benchmark: run the streaming runtime, write BENCH_gateway.json.
+
+Runs the full ingest -> detect -> dispatch -> decode pipeline over
+deterministic synthetic traffic and records the numbers a deployer sizes
+hardware with: packets/s and samples/s of sustained throughput, the
+realtime factor, and per-stage latency percentiles straight from the
+telemetry layer.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_report.py                  # defaults
+    PYTHONPATH=src python tools/bench_report.py --duration 10 \
+        --workers 4 --out BENCH_gateway.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.gateway import Gateway, GatewayConfig, SyntheticTrafficSource  # noqa: E402
+from repro.mac.simulator import NodeConfig  # noqa: E402
+from repro.phy.params import LoRaParams  # noqa: E402
+
+#: Telemetry histograms exported per stage.
+STAGE_METRICS = (
+    "ingest.chunk_s",
+    "detect.scan_s",
+    "decode.queue_wait_s",
+    "decode.decode_s",
+)
+
+
+def run_benchmark(
+    duration_s: float = 5.0,
+    n_nodes: int = 2,
+    period_s: float = 0.5,
+    snr_db: float = 15.0,
+    payload_len: int = 4,
+    n_workers: int = 2,
+    executor: str = "thread",
+    seed: int = 0,
+    spreading_factor: int = 7,
+) -> dict:
+    """Run one gateway benchmark and return the JSON-ready result dict."""
+    params = LoRaParams(spreading_factor=spreading_factor)
+    nodes = [
+        NodeConfig(node_id=i, snr_db=snr_db, period_s=period_s)
+        for i in range(n_nodes)
+    ]
+    source = SyntheticTrafficSource(
+        params, nodes, duration_s=duration_s, payload_len=payload_len, rng=seed
+    )
+    config = GatewayConfig(
+        params=params,
+        payload_len=payload_len,
+        n_workers=n_workers,
+        executor=executor,
+        seed=seed,
+    )
+    report = Gateway(config).run(source)
+    sent = sorted(p.payload for p in source.transmitted)
+    got = sorted(report.decoded_payloads)
+    recovered = sum(1 for p in got if p in sent)
+    stages = {}
+    for metric in STAGE_METRICS:
+        state = report.telemetry.get(metric)
+        if state is None:
+            continue
+        stages[metric] = {
+            key: state[key]
+            for key in ("count", "p50_s", "p95_s", "p99_s", "mean_s", "max_s")
+            if key in state
+        }
+    return {
+        "benchmark": "gateway",
+        "config": {
+            "duration_s": duration_s,
+            "n_nodes": n_nodes,
+            "period_s": period_s,
+            "snr_db": snr_db,
+            "payload_len": payload_len,
+            "n_workers": n_workers,
+            "executor": executor,
+            "seed": seed,
+            "spreading_factor": spreading_factor,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "throughput": {
+            "packets_per_s": report.packets_per_s,
+            "samples_per_s": report.samples_per_s,
+            "realtime_factor": report.realtime_factor,
+            "wall_s": report.wall_s,
+            "stream_s": report.stream_s,
+        },
+        "counts": {
+            "transmitted": len(sent),
+            "detected": report.packets_detected,
+            "decoded": report.packets_decoded,
+            "recovered": recovered,
+            "dropped": report.packets_dropped,
+            "crc_failures": report.crc_failures,
+        },
+        "stages": stages,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument("--nodes", type=int, default=2)
+    parser.add_argument("--period", type=float, default=0.5)
+    parser.add_argument("--snr", type=float, default=15.0)
+    parser.add_argument("--payload-len", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--executor", choices=("serial", "thread", "process"), default="thread"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--sf", type=int, default=7)
+    parser.add_argument("--out", default="BENCH_gateway.json")
+    args = parser.parse_args(argv)
+    result = run_benchmark(
+        duration_s=args.duration,
+        n_nodes=args.nodes,
+        period_s=args.period,
+        snr_db=args.snr,
+        payload_len=args.payload_len,
+        n_workers=args.workers,
+        executor=args.executor,
+        seed=args.seed,
+        spreading_factor=args.sf,
+    )
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    thr = result["throughput"]
+    counts = result["counts"]
+    print(
+        f"gateway bench: {counts['decoded']}/{counts['transmitted']} decoded,"
+        f" {thr['packets_per_s']:.2f} packets/s,"
+        f" {thr['samples_per_s'] / 1e3:.0f} ksamples/s,"
+        f" {thr['realtime_factor']:.2f}x realtime"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
