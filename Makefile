@@ -1,15 +1,17 @@
 # Developer workflow for the Choir reproduction.
 #
-#   make lint          repo-specific AST rules (R001-R006) + ruff, if installed
+#   make lint          repo-specific AST rules (R001-R007) + ruff, if installed
 #   make typecheck     mypy per the gradual-strictness table in pyproject.toml
 #   make test          the tier-1 suite (includes the static-analysis gate)
 #   make check         all of the above
 #   make bench-gateway streaming-gateway throughput -> BENCH_gateway.json
+#   make bench-decode  per-packet decode latency vs SF/users -> BENCH_decode.json
+#   make bench-check   regression gate vs the committed BENCH_decode.json (+-25%)
 
 PYTHON   ?= python
 PYTHONPATH := src
 
-.PHONY: lint typecheck test check bench-gateway
+.PHONY: lint typecheck test check bench-gateway bench-decode bench-check
 
 lint:
 	$(PYTHON) tools/repro_lint.py src tools
@@ -33,3 +35,10 @@ check: lint typecheck test
 
 bench-gateway:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/bench_report.py --out BENCH_gateway.json
+
+bench-decode:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/bench_decode.py --out BENCH_decode.json
+
+bench-check:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/bench_report.py \
+		--compare BENCH_decode.json --tolerance 0.25

@@ -8,7 +8,10 @@ Pipeline, mirroring Secs. 4-7 of the paper:
 3. :mod:`repro.core.chanest` / :mod:`repro.core.residual` /
    :mod:`repro.core.offsets` -- least-squares channel fits (Eqn. 2), the
    reconstruction residual (Eqn. 3), and sub-bin offset refinement by
-   residual minimization over the locally convex surface (Eqn. 4, Algm. 1).
+   residual minimization over the locally convex surface (Eqn. 4, Algm. 1);
+   :mod:`repro.core.engine` is the vectorized residual engine every sub-bin
+   search routes through (cached tone columns, batched Schur-complement
+   candidate scoring).
 4. :mod:`repro.core.sic` -- phased successive interference cancellation for
    the near-far problem (Sec. 5.2).
 5. :mod:`repro.core.isi` -- inter-symbol-interference peak de-duplication
@@ -26,6 +29,7 @@ Pipeline, mirroring Secs. 4-7 of the paper:
 from repro.core.dechirp import dechirp_windows, oversampled_spectrum
 from repro.core.peaks import Peak, find_peaks
 from repro.core.chanest import estimate_channels, reconstruct_tones, tone_matrix
+from repro.core.engine import CandidateView, ResidualEngine
 from repro.core.residual import residual_power
 from repro.core.offsets import UserEstimate, estimate_offsets, refine_offsets
 from repro.core.sic import phased_sic
@@ -57,6 +61,8 @@ __all__ = [
     "estimate_channels",
     "reconstruct_tones",
     "tone_matrix",
+    "CandidateView",
+    "ResidualEngine",
     "residual_power",
     "UserEstimate",
     "estimate_offsets",

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.dechirp import cached_sample_index
+
 
 def tone_matrix(
     positions_bins: np.ndarray,
@@ -32,7 +34,7 @@ def tone_matrix(
     users.
     """
     positions_bins = np.atleast_1d(np.asarray(positions_bins, dtype=float))
-    n = np.arange(n_samples)
+    n = cached_sample_index(n_samples)
     e = np.exp(2j * np.pi * np.outer(n, positions_bins) / n_samples)
     if delays_samples is not None:
         delays = np.atleast_1d(np.asarray(delays_samples, dtype=float))
@@ -70,7 +72,7 @@ def data_column(
     decoder subtract a strong user cleanly enough to recover a ~30 dB
     weaker one underneath (the near-far regime of Sec. 5.2).
     """
-    n = np.arange(n_samples)
+    n = cached_sample_index(n_samples)
     delta = float(delay_samples % n_samples)
     column = np.exp(2j * np.pi * (mu_bins + symbol) * n / n_samples)
     if delta > 0.0:

@@ -56,6 +56,30 @@ def cached_downchirp(params: LoRaParams) -> np.ndarray:
     )
 
 
+@lru_cache(maxsize=64)
+def _sample_index_for(n_samples: int) -> np.ndarray:
+    """The ``0..n-1`` sample-index vector, generated once per length.
+
+    Read-only for the same reason as :func:`_downchirp_for`: the array is
+    shared by every phasor-basis builder in the hot path.
+    """
+    index = np.arange(n_samples)
+    index.setflags(write=False)
+    return index
+
+
+def cached_sample_index(n_samples: int) -> np.ndarray:
+    """Read-only cached ``np.arange(n_samples)`` phasor index.
+
+    Every DTFT basis in the receiver (:func:`evaluate_spectrum_at`, the
+    tone matrix, the residual engine's candidate columns) starts from this
+    vector; allocating it per call measurably taxed the offset search,
+    which builds thousands of bases per packet.  Mirrors
+    :func:`cached_downchirp`.
+    """
+    return _sample_index_for(n_samples)
+
+
 def dechirp_windows(
     params: LoRaParams, samples: np.ndarray, n_windows: int | None = None, start: int = 0
 ) -> np.ndarray:
@@ -104,7 +128,7 @@ def evaluate_spectrum_at(dechirped: np.ndarray, positions_bins: np.ndarray) -> n
     dechirped = np.asarray(dechirped)
     n = dechirped.shape[-1]
     positions_bins = np.atleast_1d(np.asarray(positions_bins, dtype=float))
-    basis = np.exp(-2j * np.pi * np.outer(positions_bins, np.arange(n)) / n)
+    basis = np.exp(-2j * np.pi * np.outer(positions_bins, cached_sample_index(n)) / n)
     return basis @ dechirped
 
 

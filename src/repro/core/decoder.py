@@ -22,6 +22,7 @@ import numpy as np
 from repro.core.chanest import data_column, solve_channels
 from repro.core.dechirp import (
     DEFAULT_OVERSAMPLE,
+    cached_sample_index,
     dechirp_windows,
     evaluate_spectrum_at,
     oversampled_spectrum,
@@ -103,6 +104,11 @@ class ChoirDecoder:
     refine:
         Enable the sub-bin residual-minimization refinement; disabling it
         reproduces the coarse-only ablation.
+    use_engine:
+        Route the preamble residual searches through the batched
+        :class:`repro.core.engine.ResidualEngine` paths (the default);
+        ``False`` selects the scalar reference loops, which produce the
+        same estimates ~an order of magnitude slower.
     """
 
     def __init__(
@@ -112,6 +118,7 @@ class ChoirDecoder:
         threshold_snr: float = 4.0,
         tier_ratio_db: float = 9.0,
         refine: bool = True,
+        use_engine: bool = True,
         rng: RngLike = None,
     ) -> None:
         self.params = params
@@ -119,6 +126,7 @@ class ChoirDecoder:
         self.threshold_snr = threshold_snr
         self.tier_ratio_db = tier_ratio_db
         self.refine = refine
+        self.use_engine = use_engine
         self._rng = ensure_rng(rng)
 
     # ------------------------------------------------------------------
@@ -162,6 +170,7 @@ class ChoirDecoder:
             threshold_snr=self.threshold_snr,
             max_users=max_users,
             refine=self.refine,
+            use_engine=self.use_engine,
             rng=self._rng,
         )
 
@@ -202,7 +211,7 @@ class ChoirDecoder:
         residual near the noise floor in the near-far regime.
         """
         n = dechirped.size
-        samples = np.arange(n)
+        samples = cached_sample_index(n)
         decided = np.zeros(len(users), dtype=np.int64)
         decided_users: list[int] = []
         residual = dechirped
@@ -424,7 +433,7 @@ class ChoirDecoder:
         peak went undetected fall back to that user's matched filter.
         """
         n = windows.shape[-1]
-        samples = np.arange(n)
+        samples = cached_sample_index(n)
         peak_windows = [
             find_peaks(
                 oversampled_spectrum(windows[m], self.oversample),

@@ -25,6 +25,7 @@ from scipy import optimize
 
 from repro.core.chanest import estimate_channels
 from repro.core.dechirp import DEFAULT_OVERSAMPLE, dechirp_windows, oversampled_spectrum
+from repro.core.engine import ResidualEngine
 from repro.core.peaks import Peak, find_peaks
 from repro.core.residual import residual_power
 from repro.phy.params import LoRaParams
@@ -172,9 +173,14 @@ def refine_offsets(
 ) -> np.ndarray:
     """Refine offsets to sub-bin accuracy by residual minimization.
 
-    ``method="coordinate"`` (default) performs cyclic golden-section
-    sweeps, one offset at a time with the others held fixed -- fast and
-    reliable thanks to the local convexity of the residual (Fig. 4).
+    ``method="coordinate"`` (default) performs cyclic coordinate sweeps,
+    one offset at a time with the others held fixed -- fast and reliable
+    thanks to the local convexity of the residual (Fig. 4) -- routed
+    through :class:`repro.core.engine.ResidualEngine`, which scores each
+    bracket round as one batched solve.  ``method="coordinate-scalar"``
+    runs the original per-trial golden-section loop over
+    :func:`repro.core.residual.residual_power`; it is the reference the
+    engine path is tested against (agreement within ``tol_bins``).
     ``method="nelder-mead"`` runs the joint simplex search with random
     restarts, mirroring the paper's stochastic-descent description; it is
     slower but jointly optimal, and tests verify both agree.
@@ -184,6 +190,14 @@ def refine_offsets(
     if coarse_positions.size == 0:
         return coarse_positions
     if method == "coordinate":
+        return ResidualEngine(rows).refine(
+            coarse_positions,
+            half_width_bins=half_width_bins,
+            delays_samples=delays_samples,
+            n_sweeps=n_sweeps,
+            tol_bins=tol_bins,
+        )
+    if method == "coordinate-scalar":
         positions = coarse_positions.copy()
         for _ in range(n_sweeps):
             for k in range(positions.size):
@@ -258,6 +272,8 @@ def estimate_delays(
     coarse_step: float = 1.0,
     n_passes: int = 2,
     min_improvement: float = 1e-3,
+    lobe_tie_rel: float = 1e-3,
+    use_engine: bool = True,
 ) -> np.ndarray:
     """Estimate each user's sub-symbol delay from the boundary glitch.
 
@@ -274,6 +290,20 @@ def estimate_delays(
     improves the residual by a relative ``min_improvement`` -- a flat
     landscape means the glitch is unobservable (or zero), so the estimate
     stays put rather than chasing noise.
+
+    The glitch *phase* depends only on ``frac(delta)``, so the integer
+    lobes of the delay landscape are discriminated solely by the glitch
+    head's length -- a weak signal that noise easily inverts.  Among grid
+    lobes within a relative ``lobe_tie_rel`` of the best residual the
+    search therefore prefers the **smallest** delay (the beacon-slotted
+    MAC keeps wake-up offsets small, and a too-large delay corrupts far
+    more of the data-stage window model than a too-small one).
+
+    With ``use_engine`` (the default) each user's delay grid is scored as
+    one batched Schur-complement pass against a
+    :class:`repro.core.engine.CandidateView` of the other users;
+    ``use_engine=False`` keeps the original per-trial
+    :func:`repro.core.residual.residual_power` loop as the reference.
     """
     rows = np.atleast_2d(np.asarray(dechirped_windows_arr))
     positions = np.atleast_1d(np.asarray(positions_bins, dtype=float))
@@ -291,22 +321,56 @@ def estimate_delays(
     for k in range(positions.size):
         slope = _phase_slope(channels[:, k])
         fracs[k] = (slope - positions[k]) % 1.0
+    engine = ResidualEngine(rows) if use_engine else None
     for _ in range(n_passes):
         for k in strength_order:
-            def fun(delta: float, k: int = int(k)) -> float:
+            k = int(k)
+            grid = fracs[k] + np.arange(0.0, max_delay_samples, coarse_step)
+            if engine is not None:
+                view = engine.view(positions, delays, k)
+                mu = float(positions[k])
+                current_cost = float(
+                    view.residuals(np.array([mu]), np.array([max(delays[k], 0.0)]))[0]
+                )
+                costs = view.residuals(
+                    np.full(grid.size, mu), np.maximum(grid, 0.0)
+                )
+                # Occam lobe tie-break: grid is ascending, take the first
+                # (smallest-delay) lobe within lobe_tie_rel of the best.
+                tied = np.nonzero(
+                    costs <= float(np.min(costs)) * (1.0 + lobe_tie_rel)
+                )[0]
+                best = int(tied[0])
+                candidate = view.minimize(
+                    grid[best] - 0.25,
+                    grid[best] + 0.25,
+                    tol=0.02,
+                    vary="delay",
+                    fixed=mu,
+                )
+                candidate_cost = float(
+                    view.residuals(np.array([mu]), np.array([max(candidate, 0.0)]))[0]
+                )
+                if candidate_cost < current_cost * (1.0 - min_improvement):
+                    delays[k] = max(candidate, 0.0)
+                continue
+
+            def fun(delta: float, k: int = k) -> float:
                 trial = delays.copy()
                 trial[k] = max(delta, 0.0)
                 return residual_power(rows, positions, trial)
 
-            grid = fracs[int(k)] + np.arange(0.0, max_delay_samples, coarse_step)
-            current_cost = fun(delays[int(k)])
+            current_cost = fun(delays[k])
             costs = np.array([fun(delta) for delta in grid])
-            best = int(np.argmin(costs))
+            tied = np.nonzero(
+                costs <= float(np.min(costs)) * (1.0 + lobe_tie_rel)
+            )[0]
+            best = int(tied[0])
             candidate = golden_section_minimize(
                 fun, grid[best] - 0.25, grid[best] + 0.25, tol=0.02
             )
             if fun(candidate) < current_cost * (1.0 - min_improvement):
-                delays[int(k)] = max(candidate, 0.0)
+                delays[k] = max(candidate, 0.0)
     return delays
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.chanest import estimate_channels, reconstruct_tones
+from repro.core.engine import ResidualEngine
 
 
 def residual_power(
@@ -45,6 +46,11 @@ def residual_surface(
     Varies the two offsets selected by ``axes`` over
     ``center +/- span_bins/2`` while holding any others fixed; returns
     ``(grid_i, grid_j, surface)``.
+
+    Every grid cell sets *both* varied coordinates, so the cells are
+    independent of evaluation order; the whole surface is therefore scored
+    as one batched :meth:`repro.core.engine.ResidualEngine.residuals_at`
+    call (a regression test pins it against the original scalar loop).
     """
     center_bins = np.asarray(center_bins, dtype=float)
     if center_bins.size < 2:
@@ -52,11 +58,9 @@ def residual_surface(
     i, j = axes
     grid_i = center_bins[i] + np.linspace(-span_bins / 2, span_bins / 2, n_points)
     grid_j = center_bins[j] + np.linspace(-span_bins / 2, span_bins / 2, n_points)
-    surface = np.zeros((n_points, n_points))
-    trial = center_bins.copy()
-    for a, fi in enumerate(grid_i):
-        for b, fj in enumerate(grid_j):
-            trial[i] = fi
-            trial[j] = fj
-            surface[a, b] = residual_power(dechirped, trial)
-    return grid_i, grid_j, surface
+    candidates = np.tile(center_bins, (n_points * n_points, 1))
+    mesh_i, mesh_j = np.meshgrid(grid_i, grid_j, indexing="ij")
+    candidates[:, i] = mesh_i.ravel()
+    candidates[:, j] = mesh_j.ravel()
+    surface = ResidualEngine(dechirped).residuals_at(candidates)
+    return grid_i, grid_j, surface.reshape(n_points, n_points)

@@ -64,6 +64,10 @@ class GatewayConfig:
         Cap on SIC user estimates per decoded window; bounds the
         worst-case decode time on windows full of interference
         (None = uncapped).
+    use_engine:
+        Route decode residual searches through the batched
+        :class:`repro.core.engine.ResidualEngine` paths (default); the
+        scalar reference loops are selected with ``False``.
     seed:
         Master seed; per-job decode RNGs derive from it.
     """
@@ -79,6 +83,7 @@ class GatewayConfig:
     coding_rate: int = 4
     synchronize: bool = True
     max_users: Optional[int] = 4
+    use_engine: bool = True
     seed: Optional[int] = None
 
     def n_data_symbols(self) -> int:
@@ -242,6 +247,7 @@ class Gateway:
             # detected start, so the true boundary is inside the first three.
             sync_search_symbols=3,
             max_users=config.max_users,
+            use_engine=config.use_engine,
             rng=config.seed,
             telemetry=telemetry,
         )

@@ -122,6 +122,7 @@ def decode_packet_window(
     coding_rate: int = 4,
     sync_search_symbols: int = 0,
     max_users: Optional[int] = None,
+    use_engine: bool = True,
 ) -> DecodeOutcome:
     """Decode one packet window with a job-keyed deterministic RNG.
 
@@ -141,7 +142,9 @@ def decode_packet_window(
     ship it to workers; everything it touches is picklable.
     """
     started = time.perf_counter()
-    decoder = ChoirDecoder(params, rng=derive_rng(base_seed, job.job_id))
+    decoder = ChoirDecoder(
+        params, use_engine=use_engine, rng=derive_rng(base_seed, job.job_id)
+    )
     framer = LoRaFramer(params, coding_rate=coding_rate)
     n = params.samples_per_symbol
     if synchronize:
@@ -216,6 +219,10 @@ class DecodeWorkerPool:
     max_users:
         Cap on SIC user estimates per window (None = uncapped); bounds
         the worst-case decode time on windows full of interference.
+    use_engine:
+        Route each decoder's residual searches through the batched
+        :class:`repro.core.engine.ResidualEngine` paths (default); the
+        scalar reference loops are selected with ``False``.
     rng:
         Pool seed; each job's decoder RNG is derived from it by job id.
     telemetry:
@@ -233,6 +240,7 @@ class DecodeWorkerPool:
         coding_rate: int = 4,
         sync_search_symbols: int = 0,
         max_users: Optional[int] = None,
+        use_engine: bool = True,
         rng: RngLike = None,
         telemetry: Optional[Telemetry] = None,
     ) -> None:
@@ -255,6 +263,7 @@ class DecodeWorkerPool:
         self.coding_rate = coding_rate
         self.sync_search_symbols = sync_search_symbols
         self.max_users = max_users
+        self.use_engine = use_engine
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._base_seed = as_seed_sequence(rng)
         self._outcomes: List[DecodeOutcome] = []
@@ -291,6 +300,7 @@ class DecodeWorkerPool:
                 coding_rate=self.coding_rate,
                 sync_search_symbols=self.sync_search_symbols,
                 max_users=self.max_users,
+                use_engine=self.use_engine,
             )
         except Exception as exc:  # defensive: a worker must never die
             self.telemetry.counter("decode.errors").inc()
@@ -394,6 +404,7 @@ class DecodeWorkerPool:
             coding_rate=self.coding_rate,
             sync_search_symbols=self.sync_search_symbols,
             max_users=self.max_users,
+            use_engine=self.use_engine,
         )
         with self._lock:
             self._futures[job.job_id] = future

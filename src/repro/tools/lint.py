@@ -31,6 +31,12 @@ R004      No mutable default arguments (``[]``, ``{}``, ``set()``...).
 R005      No bare ``except:`` clauses.
 R006      Public functions and methods in ``core/`` and ``phy/`` must
           have docstrings.
+R007      No direct ``np.linalg.lstsq`` calls in ``core/`` outside
+          ``chanest.py`` / ``engine.py``.  The SVD-based solver is the
+          scalar *reference* path; hot code must route residual and
+          channel solves through the normal-equations paths of
+          :mod:`repro.core.engine` (or the chanest reference helpers)
+          so decode latency stays bounded.
 ========  =============================================================
 
 Suppression: append ``# noqa`` (all rules) or ``# noqa: R003`` /
@@ -54,10 +60,16 @@ RULES: dict[str, str] = {
     "R004": "mutable default argument",
     "R005": "bare `except:` clause",
     "R006": "public function in core/ or phy/ missing a docstring",
+    "R007": "np.linalg.lstsq in core/ outside chanest.py/engine.py; "
+    "use repro.core.engine",
 }
 
 #: Files allowed to touch ``np.random`` directly (the RNG plumbing itself).
 _RNG_ALLOWED_SUFFIXES: tuple[tuple[str, ...], ...] = (("utils", "rng.py"),)
+
+#: ``core/`` files allowed to call ``np.linalg.lstsq`` directly: the
+#: reference channel solver and the engine's own degenerate-Gram fallback.
+_R007_ALLOWED_NAMES = frozenset({"chanest.py", "engine.py"})
 
 #: Terminal attribute names that make an operand a *property of* an
 #: offset/bin array (its size, shape, ...) rather than the quantity itself.
@@ -126,6 +138,9 @@ class _Checker(ast.NodeVisitor):
         self._docstring_scope = any(
             part in ("core", "phy") for part in path.parent.parts
         )
+        self._lstsq_scope = (
+            "core" in path.parent.parts and path.name not in _R007_ALLOWED_NAMES
+        )
         self._has_future_annotations = any(
             isinstance(node, ast.ImportFrom)
             and node.module == "__future__"
@@ -137,6 +152,9 @@ class _Checker(ast.NodeVisitor):
         self._numpy_aliases: set[str] = set()
         self._random_aliases: set[str] = set()
         self._random_func_aliases: set[str] = set()
+        # R007 alias maps: names bound to numpy.linalg / its lstsq.
+        self._linalg_aliases: set[str] = set()
+        self._lstsq_aliases: set[str] = set()
         # Class nesting depth, to distinguish methods from nested closures.
         self._scope_stack: list[ast.AST] = [tree]
 
@@ -163,6 +181,8 @@ class _Checker(ast.NodeVisitor):
                     self._numpy_aliases.add(bound)
                 elif alias.name == "numpy.random":
                     self._random_aliases.add(bound)
+                elif alias.name == "numpy.linalg":
+                    self._linalg_aliases.add(bound)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -173,7 +193,24 @@ class _Checker(ast.NodeVisitor):
         elif node.module == "numpy.random":
             for alias in node.names:
                 self._random_func_aliases.add(alias.asname or alias.name)
+        elif node.module == "numpy.linalg":
+            for alias in node.names:
+                if alias.name == "lstsq":
+                    self._lstsq_aliases.add(alias.asname or alias.name)
         self.generic_visit(node)
+
+    # -- R007: lstsq discipline in core/ -------------------------------
+
+    def _is_lstsq_call(self, chain: tuple[str, ...]) -> bool:
+        if (
+            len(chain) == 3
+            and chain[0] in self._numpy_aliases
+            and chain[1:] == ("linalg", "lstsq")
+        ):
+            return True
+        if len(chain) == 2 and chain[0] in self._linalg_aliases and chain[1] == "lstsq":
+            return True
+        return len(chain) == 1 and chain[0] in self._lstsq_aliases
 
     # -- R001: rng discipline ------------------------------------------
 
@@ -186,6 +223,15 @@ class _Checker(ast.NodeVisitor):
                     node.lineno,
                     f"direct call to {'.'.join(chain)}; route randomness "
                     "through repro.utils.rng.ensure_rng",
+                )
+        if self._lstsq_scope:
+            chain = _dotted_name(node.func)
+            if chain is not None and self._is_lstsq_call(chain):
+                self._report(
+                    "R007",
+                    node.lineno,
+                    f"direct call to {'.'.join(chain)} in core/; route the "
+                    "solve through repro.core.engine (normal equations)",
                 )
         self.generic_visit(node)
 
@@ -388,7 +434,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point: 0 when clean, 1 on any diagnostic, 2 on bad usage."""
     parser = argparse.ArgumentParser(
         prog="repro-lint",
-        description="Choir repo-specific static analysis (rules R001-R006).",
+        description="Choir repo-specific static analysis (rules R001-R007).",
     )
     parser.add_argument(
         "paths",

@@ -1,4 +1,4 @@
-"""Unit tests for every repro-lint rule (R001-R006), positive and negative."""
+"""Unit tests for every repro-lint rule (R001-R007), positive and negative."""
 
 import subprocess
 import sys
@@ -255,6 +255,51 @@ class TestR006Docstrings:
         assert codes_for(source, path="src/repro/experiments/example.py") == []
 
 
+class TestR007LstsqInCore:
+    def test_flags_np_linalg_lstsq_in_core(self):
+        source = """
+            import numpy as np
+            h = np.linalg.lstsq(a, b, rcond=None)
+            """
+        assert codes_for(source, path="src/repro/core/residual.py") == ["R007"]
+
+    def test_flags_linalg_submodule_alias(self):
+        source = """
+            import numpy.linalg as la
+            h = la.lstsq(a, b, rcond=None)
+            """
+        assert codes_for(source, path="src/repro/core/sic.py") == ["R007"]
+
+    def test_flags_from_import(self):
+        source = """
+            from numpy.linalg import lstsq as solve
+            h = solve(a, b, rcond=None)
+            """
+        assert codes_for(source, path="src/repro/core/offsets.py") == ["R007"]
+
+    def test_allows_chanest_and_engine(self):
+        source = """
+            import numpy as np
+            h = np.linalg.lstsq(a, b, rcond=None)
+            """
+        assert codes_for(source, path="src/repro/core/chanest.py") == []
+        assert codes_for(source, path="src/repro/core/engine.py") == []
+
+    def test_not_enforced_outside_core(self):
+        source = """
+            import numpy as np
+            h = np.linalg.lstsq(a, b, rcond=None)
+            """
+        assert codes_for(source, path="src/repro/phy/example.py") == []
+
+    def test_allows_other_linalg_calls_in_core(self):
+        source = """
+            import numpy as np
+            h = np.linalg.solve(a, b)
+            """
+        assert codes_for(source, path="src/repro/core/residual.py") == []
+
+
 class TestDiagnosticsAndCli:
     def test_diagnostic_format_is_file_line_code(self):
         diagnostics = lint_source(
@@ -268,8 +313,16 @@ class TestDiagnosticsAndCli:
         diagnostics = lint_source("def broken(:\n", Path("src/repro/core/x.py"))
         assert [d.code for d in diagnostics] == ["E999"]
 
-    def test_rule_catalog_covers_r001_through_r006(self):
-        assert sorted(RULES) == ["R001", "R002", "R003", "R004", "R005", "R006"]
+    def test_rule_catalog_covers_r001_through_r007(self):
+        assert sorted(RULES) == [
+            "R001",
+            "R002",
+            "R003",
+            "R004",
+            "R005",
+            "R006",
+            "R007",
+        ]
 
     def test_lint_paths_walks_directories(self, tmp_path):
         (tmp_path / "ok.py").write_text("X = 1\n")
@@ -292,7 +345,7 @@ class TestDiagnosticsAndCli:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        assert "R001" in out and "R006" in out
+        assert "R001" in out and "R007" in out
 
     def test_wrapper_script_runs_without_pythonpath(self, tmp_path):
         wrapper = REPO_ROOT / "tools" / "repro_lint.py"

@@ -6,11 +6,18 @@ hardware with: packets/s and samples/s of sustained throughput, the
 realtime factor, and per-stage latency percentiles straight from the
 telemetry layer.
 
+Also hosts the regression gate shared with ``tools/bench_decode.py``:
+``--compare baseline.json`` re-runs the benchmark named inside the
+baseline (or reads ``--candidate``) and fails if any latency percentile
+exceeds the baseline by more than ``--tolerance`` (default 25%).
+
 Usage::
 
     PYTHONPATH=src python tools/bench_report.py                  # defaults
     PYTHONPATH=src python tools/bench_report.py --duration 10 \
         --workers 4 --out BENCH_gateway.json
+    PYTHONPATH=src python tools/bench_report.py \
+        --compare BENCH_decode.json --tolerance 0.25
 """
 
 from __future__ import annotations
@@ -113,6 +120,70 @@ def run_benchmark(
     }
 
 
+#: Percentiles gated by ``--compare`` (means/maxima are too noisy to gate).
+COMPARE_KEYS = ("p50_s", "p95_s")
+
+
+def latency_metrics(report: dict) -> dict[str, float]:
+    """Flatten a benchmark report into comparable ``{label: seconds}`` pairs."""
+    metrics: dict[str, float] = {}
+    if report.get("benchmark") == "decode":
+        for case in report.get("cases", ()):
+            label = f"sf{case['spreading_factor']}.k{case['n_users']}"
+            for key in COMPARE_KEYS:
+                metrics[f"{label}.{key}"] = float(case["latency_s"][key])
+    else:
+        for stage, hist in report.get("stages", {}).items():
+            for key in COMPARE_KEYS:
+                if key in hist:
+                    metrics[f"{stage}.{key}"] = float(hist[key])
+    return metrics
+
+
+def rerun_from(baseline: dict) -> dict:
+    """Re-run the benchmark a baseline report was produced by, same config."""
+    config = dict(baseline.get("config", {}))
+    if baseline.get("benchmark") == "decode":
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        import bench_decode
+
+        return bench_decode.run_benchmark(**config)
+    return run_benchmark(**config)
+
+
+def compare_reports(
+    baseline: dict,
+    candidate: dict,
+    tolerance: float = 0.25,
+    slack_s: float = 0.002,
+) -> list[str]:
+    """Return the metrics where ``candidate`` regressed past the tolerance.
+
+    Only slowdowns fail: a candidate faster than baseline is reported but
+    never treated as a regression.  ``slack_s`` is an absolute grace on top
+    of the relative limit so sub-10ms metrics, dominated by fixed overhead
+    and scheduler jitter, do not flap the gate.
+    """
+    regressions = []
+    base = latency_metrics(baseline)
+    cand = latency_metrics(candidate)
+    for name, ref in sorted(base.items()):
+        value = cand.get(name)
+        if value is None:
+            regressions.append(name)
+            print(f"  FAIL {name}: missing from candidate")
+            continue
+        limit = ref * (1.0 + tolerance) + slack_s
+        verdict = "FAIL" if value > limit else "ok  "
+        print(
+            f"  {verdict} {name}: {value * 1e3:.2f}ms"
+            f" (baseline {ref * 1e3:.2f}ms, limit {limit * 1e3:.2f}ms)"
+        )
+        if value > limit:
+            regressions.append(name)
+    return regressions
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -128,7 +199,47 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--sf", type=int, default=7)
     parser.add_argument("--out", default="BENCH_gateway.json")
+    parser.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        help="regression mode: check a fresh run (or --candidate) against"
+        " this baseline JSON instead of writing a report",
+    )
+    parser.add_argument(
+        "--candidate",
+        metavar="CANDIDATE",
+        help="with --compare: compare this report instead of re-running",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="with --compare: allowed fractional latency slowdown (0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--slack",
+        type=float,
+        default=0.002,
+        help="with --compare: absolute grace in seconds on top of the"
+        " relative limit (jitter floor for sub-10ms metrics)",
+    )
     args = parser.parse_args(argv)
+    if args.compare:
+        baseline = json.loads(Path(args.compare).read_text())
+        if args.candidate:
+            candidate = json.loads(Path(args.candidate).read_text())
+        else:
+            print(f"re-running '{baseline.get('benchmark')}' benchmark ...")
+            candidate = rerun_from(baseline)
+        print(f"comparing against {args.compare} (tolerance {args.tolerance:.0%}):")
+        regressions = compare_reports(
+            baseline, candidate, args.tolerance, slack_s=args.slack
+        )
+        if regressions:
+            print(f"REGRESSION: {len(regressions)} metric(s) over tolerance")
+            return 1
+        print("no regressions")
+        return 0
     result = run_benchmark(
         duration_s=args.duration,
         n_nodes=args.nodes,
