@@ -1,0 +1,36 @@
+"""Timing-assertion gate that softens to report-only on shared CI runners.
+
+Wall-clock floors (``engine >= 5x scalar``, ``realtime_factor > 1``) are
+meaningful on a quiet developer machine but flake on oversubscribed CI
+runners, where a noisy neighbour can halve any measurement.  Routing such
+assertions through :func:`perf_gate` keeps the hard failure locally and
+downgrades it to a loud warning when ``CI=1`` is set (GitHub Actions sets
+``CI=true`` automatically) -- the number is still printed in the job log,
+it just cannot fail the build.
+
+Correctness assertions (decoded payloads, CRC results) must *never* go
+through this gate; only wall-clock comparisons belong here.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+
+def in_ci() -> bool:
+    """Whether we are running under a CI environment (``CI`` env var set)."""
+    return os.environ.get("CI", "").lower() not in ("", "0", "false")
+
+
+def perf_gate(condition: bool, message: str) -> None:
+    """Assert ``condition`` locally; warn instead when running under CI."""
+    if condition:
+        return
+    if in_ci():
+        warnings.warn(
+            f"perf gate failed (report-only under CI): {message}",
+            stacklevel=2,
+        )
+        return
+    raise AssertionError(message)

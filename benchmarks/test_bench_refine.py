@@ -12,6 +12,7 @@ import time
 
 import numpy as np
 import pytest
+from benchmarks.perf import perf_gate
 
 from repro.core.chanest import tone_matrix
 from repro.core.engine import ResidualEngine
@@ -66,9 +67,10 @@ def test_bench_refine_engine_speedup(benchmark, n_users):
     refined_scalar = refine_offsets(windows, coarse, method="coordinate-scalar")
     refined_engine = benchmark(lambda: engine.refine(coarse))
     np.testing.assert_allclose(refined_engine, refined_scalar, atol=5e-3)
-    assert speedup >= 5.0, (
+    perf_gate(
+        speedup >= 5.0,
         f"K={n_users}: engine {engine_s * 1e3:.2f}ms vs scalar "
-        f"{scalar_s * 1e3:.2f}ms = {speedup:.1f}x (< 5x floor)"
+        f"{scalar_s * 1e3:.2f}ms = {speedup:.1f}x (< 5x floor)",
     )
 
 
@@ -84,4 +86,4 @@ def test_bench_refine_single_user(benchmark):
     engine_s = _timed(lambda: engine.refine(coarse))
     benchmark.extra_info["speedup"] = scalar_s / max(engine_s, 1e-12)
     benchmark(lambda: engine.refine(coarse))
-    assert engine_s <= scalar_s, "engine slower than scalar for K=1"
+    perf_gate(engine_s <= scalar_s, "engine slower than scalar for K=1")

@@ -141,50 +141,107 @@ def cmd_report(output_dir: str, names: list[str]) -> int:
     return 0
 
 
+def _parse_sf_set(text: str) -> tuple[int, ...]:
+    """Parse a ``--sf-set`` comma list like ``7,8`` into a tuple of ints."""
+    try:
+        values = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad --sf-set {text!r}: {exc}") from exc
+    if not values:
+        raise argparse.ArgumentTypeError("--sf-set must name at least one SF")
+    return values
+
+
 def cmd_gateway(args: argparse.Namespace) -> int:
     """Run the streaming gateway and print its telemetry summary."""
     from repro.gateway import (
         Gateway,
         GatewayConfig,
         IqFileSource,
+        ShardedGateway,
+        ShardedGatewayConfig,
         SyntheticTrafficSource,
     )
     from repro.gateway.sources import SampleSource
     from repro.mac.simulator import NodeConfig
-    from repro.phy.params import LoRaParams
+    from repro.phy.params import ChannelPlan, LoRaParams
 
-    params = LoRaParams(spreading_factor=args.sf)
-    config = GatewayConfig(
-        params=params,
-        payload_len=args.payload_len,
-        n_workers=args.workers,
-        executor=args.executor,
-        queue_capacity=args.queue_capacity,
-        drop_policy=args.drop_policy,
-        seed=args.seed,
-    )
-    source: SampleSource
-    if args.input is not None:
-        source = IqFileSource(params, args.input)
-        print(f"replaying {args.input}")
-    else:
+    sf_set = args.sf_set if args.sf_set is not None else (args.sf,)
+    multi_channel = args.channels > 1 or len(sf_set) > 1
+    params = LoRaParams(spreading_factor=sf_set[0])
+    gateway: Gateway | ShardedGateway
+    if multi_channel:
+        if args.input is not None:
+            print("--input replay is single-channel only", file=sys.stderr)
+            return 2
+        plan = ChannelPlan.eu868_style(args.channels)
+        sharded_config = ShardedGatewayConfig(
+            plan=plan,
+            sf_set=sf_set,
+            payload_len=args.payload_len,
+            n_workers=args.workers,
+            executor=args.executor,
+            queue_capacity=args.queue_capacity,
+            drop_policy=args.drop_policy,
+            seed=args.seed,
+        )
         nodes = [
-            NodeConfig(node_id=i, snr_db=args.snr, period_s=args.period)
+            NodeConfig(
+                node_id=i,
+                snr_db=args.snr,
+                period_s=args.period,
+                channel=i % plan.n_channels,
+                spreading_factor=sf_set[i % len(sf_set)],
+            )
             for i in range(args.nodes)
         ]
-        source = SyntheticTrafficSource(
+        source: SampleSource = SyntheticTrafficSource(
             params,
             nodes,
             duration_s=args.duration,
             payload_len=args.payload_len,
+            plan=plan,
             rng=args.seed,
         )
         print(
-            f"synthesizing {args.duration:.1f}s of traffic:"
-            f" {args.nodes} node(s), period {args.period}s, {args.snr:.0f} dB SNR,"
+            f"synthesizing {args.duration:.1f}s of wideband traffic:"
+            f" {args.nodes} node(s) across {plan.n_channels} channel(s),"
+            f" SF set {','.join(str(s) for s in sharded_config.sf_set)},"
+            f" period {args.period}s, {args.snr:.0f} dB SNR,"
             f" {len(source.transmitted)} packets"
         )
-    gateway = Gateway(config)
+        gateway = ShardedGateway(sharded_config)
+    else:
+        config = GatewayConfig(
+            params=params,
+            payload_len=args.payload_len,
+            n_workers=args.workers,
+            executor=args.executor,
+            queue_capacity=args.queue_capacity,
+            drop_policy=args.drop_policy,
+            seed=args.seed,
+        )
+        if args.input is not None:
+            source = IqFileSource(params, args.input)
+            print(f"replaying {args.input}")
+        else:
+            nodes = [
+                NodeConfig(node_id=i, snr_db=args.snr, period_s=args.period)
+                for i in range(args.nodes)
+            ]
+            source = SyntheticTrafficSource(
+                params,
+                nodes,
+                duration_s=args.duration,
+                payload_len=args.payload_len,
+                rng=args.seed,
+            )
+            print(
+                f"synthesizing {args.duration:.1f}s of traffic:"
+                f" {args.nodes} node(s), period {args.period}s, {args.snr:.0f} dB SNR,"
+                f" {len(source.transmitted)} packets"
+            )
+        gateway = Gateway(config)
     report = gateway.run(source)
     print(report.summary())
     if isinstance(source, SyntheticTrafficSource):
@@ -245,6 +302,18 @@ def main(argv: list[str] | None = None) -> int:
         "--executor", choices=("serial", "thread", "process"), default="thread"
     )
     gw.add_argument("--sf", type=int, default=7, help="spreading factor")
+    gw.add_argument(
+        "--channels",
+        type=int,
+        default=1,
+        help="channels in the (EU868-style) plan; >1 runs the sharded gateway",
+    )
+    gw.add_argument(
+        "--sf-set",
+        type=_parse_sf_set,
+        default=None,
+        help="comma list of SFs to scan per channel (e.g. 7,8); implies sharding",
+    )
     gw.add_argument("--nodes", type=int, default=2, help="synthetic node count")
     gw.add_argument(
         "--period", type=float, default=0.5, help="per-node transmit period (s)"

@@ -200,10 +200,15 @@ def sliding_packet_search(
 
     With ``earliest=True`` (the streaming-gateway mode), the search stops at
     the *first* detection instead of the global best: once a start crosses
-    the threshold, only the next ``preamble_len - 1`` starts compete for the
-    local score peak.  A capture holding several back-to-back packets then
-    reports the first packet's preamble rather than whichever is strongest,
-    so a caller consuming the buffer front-to-back never skips one.
+    the threshold, later starts compete for the local score peak only while
+    the score keeps improving -- every new best pushes the horizon out by
+    another ``preamble_len - 1`` starts, so a marginal early crossing (e.g.
+    adjacent-channel leakage nudging the floor just past the threshold a few
+    windows before a real preamble) still climbs to the true start.  Once
+    past the peak the scores decay, the horizon freezes, and the search
+    stops well before the next packet (at least a frame away) could outbid
+    this one -- so a caller consuming the buffer front-to-back never skips
+    a packet.
     """
     samples = np.asarray(samples)
     n = params.samples_per_symbol
@@ -237,8 +242,13 @@ def sliding_packet_search(
                 peaks=result.peaks,
                 score=result.score,
             )
+            if earliest and last_start is not None:
+                # Still climbing towards the preamble's score peak: give
+                # the refinement another preamble span to keep improving.
+                last_start = max(last_start, start + params.preamble_len - 1)
         if earliest and result.detected and last_start is None:
-            # Keep refining within one preamble span of the first crossing,
-            # then stop -- later packets must not outbid this one.
+            # Keep refining within one preamble span of the first crossing
+            # (extended while the score rises), then stop -- later packets
+            # must not outbid this one.
             last_start = start + params.preamble_len - 1
     return best

@@ -21,10 +21,38 @@ Quick start::
     )
     report = Gateway(config).run(source)
     print(report.summary())
+
+Multi-channel quick start (8 channels, mixed SF7/SF8, one shared pool)::
+
+    from repro.gateway import ShardedGateway, ShardedGatewayConfig
+    from repro.phy import ChannelPlan
+
+    plan = ChannelPlan.eu868_style(8)
+    config = ShardedGatewayConfig(plan=plan, sf_set=(7, 8), n_workers=4, seed=0)
+    source = SyntheticTrafficSource(
+        LoRaParams(spreading_factor=7),
+        nodes=[
+            NodeConfig(node_id=i, snr_db=15.0, period_s=0.5,
+                       channel=i % 8, spreading_factor=7 + i % 2)
+            for i in range(16)
+        ],
+        duration_s=5.0,
+        plan=plan,
+        rng=0,
+    )
+    report = ShardedGateway(config).run(source)
+    print(report.summary())  # includes the per-shard recovery table
 """
 
+from repro.gateway.channelizer import (
+    DEFAULT_TAPS_PER_BRANCH,
+    PolyphaseChannelizer,
+    prototype_filter,
+    upconvert_to_channel,
+)
 from repro.gateway.ring import SampleRing
-from repro.gateway.runtime import Gateway, GatewayConfig, GatewayReport
+from repro.gateway.runtime import Gateway, GatewayConfig, GatewayReport, StreamScanner
+from repro.gateway.sharded import ShardedGateway, ShardedGatewayConfig
 from repro.gateway.sources import (
     DEFAULT_CHUNK_SAMPLES,
     IqFileSource,
@@ -37,6 +65,7 @@ from repro.gateway.telemetry import (
     DurationHistogram,
     Gauge,
     Telemetry,
+    shard_label,
 )
 from repro.gateway.workers import (
     DROP_POLICIES,
@@ -51,6 +80,7 @@ from repro.gateway.workers import (
 __all__ = [
     "Counter",
     "DEFAULT_CHUNK_SAMPLES",
+    "DEFAULT_TAPS_PER_BRANCH",
     "DROP_POLICIES",
     "DecodeJob",
     "DecodeOutcome",
@@ -62,11 +92,18 @@ __all__ = [
     "GatewayReport",
     "Gauge",
     "IqFileSource",
+    "PolyphaseChannelizer",
     "SampleRing",
     "SampleSource",
+    "ShardedGateway",
+    "ShardedGatewayConfig",
+    "StreamScanner",
     "SyntheticTrafficSource",
     "Telemetry",
     "TransmittedPacket",
     "UserResult",
     "decode_packet_window",
+    "prototype_filter",
+    "shard_label",
+    "upconvert_to_channel",
 ]

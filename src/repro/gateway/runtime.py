@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.detection import sliding_packet_search
 from repro.gateway.ring import SampleRing
@@ -100,7 +100,12 @@ class GatewayConfig:
 
 @dataclass
 class GatewayReport:
-    """Outcome of one gateway run: counts, rates, latencies, payloads."""
+    """Outcome of one gateway run: counts, rates, latencies, payloads.
+
+    Multi-channel (sharded) runs additionally fill ``shards``: one row of
+    counters per ``ch{c}.sf{s}`` shard label, with the top-level counts
+    acting as the cross-channel aggregate.
+    """
 
     samples_in: int
     chunks_in: int
@@ -114,6 +119,7 @@ class GatewayReport:
     stream_s: float
     outcomes: List[DecodeOutcome]
     telemetry: Dict[str, Dict[str, Any]]
+    shards: Optional[Dict[str, Dict[str, int]]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -183,12 +189,193 @@ class GatewayReport:
         ]
         if self.decode_errors:
             lines.append(f"  errors       {self.decode_errors}")
+        if self.shards:
+            lines.append("per-shard recovery")
+            for label in sorted(self.shards):
+                row = self.shards[label]
+                lines.append(
+                    f"  {label:<12} detected={row.get('detected', 0)}"
+                    f" decoded={row.get('decoded', 0)}"
+                    f" crc-failed={row.get('crc_failed', 0)}"
+                    f" dropped={row.get('dropped', 0)}"
+                )
+            lines.append(
+                f"  {'all-shards':<12} detected={self.packets_detected}"
+                f" decoded={self.packets_decoded}"
+                f" crc-failed={self.crc_failures}"
+                f" dropped={self.packets_dropped}"
+            )
         lines.append("per-stage latency")
         lines.append(self._stage_line("ingest", "ingest.chunk_s"))
+        if "channelize.push_s" in self.telemetry:
+            lines.append(self._stage_line("channelize", "channelize.push_s"))
         lines.append(self._stage_line("detect", "detect.scan_s"))
         lines.append(self._stage_line("queue-wait", "decode.queue_wait_s"))
         lines.append(self._stage_line("decode", "decode.decode_s"))
         return "\n".join(lines)
+
+
+class StreamScanner:
+    """Detection-and-dispatch state machine for one shard of a sample ring.
+
+    Owns the scan loop the gateway runs after every ingest: find the
+    earliest packet in the unscanned span, cut its window (with lead/tail
+    slack) and submit it to the decode pool, then skip past the frame.
+    The scanner never consumes the ring itself; it advances
+    ``release_pos`` -- the earliest absolute sample it may still need --
+    and the ring's owner consumes up to the *minimum* release position of
+    every scanner sharing the ring.  That indirection is what lets the
+    sharded gateway multiplex several SF scanners over one channel's
+    stream; a single-scanner ring (the classic :class:`Gateway`) consumes
+    straight to ``release_pos`` and behaves exactly as before.
+
+    Parameters
+    ----------
+    params:
+        PHY configuration of this shard (sets the frame geometry the
+        detector paces by).
+    payload_len, coding_rate:
+        Frame geometry of the expected traffic.
+    telemetry:
+        Shared registry; scan instruments use the common ``detect.*``
+        names, plus ``{label}.detect.packets`` when ``label`` is set.
+    detection_pfa:
+        Search-level false-alarm probability per scan.
+    channel, job_params, rng_prefix, label:
+        Shard tagging for submitted jobs: ``job_params`` overrides the
+        pool's PHY params per job, ``rng_prefix + (shard_seq,)`` replaces
+        the job-id RNG key (keeping decode RNG independent of cross-shard
+        interleaving), and ``label`` prefixes per-shard telemetry.  All
+        default to the untagged single-channel behaviour.
+    """
+
+    def __init__(
+        self,
+        params: LoRaParams,
+        payload_len: int,
+        telemetry: Telemetry,
+        detection_pfa: float = 1e-3,
+        coding_rate: int = 4,
+        channel: int = 0,
+        job_params: Optional[LoRaParams] = None,
+        rng_prefix: Optional[Tuple[int, ...]] = None,
+        label: str = "",
+    ) -> None:
+        self.params = params
+        self.payload_len = payload_len
+        self.telemetry = telemetry
+        self.detection_pfa = detection_pfa
+        self.channel = channel
+        self.job_params = job_params
+        self.rng_prefix = rng_prefix
+        self.label = label
+        framer = LoRaFramer(params, coding_rate=coding_rate)
+        self.n_data_symbols = framer.n_symbols_for_payload(payload_len)
+        n = params.samples_per_symbol
+        self.frame_samples = (params.preamble_len + self.n_data_symbols) * n
+        # Lead/tail slack around the detected window-granular start: two
+        # symbols of lead so align_to_window_grid can find the true
+        # boundary even when a back-to-back predecessor's frame skip ate
+        # into this packet's preamble, two symbols of tail for
+        # timing-offset spill.
+        self.lead = 2 * n
+        self.tail = 2 * n
+        self.min_span = (params.preamble_len + 1) * n
+        self.scan_pos = 0  # absolute index of the next unscanned sample
+        self.release_pos = 0  # earliest sample this scanner may still need
+        self.detected = 0
+        self.shard_seq = 0  # per-shard job sequence number (RNG key)
+
+    def _release(self, pos: int) -> None:
+        if pos > self.release_pos:
+            self.release_pos = pos
+
+    def _make_job(self, ring: SampleRing, start: int, window_end: int,
+                  job_id: int, score: float) -> DecodeJob:
+        window_start = max(start - self.lead, ring.start)
+        window_end = min(window_end, ring.end)
+        rng_key = (
+            None
+            if self.rng_prefix is None
+            else self.rng_prefix + (self.shard_seq,)
+        )
+        return DecodeJob(
+            job_id=job_id,
+            samples=ring.view(window_start, window_end - window_start),
+            n_data_symbols=self.n_data_symbols,
+            payload_len=self.payload_len,
+            start_sample=window_start,
+            detection_score=score,
+            created_at=time.perf_counter(),
+            params=self.job_params,
+            channel=self.channel,
+            rng_key=rng_key,
+        )
+
+    def scan(
+        self,
+        ring: SampleRing,
+        pool: DecodeWorkerPool,
+        next_job_id: int,
+        final: bool = False,
+    ) -> int:
+        """Detect and dispatch every complete packet in the unscanned span.
+
+        Returns the next free job id.  A detection whose frame has not
+        fully arrived is left unconsumed (``scan_pos`` stays put) so the
+        next chunk completes it -- unless ``final``, in which case the
+        truncated window is dispatched anyway (the decoder may still
+        salvage it if only slack is missing).
+        """
+        params = self.params
+        n = params.samples_per_symbol
+        telemetry = self.telemetry
+        frame = self.frame_samples
+        while True:
+            self.scan_pos = max(self.scan_pos, ring.start)
+            available = ring.end - self.scan_pos
+            if available < self.min_span:
+                break
+            segment = ring.view(self.scan_pos, available)
+            with telemetry.timer("detect.scan_s"):
+                result = sliding_packet_search(
+                    params,
+                    segment,
+                    pfa=self.detection_pfa,
+                    earliest=True,
+                )
+            telemetry.counter("detect.scans").inc()
+            if not result.detected:
+                # Keep a preamble's worth of overlap so a packet whose
+                # head just arrived is still detectable next scan.
+                self.scan_pos = max(self.scan_pos, ring.end - self.min_span)
+                self._release(self.scan_pos - self.lead)
+                break
+            start = self.scan_pos + result.start_window * n
+            window_end = start + frame + self.tail
+            if window_end > ring.end and not final:
+                # Straddles the chunk boundary: wait for the tail.
+                self._release(max(start - self.lead, ring.start))
+                break
+            job = self._make_job(ring, start, window_end, next_job_id, result.score)
+            self.detected += 1
+            next_job_id += 1
+            self.shard_seq += 1
+            telemetry.counter("detect.packets").inc()
+            if self.label:
+                telemetry.counter(f"{self.label}.detect.packets").inc()
+            pool.submit(job)
+            # The detected start is window-granular and may sit up to one
+            # window before the true (mid-window) packet start; skip one
+            # extra symbol past the nominal frame end so the leftover
+            # partial chirp cannot re-trigger detection.  A back-to-back
+            # successor only loses a fraction of its first preamble
+            # window, which the accumulation detector absorbs.
+            self.scan_pos = start + frame + n
+            self._release(self.scan_pos - self.lead)
+            if min(window_end, ring.end) >= ring.end and final:
+                break
+        return next_job_id
 
 
 class Gateway:
@@ -224,17 +411,14 @@ class Gateway:
         config = self.config
         params = config.params
         telemetry = self.telemetry
-        n = params.samples_per_symbol
-        n_data_symbols = config.n_data_symbols()
-        frame = config.frame_samples()
-        # Lead/tail slack around the detected window-granular start: two
-        # symbols of lead so align_to_window_grid can find the true
-        # boundary even when a back-to-back predecessor's frame skip ate
-        # into this packet's preamble, two symbols of tail for
-        # timing-offset spill.
-        lead = 2 * n
-        tail = 2 * n
         ring = SampleRing(self._ring_capacity)
+        scanner = StreamScanner(
+            params,
+            config.payload_len,
+            telemetry,
+            detection_pfa=config.detection_pfa,
+            coding_rate=config.coding_rate,
+        )
         pool = DecodeWorkerPool(
             params,
             n_workers=config.n_workers,
@@ -254,9 +438,7 @@ class Gateway:
         samples_in = 0
         chunks_in = 0
         evicted = 0
-        detected = 0
         next_job_id = 0
-        scan_pos = 0  # absolute sample index of the next unscanned sample
         started = time.perf_counter()
         for chunk in source.chunks():
             with telemetry.timer("ingest.chunk_s"):
@@ -264,14 +446,10 @@ class Gateway:
                 samples_in += len(chunk)
                 chunks_in += 1
                 telemetry.counter("ingest.samples").inc(len(chunk))
-            scan_pos, detected, next_job_id = self._scan(
-                ring, pool, scan_pos, detected, next_job_id, n_data_symbols, frame, lead, tail
-            )
+            next_job_id = scanner.scan(ring, pool, next_job_id)
+            ring.consume(scanner.release_pos)
         # Final drain: scan whatever remains after the last chunk.
-        scan_pos, detected, next_job_id = self._scan(
-            ring, pool, scan_pos, detected, next_job_id,
-            n_data_symbols, frame, lead, tail, final=True,
-        )
+        next_job_id = scanner.scan(ring, pool, next_job_id, final=True)
         outcomes = pool.close()
         wall = time.perf_counter() - started
         snapshot = telemetry.snapshot()
@@ -281,7 +459,7 @@ class Gateway:
             samples_in=samples_in,
             chunks_in=chunks_in,
             samples_evicted=evicted,
-            packets_detected=detected,
+            packets_detected=scanner.detected,
             packets_dropped=pool.dropped,
             packets_decoded=crc_ok,
             crc_failures=sum(1 for o in outcomes if not o.crc_ok and o.error is None),
@@ -291,82 +469,3 @@ class Gateway:
             outcomes=outcomes,
             telemetry=snapshot,
         )
-
-    # ------------------------------------------------------------------
-    def _scan(
-        self,
-        ring: SampleRing,
-        pool: DecodeWorkerPool,
-        scan_pos: int,
-        detected: int,
-        next_job_id: int,
-        n_data_symbols: int,
-        frame: int,
-        lead: int,
-        tail: int,
-        final: bool = False,
-    ) -> tuple[int, int, int]:
-        """Detect and dispatch every complete packet in the unscanned span.
-
-        Returns the updated ``(scan_pos, detected, next_job_id)``.  A
-        detection whose frame has not fully arrived is left unconsumed
-        (``scan_pos`` stays put) so the next chunk completes it -- unless
-        ``final``, in which case the truncated window is dispatched anyway
-        (the decoder may still salvage it if only slack is missing).
-        """
-        params = self.config.params
-        n = params.samples_per_symbol
-        min_span = (params.preamble_len + 1) * n
-        telemetry = self.telemetry
-        while True:
-            scan_pos = max(scan_pos, ring.start)
-            available = ring.end - scan_pos
-            if available < min_span:
-                break
-            segment = ring.view(scan_pos, available)
-            with telemetry.timer("detect.scan_s"):
-                result = sliding_packet_search(
-                    params,
-                    segment,
-                    pfa=self.config.detection_pfa,
-                    earliest=True,
-                )
-            telemetry.counter("detect.scans").inc()
-            if not result.detected:
-                # Keep a preamble's worth of overlap so a packet whose
-                # head just arrived is still detectable next scan.
-                scan_pos = max(scan_pos, ring.end - min_span)
-                ring.consume(scan_pos - lead)
-                break
-            start = scan_pos + result.start_window * n
-            window_end = start + frame + tail
-            if window_end > ring.end and not final:
-                # Straddles the chunk boundary: wait for the tail.
-                ring.consume(max(start - lead, ring.start))
-                break
-            window_start = max(start - lead, ring.start)
-            window_end = min(window_end, ring.end)
-            job = DecodeJob(
-                job_id=next_job_id,
-                samples=ring.view(window_start, window_end - window_start),
-                n_data_symbols=n_data_symbols,
-                payload_len=self.config.payload_len,
-                start_sample=window_start,
-                detection_score=result.score,
-                created_at=time.perf_counter(),
-            )
-            detected += 1
-            next_job_id += 1
-            telemetry.counter("detect.packets").inc()
-            pool.submit(job)
-            # The detected start is window-granular and may sit up to one
-            # window before the true (mid-window) packet start; skip one
-            # extra symbol past the nominal frame end so the leftover
-            # partial chirp cannot re-trigger detection.  A back-to-back
-            # successor only loses a fraction of its first preamble
-            # window, which the accumulation detector absorbs.
-            scan_pos = start + frame + n
-            ring.consume(scan_pos - lead)
-            if window_end >= ring.end and final:
-                break
-        return scan_pos, detected, next_job_id

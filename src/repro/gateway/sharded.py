@@ -1,0 +1,270 @@
+"""Multi-channel, multi-SF sharded gateway: one wideband stream, many shards.
+
+Real LoRaWAN base stations do not listen to a single 125 kHz channel: the
+regional plans (EU868, US915) define eight-channel uplink grids, and every
+channel can carry several spreading factors at once.  This module scales
+the streaming runtime of :mod:`repro.gateway.runtime` out to that shape:
+
+1. **channelize** -- a :class:`repro.gateway.channelizer.PolyphaseChannelizer`
+   splits each wideband chunk into the per-channel basebands of a
+   :class:`repro.phy.params.ChannelPlan`.
+2. **per-channel rings** -- every channel buffers its stream in its own
+   :class:`repro.gateway.ring.SampleRing`.
+3. **per-(channel, SF) scanners** -- each channel is scanned once per
+   spreading factor in the configured ``sf_set`` by a
+   :class:`repro.gateway.runtime.StreamScanner`; scanners sharing a ring
+   publish release positions and the ring consumes their minimum, so an
+   SF7 and an SF8 scanner can multiplex one channel without stealing each
+   other's samples.
+4. **one shared pool** -- every shard submits to a single
+   :class:`repro.gateway.workers.DecodeWorkerPool`.  Jobs are tagged with
+   their shard's params/channel and carry a per-shard RNG key
+   ``(channel, sf, shard_seq)``, so decode results are deterministic no
+   matter how shards interleave or which executor runs the pool.
+
+Telemetry uses the shared dotted names plus per-shard
+``ch{c}.sf{s}.{metric}`` labels (:func:`repro.gateway.telemetry.shard_label`);
+the returned :class:`repro.gateway.runtime.GatewayReport` carries a
+``shards`` table and prints it in :meth:`GatewayReport.summary`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.gateway.channelizer import DEFAULT_TAPS_PER_BRANCH, PolyphaseChannelizer
+from repro.gateway.ring import SampleRing
+from repro.gateway.runtime import GatewayReport, StreamScanner
+from repro.gateway.sources import SampleSource
+from repro.gateway.telemetry import Telemetry, shard_label
+from repro.gateway.workers import DecodeWorkerPool
+from repro.phy.params import ChannelPlan, LoRaParams
+
+
+@dataclass(frozen=True)
+class ShardedGatewayConfig:
+    """Everything configurable about one multi-channel gateway run.
+
+    Parameters
+    ----------
+    plan:
+        The channel grid to demultiplex; must be critically stacked (the
+        channelizer's requirement).
+    sf_set:
+        Spreading factors scanned on *every* channel; duplicates are
+        dropped and the set is kept sorted.
+    payload_len, preamble_len, coding_rate:
+        Frame geometry shared by all shards.
+    n_workers, executor, queue_capacity, drop_policy:
+        Shape of the single decode pool all shards share; see
+        :class:`repro.gateway.workers.DecodeWorkerPool`.
+    ring_symbols:
+        Per-channel ring capacity in symbols of the *largest* configured
+        SF (0 sizes automatically to four of its frames).
+    detection_pfa, synchronize, max_users, use_engine, seed:
+        As in :class:`repro.gateway.runtime.GatewayConfig`; ``seed`` is
+        the master seed all per-shard decode RNG keys derive from.
+    taps_per_branch:
+        Prototype filter length per channelizer branch.
+    """
+
+    plan: ChannelPlan = field(default_factory=ChannelPlan)
+    sf_set: Tuple[int, ...] = (7, 8)
+    payload_len: int = 8
+    preamble_len: int = 8
+    n_workers: int = 1
+    executor: str = "thread"
+    queue_capacity: int = 8
+    drop_policy: str = "newest"
+    ring_symbols: int = 0
+    detection_pfa: float = 1e-3
+    coding_rate: int = 4
+    synchronize: bool = True
+    max_users: Optional[int] = 4
+    use_engine: bool = True
+    seed: Optional[int] = None
+    taps_per_branch: int = DEFAULT_TAPS_PER_BRANCH
+
+    def __post_init__(self) -> None:
+        if not self.sf_set:
+            raise ValueError("sf_set must name at least one spreading factor")
+        object.__setattr__(self, "sf_set", tuple(sorted(set(self.sf_set))))
+
+    def shard_params(self, spreading_factor: int) -> LoRaParams:
+        """Narrowband PHY params of every (channel, ``spreading_factor``) shard."""
+        return self.plan.channel_params(
+            spreading_factor, preamble_len=self.preamble_len
+        )
+
+
+class ShardedGateway:
+    """Wideband base-station runtime: channelizer fan-out, shared decode pool.
+
+    Construct with a :class:`ShardedGatewayConfig`, then :meth:`run` it
+    over a wideband :class:`repro.gateway.sources.SampleSource` (for
+    synthetic traffic, a :class:`repro.gateway.sources.SyntheticTrafficSource`
+    built with the same ``plan``).
+    """
+
+    def __init__(
+        self,
+        config: ShardedGatewayConfig,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.config = config
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        # Probe scanners once for frame geometry so the ring capacity can
+        # be validated up front (run() builds its own fresh scanners).
+        probe = [
+            StreamScanner(
+                config.shard_params(sf),
+                config.payload_len,
+                Telemetry(),
+                coding_rate=config.coding_rate,
+            )
+            for sf in config.sf_set
+        ]
+        max_frame = max(scanner.frame_samples for scanner in probe)
+        if config.ring_symbols:
+            n = max(
+                config.shard_params(sf).samples_per_symbol for sf in config.sf_set
+            )
+            capacity = config.ring_symbols * n
+            if capacity < 2 * max_frame:
+                raise ValueError(
+                    f"ring_symbols={config.ring_symbols} holds less than two "
+                    f"frames of the largest SF ({2 * max_frame // n} symbols needed)"
+                )
+        else:
+            capacity = 4 * max_frame
+        self._ring_capacity = capacity
+
+    # ------------------------------------------------------------------
+    def _build_scanners(self) -> Dict[int, List[StreamScanner]]:
+        config = self.config
+        scanners: Dict[int, List[StreamScanner]] = {}
+        for channel in range(config.plan.n_channels):
+            scanners[channel] = [
+                StreamScanner(
+                    config.shard_params(sf),
+                    config.payload_len,
+                    self.telemetry,
+                    detection_pfa=config.detection_pfa,
+                    coding_rate=config.coding_rate,
+                    channel=channel,
+                    job_params=config.shard_params(sf),
+                    rng_prefix=(channel, sf),
+                    label=shard_label(channel, sf),
+                )
+                for sf in config.sf_set
+            ]
+        return scanners
+
+    def run(self, source: SampleSource) -> GatewayReport:
+        """Consume the wideband ``source`` to exhaustion and report."""
+        config = self.config
+        telemetry = self.telemetry
+        channelizer = PolyphaseChannelizer(
+            config.plan, taps_per_branch=config.taps_per_branch
+        )
+        pool = DecodeWorkerPool(
+            config.shard_params(config.sf_set[0]),
+            n_workers=config.n_workers,
+            executor=config.executor,
+            queue_capacity=config.queue_capacity,
+            drop_policy=config.drop_policy,
+            synchronize=config.synchronize,
+            coding_rate=config.coding_rate,
+            # Same cut geometry as the single-channel gateway: two symbols
+            # of lead, so the true boundary is inside the first three.
+            sync_search_symbols=3,
+            max_users=config.max_users,
+            use_engine=config.use_engine,
+            rng=config.seed,
+            telemetry=telemetry,
+        )
+        rings = [
+            SampleRing(self._ring_capacity) for _ in range(config.plan.n_channels)
+        ]
+        scanners = self._build_scanners()
+        samples_in = 0
+        chunks_in = 0
+        evicted = 0
+        next_job_id = 0
+        started = time.perf_counter()
+
+        def fan_out(bands) -> None:
+            nonlocal evicted, next_job_id
+            for channel, ring in enumerate(rings):
+                narrow = bands[channel]
+                if narrow.size:
+                    evicted += ring.append(narrow)
+                    telemetry.counter(f"ch{channel}.ingest.samples").inc(narrow.size)
+                for scanner in scanners[channel]:
+                    next_job_id = scanner.scan(ring, pool, next_job_id)
+                ring.consume(
+                    min(scanner.release_pos for scanner in scanners[channel])
+                )
+
+        for chunk in source.chunks():
+            with telemetry.timer("ingest.chunk_s"):
+                samples_in += len(chunk)
+                chunks_in += 1
+                telemetry.counter("ingest.samples").inc(len(chunk))
+            with telemetry.timer("channelize.push_s"):
+                bands = channelizer.push(chunk)
+            fan_out(bands)
+        # End of stream: drain the filter tail, then final-scan each shard
+        # so truncated trailing windows still get a decode attempt.
+        with telemetry.timer("channelize.push_s"):
+            tail = channelizer.flush()
+        fan_out(tail)
+        for channel, ring in enumerate(rings):
+            for scanner in scanners[channel]:
+                next_job_id = scanner.scan(ring, pool, next_job_id, final=True)
+        outcomes = pool.close()
+        wall = time.perf_counter() - started
+        crc_ok = sum(1 for o in outcomes if o.crc_ok)
+        errors = sum(1 for o in outcomes if o.error is not None)
+        shards: Dict[str, Dict[str, int]] = {}
+        for channel in range(config.plan.n_channels):
+            for scanner in scanners[channel]:
+                label = scanner.label
+                shards[label] = {
+                    "detected": scanner.detected,
+                    "decoded": 0,
+                    "crc_failed": 0,
+                    "dropped": telemetry.counter(f"{label}.dispatch.dropped").value,
+                }
+        for outcome in outcomes:
+            if outcome.spreading_factor is None:
+                continue
+            row = shards.get(shard_label(outcome.channel, outcome.spreading_factor))
+            if row is None:
+                continue
+            if outcome.crc_ok:
+                row["decoded"] += 1
+            elif outcome.error is None:
+                row["crc_failed"] += 1
+        detected = sum(
+            scanner.detected
+            for channel_scanners in scanners.values()
+            for scanner in channel_scanners
+        )
+        return GatewayReport(
+            samples_in=samples_in,
+            chunks_in=chunks_in,
+            samples_evicted=evicted,
+            packets_detected=detected,
+            packets_dropped=pool.dropped,
+            packets_decoded=crc_ok,
+            crc_failures=sum(1 for o in outcomes if not o.crc_ok and o.error is None),
+            decode_errors=errors,
+            wall_s=wall,
+            stream_s=samples_in / config.plan.wideband_rate,
+            outcomes=outcomes,
+            telemetry=telemetry.snapshot(),
+            shards=shards,
+        )

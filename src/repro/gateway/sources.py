@@ -28,10 +28,11 @@ from typing import Dict, Iterator, List, Protocol
 import numpy as np
 
 from repro.channel.noise import awgn
+from repro.gateway.channelizer import upconvert_to_channel
 from repro.hardware.radio import LoRaRadio
 from repro.mac.simulator import NodeConfig
 from repro.phy.packet import LoRaFramer
-from repro.phy.params import LoRaParams
+from repro.phy.params import ChannelPlan, LoRaParams
 from repro.utils import RngLike, as_seed_sequence, db_to_linear, derive_rng
 
 #: Default chunk size in samples (~33 ms at 125 kHz).
@@ -50,13 +51,23 @@ class SampleSource(Protocol):
 
 @dataclass(frozen=True)
 class TransmittedPacket:
-    """Ground truth for one synthesized uplink packet."""
+    """Ground truth for one synthesized uplink packet.
+
+    ``start_sample`` is in *stream* units: narrowband samples for a
+    single-channel source, wideband samples when the source renders onto a
+    :class:`repro.phy.params.ChannelPlan`.  ``channel`` and
+    ``spreading_factor`` identify the shard a multi-channel run should
+    recover the packet on (``spreading_factor`` is ``None`` when the
+    shared source params apply).
+    """
 
     node_id: int
     payload: bytes
     start_sample: int
     n_data_symbols: int
     snr_db: float
+    channel: int = 0
+    spreading_factor: int | None = None
 
     def frame_samples(self, params: LoRaParams) -> int:
         """Nominal frame length in samples (preamble + data)."""
@@ -86,7 +97,17 @@ class SyntheticTrafficSource:
     noise_power:
         AWGN power (1.0 makes ``snr_db`` literal, as in
         :class:`repro.channel.CollisionChannel`); 0 disables noise for
-        deterministic unit tests.
+        deterministic unit tests.  In multi-channel mode the noise is
+        added at the wideband rate and per-node amplitudes are scaled so
+        ``snr_db`` stays literal *per channel* after the analysis bank.
+    plan:
+        ``None`` (the default) renders the legacy single-channel
+        narrowband stream.  With a :class:`repro.phy.params.ChannelPlan`
+        the source becomes *wideband*: each node's frames are rendered at
+        its own spreading factor (``NodeConfig.spreading_factor``, falling
+        back to ``params``) and upconverted onto its
+        ``NodeConfig.channel``, and chunks stream at
+        ``plan.wideband_rate``.
     rng:
         Seed for everything: schedule phases, payload bytes, radio
         imperfections, and noise are all derived sub-streams, so one seed
@@ -102,6 +123,7 @@ class SyntheticTrafficSource:
         payload_len: int = 8,
         chunk_samples: int = DEFAULT_CHUNK_SAMPLES,
         noise_power: float = 1.0,
+        plan: ChannelPlan | None = None,
         rng: RngLike = None,
     ) -> None:
         if duration_s <= 0:
@@ -109,20 +131,48 @@ class SyntheticTrafficSource:
         if chunk_samples <= 0:
             raise ValueError(f"chunk_samples must be positive, got {chunk_samples}")
         self.params = params
+        self.plan = plan
         self.payload_len = payload_len
         self.chunk_samples = int(chunk_samples)
         self.noise_power = noise_power
-        self.duration_samples = int(round(duration_s * params.sample_rate))
         framer = LoRaFramer(params)
         self.n_data_symbols = framer.n_symbols_for_payload(payload_len)
         seq = as_seed_sequence(rng)
         schedule_rng = derive_rng(seq, 0)
         self._noise_rng = derive_rng(seq, 1)
+        if plan is None:
+            for cfg in nodes:
+                if cfg.channel != 0 or cfg.spreading_factor is not None:
+                    raise ValueError(
+                        "node channel/spreading_factor overrides require a "
+                        f"ChannelPlan (node {cfg.node_id})"
+                    )
+            self.duration_samples = int(round(duration_s * params.sample_rate))
+            self._init_single(params, nodes, schedule_rng, seq)
+        else:
+            for cfg in nodes:
+                plan.validate_channel(cfg.channel)
+            self.duration_samples = int(round(duration_s * plan.wideband_rate))
+            self._init_wideband(plan, nodes, schedule_rng, seq)
+        self._rendered: Dict[int, np.ndarray] = {}
+        self._next_to_render = 0
+
+    def _init_single(
+        self,
+        params: LoRaParams,
+        nodes: List[NodeConfig],
+        schedule_rng: np.random.Generator,
+        seq: np.random.SeedSequence,
+    ) -> None:
+        """Legacy narrowband schedule; RNG draw order is frozen (see tests)."""
         self._radios: Dict[int, LoRaRadio] = {
             cfg.node_id: LoRaRadio(
                 params, node_id=cfg.node_id, rng=derive_rng(seq, 2, cfg.node_id)
             )
             for cfg in nodes
+        }
+        self._node_symbols: Dict[int, int] = {
+            cfg.node_id: self.n_data_symbols for cfg in nodes
         }
         n = params.samples_per_symbol
         frame_samples = (params.preamble_len + self.n_data_symbols) * n
@@ -148,7 +198,7 @@ class SyntheticTrafficSource:
             TransmittedPacket(
                 node_id=cfg.node_id,
                 payload=bytes(
-                    schedule_rng.integers(0, 256, payload_len, dtype=np.uint8)
+                    schedule_rng.integers(0, 256, self.payload_len, dtype=np.uint8)
                 ),
                 start_sample=start,
                 n_data_symbols=self.n_data_symbols,
@@ -156,8 +206,73 @@ class SyntheticTrafficSource:
             )
             for start, cfg in arrivals
         ]
-        self._rendered: Dict[int, np.ndarray] = {}
-        self._next_to_render = 0
+
+    def _init_wideband(
+        self,
+        plan: ChannelPlan,
+        nodes: List[NodeConfig],
+        schedule_rng: np.random.Generator,
+        seq: np.random.SeedSequence,
+    ) -> None:
+        """Multi-channel schedule: narrowband frames placed on the plan.
+
+        Scheduling runs in narrowband units and scales by the oversample
+        factor, so every start lands on the channelizer's decimation grid
+        and the through-bank signal is a pure integer delay of the
+        narrowband render.
+        """
+        m = plan.oversample_factor
+        self._radios = {}
+        self._node_symbols = {}
+        node_frames: Dict[int, int] = {}
+        for cfg in nodes:
+            sf = (
+                cfg.spreading_factor
+                if cfg.spreading_factor is not None
+                else self.params.spreading_factor
+            )
+            node_params = plan.channel_params(sf, preamble_len=self.params.preamble_len)
+            self._radios[cfg.node_id] = LoRaRadio(
+                node_params, node_id=cfg.node_id, rng=derive_rng(seq, 2, cfg.node_id)
+            )
+            n_symbols = LoRaFramer(node_params).n_symbols_for_payload(self.payload_len)
+            self._node_symbols[cfg.node_id] = n_symbols
+            node_frames[cfg.node_id] = (
+                node_params.preamble_len + n_symbols
+            ) * node_params.samples_per_symbol
+        arrivals: List[tuple[int, NodeConfig]] = []
+        for cfg in nodes:
+            node_params = self._radios[cfg.node_id].params
+            n = node_params.samples_per_symbol
+            frame_nb = node_frames[cfg.node_id]
+            if cfg.period_s is None:
+                slot_nb = frame_nb + n
+                phase = int(schedule_rng.integers(0, slot_nb))
+                starts = range(phase * m, self.duration_samples, slot_nb * m)
+            else:
+                period_nb = max(int(round(cfg.period_s * node_params.sample_rate)), 1)
+                phase = int(schedule_rng.integers(0, period_nb))
+                starts = range(phase * m, self.duration_samples, period_nb * m)
+            arrivals.extend(
+                (start, cfg)
+                for start in starts
+                if start + (frame_nb + n) * m <= self.duration_samples
+            )
+        arrivals.sort(key=lambda item: (item[0], item[1].node_id))
+        self.transmitted = [
+            TransmittedPacket(
+                node_id=cfg.node_id,
+                payload=bytes(
+                    schedule_rng.integers(0, 256, self.payload_len, dtype=np.uint8)
+                ),
+                start_sample=start,
+                n_data_symbols=self._node_symbols[cfg.node_id],
+                snr_db=cfg.snr_db,
+                channel=cfg.channel,
+                spreading_factor=self._radios[cfg.node_id].params.spreading_factor,
+            )
+            for start, cfg in arrivals
+        ]
 
     # ------------------------------------------------------------------
     def _render_upto(self, end_sample: int) -> None:
@@ -173,8 +288,26 @@ class SyntheticTrafficSource:
         ):
             packet = self.transmitted[self._next_to_render]
             radio = self._radios[packet.node_id]
-            amplitude = float(np.sqrt(db_to_linear(packet.snr_db) * max(self.noise_power, 1e-30)))
-            waveform, _, _ = radio.transmit_payload(packet.payload, amplitude=amplitude)
+            snr_lin = db_to_linear(packet.snr_db) * max(self.noise_power, 1e-30)
+            if self.plan is None:
+                amplitude = float(np.sqrt(snr_lin))
+                waveform, _, _ = radio.transmit_payload(
+                    packet.payload, amplitude=amplitude
+                )
+            else:
+                # Per-channel noise after the analysis bank is roughly
+                # noise_power / M, so scale the narrowband amplitude to
+                # keep snr_db literal on the channelized stream.
+                amplitude = float(np.sqrt(snr_lin / self.plan.oversample_factor))
+                narrowband, _, _ = radio.transmit_payload(
+                    packet.payload, amplitude=amplitude
+                )
+                waveform = upconvert_to_channel(
+                    narrowband,
+                    self.plan,
+                    packet.channel,
+                    start_sample=packet.start_sample,
+                )
             self._rendered[self._next_to_render] = waveform
             self._next_to_render += 1
 

@@ -29,6 +29,16 @@ import numpy as np
 SUMMARY_PERCENTILES = (50.0, 95.0, 99.0)
 
 
+def shard_label(channel: int, spreading_factor: int) -> str:
+    """Metric-name prefix for one (channel, SF) shard: ``ch{c}.sf{s}``.
+
+    The sharded gateway prefixes every per-shard instrument with this
+    label (for example ``ch3.sf8.decode.crc_ok``), which keeps shard
+    metrics greppable alongside the shared dotted ``stage.metric`` names.
+    """
+    return f"ch{channel}.sf{spreading_factor}"
+
+
 class Counter:
     """A monotonically increasing event counter."""
 

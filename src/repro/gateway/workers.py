@@ -35,7 +35,7 @@ import numpy as np
 
 from repro.core.decoder import ChoirDecoder
 from repro.core.detection import align_to_window_grid
-from repro.gateway.telemetry import Telemetry
+from repro.gateway.telemetry import Telemetry, shard_label
 from repro.phy.packet import LoRaFramer
 from repro.phy.params import LoRaParams
 from repro.utils import RngLike, as_seed_sequence, derive_rng
@@ -49,7 +49,15 @@ EXECUTORS: Tuple[str, ...] = ("serial", "thread", "process")
 
 @dataclass(frozen=True)
 class DecodeJob:
-    """One detected packet window, ready to decode."""
+    """One detected packet window, ready to decode.
+
+    A sharded (multi-channel / multi-SF) gateway tags each job with the
+    shard that detected it: ``params`` overrides the pool's shared PHY
+    configuration (so one pool can decode SF7 and SF8 windows side by
+    side), ``channel`` labels telemetry, and ``rng_key`` replaces the
+    job-id RNG derivation with a per-shard key so results stay
+    deterministic no matter how jobs from different shards interleave.
+    """
 
     job_id: int
     samples: np.ndarray
@@ -58,6 +66,9 @@ class DecodeJob:
     start_sample: int
     detection_score: float
     created_at: float  # time.perf_counter() at submission
+    params: Optional[LoRaParams] = None
+    channel: int = 0
+    rng_key: Optional[Tuple[int, ...]] = None
 
 
 @dataclass(frozen=True)
@@ -83,6 +94,8 @@ class DecodeOutcome:
     detection_score: float
     sync_retries: int = 0
     error: Optional[str] = None
+    channel: int = 0
+    spreading_factor: Optional[int] = None
 
     @property
     def n_users(self) -> int:
@@ -140,10 +153,19 @@ def decode_packet_window(
 
     Module-level (rather than a pool method) so the process executor can
     ship it to workers; everything it touches is picklable.
+
+    A job carrying its own ``params`` (a sharded gateway's SF-tagged
+    window) decodes with those instead of the pool's, and a job carrying
+    an ``rng_key`` derives its decoder RNG from that key rather than the
+    job id -- per-shard sequence numbers keep results independent of how
+    shards interleave their submissions.
     """
     started = time.perf_counter()
+    if job.params is not None:
+        params = job.params
+    rng_key = job.rng_key if job.rng_key is not None else (job.job_id,)
     decoder = ChoirDecoder(
-        params, use_engine=use_engine, rng=derive_rng(base_seed, job.job_id)
+        params, use_engine=use_engine, rng=derive_rng(base_seed, *rng_key)
     )
     framer = LoRaFramer(params, coding_rate=coding_rate)
     n = params.samples_per_symbol
@@ -191,6 +213,8 @@ def decode_packet_window(
         decode_s=time.perf_counter() - started,
         detection_score=job.detection_score,
         sync_retries=retries,
+        channel=job.channel,
+        spreading_factor=params.spreading_factor if job.params is not None else None,
     )
 
 
@@ -314,6 +338,10 @@ class DecodeWorkerPool:
                 decode_s=0.0,
                 detection_score=job.detection_score,
                 error=f"{type(exc).__name__}: {exc}",
+                channel=job.channel,
+                spreading_factor=(
+                    job.params.spreading_factor if job.params is not None else None
+                ),
             )
 
     def _record(self, outcome: DecodeOutcome) -> None:
@@ -327,6 +355,23 @@ class DecodeWorkerPool:
             self.telemetry.counter("decode.crc_ok").inc()
         elif outcome.error is None:
             self.telemetry.counter("decode.crc_failed").inc()
+        if outcome.spreading_factor is not None:
+            # Sharded jobs additionally bump per-(channel, SF) counters so
+            # the report can break recovery out by shard.
+            label = shard_label(outcome.channel, outcome.spreading_factor)
+            if outcome.crc_ok:
+                self.telemetry.counter(f"{label}.decode.crc_ok").inc()
+            elif outcome.error is None:
+                self.telemetry.counter(f"{label}.decode.crc_failed").inc()
+            else:
+                self.telemetry.counter(f"{label}.decode.errors").inc()
+
+    def _count_drop(self, job: Optional[DecodeJob] = None) -> None:
+        """Count one dropped job, with its shard label when known."""
+        self.telemetry.counter("dispatch.dropped").inc()
+        if job is not None and job.params is not None:
+            label = shard_label(job.channel, job.params.spreading_factor)
+            self.telemetry.counter(f"{label}.dispatch.dropped").inc()
 
     # ------------------------------------------------------------------
     # Thread executor
@@ -348,16 +393,16 @@ class DecodeWorkerPool:
                 return True
             except queue.Full:
                 if self.drop_policy == "newest":
-                    self.telemetry.counter("dispatch.dropped").inc()
+                    self._count_drop(job)
                     return False
                 if self.drop_policy == "block":
                     self._queue.put(job)
                     return True
                 # oldest: evict one queued job, then retry the put.
                 try:
-                    self._queue.get_nowait()
+                    evicted = self._queue.get_nowait()
                     self._queue.task_done()
-                    self.telemetry.counter("dispatch.dropped").inc()
+                    self._count_drop(evicted)
                 except queue.Empty:
                     pass  # a worker drained it first; just retry
 
@@ -372,7 +417,7 @@ class DecodeWorkerPool:
         assert self._pool is not None
         while self._in_flight() >= self.queue_capacity:
             if self.drop_policy == "newest":
-                self.telemetry.counter("dispatch.dropped").inc()
+                self._count_drop(job)
                 return False
             if self.drop_policy == "oldest":
                 with self._lock:
@@ -386,12 +431,12 @@ class DecodeWorkerPool:
                     if future is not None and future.cancel():
                         with self._lock:
                             self._futures.pop(jid, None)
-                        self.telemetry.counter("dispatch.dropped").inc()
+                        self._count_drop()
                         cancelled = True
                         break
                 if not cancelled:
                     # Everything already running; drop the incoming job.
-                    self.telemetry.counter("dispatch.dropped").inc()
+                    self._count_drop(job)
                     return False
                 continue
             time.sleep(0.001)  # block: poll until a slot frees

@@ -33,11 +33,18 @@ DEFAULT_DECODE_SNR_DB = {7: -12.0, 8: -15.0, 9: -17.5, 10: -20.0, 11: -22.5, 12:
 
 @dataclass(frozen=True)
 class Transmission:
-    """One node's attempt in a slot, as seen by the PHY model."""
+    """One node's attempt in a slot, as seen by the PHY model.
+
+    ``channel`` records which uplink channel of the network's
+    :class:`repro.phy.params.ChannelPlan` carried the attempt; the
+    simulator groups transmissions by it before resolving collisions, so
+    the PHY models themselves only ever see same-channel contention.
+    """
 
     node_id: int
     snr_db: float
     n_payload_bits: int = 160
+    channel: int = 0
 
 
 class PhyModel:

@@ -8,7 +8,7 @@ mapping).  It is the substrate the Choir decoder (:mod:`repro.core`) builds
 on.
 """
 
-from repro.phy.params import LoRaParams
+from repro.phy.params import ChannelPlan, LoRaParams
 from repro.phy.chirp import downchirp, upchirp
 from repro.phy.modulation import CssModulator, modulate_symbols
 from repro.phy.demodulation import CssDemodulator, demodulate_symbols
@@ -25,6 +25,7 @@ from repro.phy.encoding import (
 from repro.phy.crc import crc16_ccitt
 
 __all__ = [
+    "ChannelPlan",
     "LoRaParams",
     "upchirp",
     "downchirp",

@@ -109,3 +109,138 @@ class LoRaParams:
     def seconds_to_samples(self, seconds: float) -> float:
         """Convert a duration to (possibly fractional) samples."""
         return seconds * self.sample_rate
+
+
+@dataclass(frozen=True)
+class ChannelPlan:
+    """A uniform grid of LoRa uplink channels served by one wideband front end.
+
+    Real LoRaWAN gateways never listen to a single 125 kHz channel: the
+    EU868 and US915 regional plans both define (at least) eight uplink
+    channels that one base station monitors simultaneously.  A
+    :class:`ChannelPlan` describes that grid -- how many channels, how wide
+    each is, how far apart their centers sit -- and is what the
+    multi-channel gateway's channelizer and the wideband traffic
+    synthesizer agree on.
+
+    Parameters
+    ----------
+    n_channels:
+        Number of uplink channels in the plan.
+    bandwidth:
+        Per-channel LoRa bandwidth in Hz (one of :data:`VALID_BANDWIDTHS`).
+    spacing_hz:
+        Distance between adjacent channel centers.  ``0`` (the default)
+        means *contiguous* channels (``spacing == bandwidth``), which is
+        what the critically sampled polyphase channelizer consumes; plans
+        with guard bands between channels (US915 spaces 125 kHz channels
+        200 kHz apart) can be described but need a resampling front end.
+    first_center_hz:
+        RF center frequency of channel 0; the remaining centers ascend in
+        ``spacing_hz`` steps.
+    """
+
+    n_channels: int = 8
+    bandwidth: float = 125_000.0
+    spacing_hz: float = 0.0
+    first_center_hz: float = 867_100_000.0
+
+    def __post_init__(self) -> None:
+        if self.n_channels < 1:
+            raise ValueError(f"n_channels must be >= 1, got {self.n_channels}")
+        if self.bandwidth not in VALID_BANDWIDTHS:
+            raise ValueError(
+                f"bandwidth must be one of {VALID_BANDWIDTHS}, got {self.bandwidth}"
+            )
+        if self.spacing_hz == 0.0:
+            object.__setattr__(self, "spacing_hz", self.bandwidth)
+        if self.spacing_hz < self.bandwidth:
+            raise ValueError(
+                f"spacing_hz ({self.spacing_hz}) must be >= bandwidth "
+                f"({self.bandwidth}); overlapping channels are not a plan"
+            )
+
+    # ------------------------------------------------------------------
+    # Named regional plans
+    # ------------------------------------------------------------------
+    @classmethod
+    def eu868_style(cls, n_channels: int = 8) -> "ChannelPlan":
+        """A contiguous EU868-style grid of 125 kHz channels."""
+        return cls(
+            n_channels=n_channels,
+            bandwidth=125_000.0,
+            first_center_hz=867_100_000.0,
+        )
+
+    @classmethod
+    def us915_sub_band(cls, sub_band: int = 0) -> "ChannelPlan":
+        """One US915 sub-band: eight 125 kHz channels spaced 200 kHz apart.
+
+        Note the 200 kHz spacing: this plan documents the real grid but is
+        *not* critically stacked, so the polyphase channelizer rejects it
+        (see :meth:`is_critically_stacked`).
+        """
+        if not 0 <= sub_band < 8:
+            raise ValueError(f"sub_band must be in [0, 8), got {sub_band}")
+        return cls(
+            n_channels=8,
+            bandwidth=125_000.0,
+            spacing_hz=200_000.0,
+            first_center_hz=902_300_000.0 + sub_band * 1_600_000.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def is_critically_stacked(self) -> bool:
+        """Whether channels tile the band edge-to-edge (spacing == BW)."""
+        return abs(self.spacing_hz - self.bandwidth) < 1e-9
+
+    @property
+    def wideband_rate(self) -> float:
+        """Complex sample rate of the wideband front end covering the plan."""
+        return self.n_channels * self.spacing_hz
+
+    @property
+    def oversample_factor(self) -> int:
+        """Wideband samples per narrowband (per-channel) sample."""
+        return self.n_channels
+
+    @property
+    def lo_hz(self) -> float:
+        """RF frequency the wideband front end mixes to baseband zero."""
+        return self.first_center_hz + (self.n_channels // 2) * self.spacing_hz
+
+    def validate_channel(self, channel: int) -> int:
+        """Return ``channel`` if it exists in this plan, else raise."""
+        if not 0 <= channel < self.n_channels:
+            raise ValueError(
+                f"channel must be in [0, {self.n_channels}), got {channel}"
+            )
+        return channel
+
+    def center_hz(self, channel: int) -> float:
+        """RF center frequency of one channel."""
+        self.validate_channel(channel)
+        return self.first_center_hz + channel * self.spacing_hz
+
+    def offset_hz(self, channel: int) -> float:
+        """Baseband offset of one channel's center within the wideband."""
+        self.validate_channel(channel)
+        return (channel - self.n_channels // 2) * self.spacing_hz
+
+    def channel_params(
+        self,
+        spreading_factor: int,
+        preamble_len: int = 8,
+        oversampling: int = 1,
+    ) -> LoRaParams:
+        """Narrowband :class:`LoRaParams` for one shard of this plan."""
+        return LoRaParams(
+            spreading_factor=spreading_factor,
+            bandwidth=self.bandwidth,
+            preamble_len=preamble_len,
+            oversampling=oversampling,
+            carrier_hz=self.first_center_hz,
+        )

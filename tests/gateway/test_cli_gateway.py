@@ -52,3 +52,42 @@ class TestGatewayCommand:
     def test_workers_and_executor_flags(self, capsys):
         assert main(FAST + ["--workers", "2", "--executor", "thread"]) == 0
         assert "gateway run summary" in capsys.readouterr().out
+
+
+class TestMultiChannelCommand:
+    MULTI = [
+        "gateway",
+        "--channels", "2",
+        "--sf-set", "7,8",
+        "--nodes", "2",
+        "--duration", "0.5",
+        "--period", "0.25",
+        "--payload-len", "4",
+        "--seed", "0",
+    ]
+
+    def test_sharded_run_prints_per_shard_table(self, capsys):
+        assert main(self.MULTI) == 0
+        out = capsys.readouterr().out
+        assert "wideband traffic" in out
+        assert "2 channel(s)" in out and "SF set 7,8" in out
+        assert "per-shard recovery" in out
+        assert "ch0.sf7" in out and "ch1.sf8" in out
+        assert "all-shards" in out
+
+    def test_sf_set_alone_triggers_sharded_mode(self, capsys):
+        args = self.MULTI[:1] + self.MULTI[3:]  # drop "--channels 2"
+        assert main(args) == 0
+        assert "1 channel(s)" in capsys.readouterr().out
+
+    def test_replay_input_is_single_channel_only(self, tmp_path, capsys):
+        path = tmp_path / "capture.npy"
+        np.save(path, np.zeros(16, dtype=complex))
+        assert main(self.MULTI + ["--input", str(path)]) == 2
+        assert "single-channel only" in capsys.readouterr().err
+
+    def test_sf_set_validation(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(FAST + ["--sf-set", "7,x"])

@@ -108,3 +108,30 @@ class TestSystemComparison:
         assert empty.throughput_bps == 0.0
         assert empty.mean_latency_s == float("inf")
         assert empty.transmissions_per_packet == float("inf")
+
+
+class TestChannelGrouping:
+    def _one_slot(self, channels):
+        # duration under one slot -> exactly one simulated slot, in which
+        # every fresh Aloha node transmits immediately.
+        nodes = [
+            NodeConfig(node_id=i, snr_db=15.0, channel=channel)
+            for i, channel in enumerate(channels)
+        ]
+        sim = NetworkSimulator(PARAMS, SingleUserPhy(PARAMS), AlohaMac(), nodes, rng=0)
+        return sim.run(0.01)
+
+    def test_same_channel_transmissions_collide(self):
+        assert self._one_slot([0, 0]).delivered_packets == 0
+
+    def test_distinct_channels_never_contend(self):
+        # The same two transmissions on different uplink channels occupy
+        # disjoint spectrum and both deliver.
+        assert self._one_slot([0, 1]).delivered_packets == 2
+
+    def test_grouping_is_per_channel_not_global(self):
+        # Three nodes, two sharing channel 0: the pair collides, the node
+        # alone on channel 1 still delivers.
+        metrics = self._one_slot([0, 0, 1])
+        assert metrics.delivered_packets == 1
+        assert metrics.per_node_delivered == {2: 1}

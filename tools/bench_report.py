@@ -30,13 +30,20 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.gateway import Gateway, GatewayConfig, SyntheticTrafficSource  # noqa: E402
+from repro.gateway import (  # noqa: E402
+    Gateway,
+    GatewayConfig,
+    ShardedGateway,
+    ShardedGatewayConfig,
+    SyntheticTrafficSource,
+)
 from repro.mac.simulator import NodeConfig  # noqa: E402
-from repro.phy.params import LoRaParams  # noqa: E402
+from repro.phy.params import ChannelPlan, LoRaParams  # noqa: E402
 
 #: Telemetry histograms exported per stage.
 STAGE_METRICS = (
     "ingest.chunk_s",
+    "channelize.push_s",
     "detect.scan_s",
     "decode.queue_wait_s",
     "decode.decode_s",
@@ -53,24 +60,71 @@ def run_benchmark(
     executor: str = "thread",
     seed: int = 0,
     spreading_factor: int = 7,
+    n_channels: int = 1,
+    sf_set: tuple[int, ...] | list[int] | None = None,
+    telemetry_out: str | None = None,
 ) -> dict:
-    """Run one gateway benchmark and return the JSON-ready result dict."""
-    params = LoRaParams(spreading_factor=spreading_factor)
-    nodes = [
-        NodeConfig(node_id=i, snr_db=snr_db, period_s=period_s)
-        for i in range(n_nodes)
-    ]
-    source = SyntheticTrafficSource(
-        params, nodes, duration_s=duration_s, payload_len=payload_len, rng=seed
-    )
-    config = GatewayConfig(
-        params=params,
-        payload_len=payload_len,
-        n_workers=n_workers,
-        executor=executor,
-        seed=seed,
-    )
-    report = Gateway(config).run(source)
+    """Run one gateway benchmark and return the JSON-ready result dict.
+
+    ``n_channels > 1`` (or a multi-SF ``sf_set``) benchmarks the sharded
+    multi-channel gateway over wideband synthetic traffic instead of the
+    single-channel runtime; ``telemetry_out`` additionally dumps the run's
+    telemetry registry as JSON-lines (the CI artifact).
+    """
+    sfs = tuple(sf_set) if sf_set else (spreading_factor,)
+    params = LoRaParams(spreading_factor=sfs[0])
+    sharded = n_channels > 1 or len(sfs) > 1
+    gateway: Gateway | ShardedGateway
+    if sharded:
+        plan = ChannelPlan.eu868_style(n_channels)
+        nodes = [
+            NodeConfig(
+                node_id=i,
+                snr_db=snr_db,
+                period_s=period_s,
+                channel=i % plan.n_channels,
+                spreading_factor=sfs[i % len(sfs)],
+            )
+            for i in range(n_nodes)
+        ]
+        source = SyntheticTrafficSource(
+            params,
+            nodes,
+            duration_s=duration_s,
+            payload_len=payload_len,
+            plan=plan,
+            rng=seed,
+        )
+        gateway = ShardedGateway(
+            ShardedGatewayConfig(
+                plan=plan,
+                sf_set=sfs,
+                payload_len=payload_len,
+                n_workers=n_workers,
+                executor=executor,
+                seed=seed,
+            )
+        )
+    else:
+        nodes = [
+            NodeConfig(node_id=i, snr_db=snr_db, period_s=period_s)
+            for i in range(n_nodes)
+        ]
+        source = SyntheticTrafficSource(
+            params, nodes, duration_s=duration_s, payload_len=payload_len, rng=seed
+        )
+        gateway = Gateway(
+            GatewayConfig(
+                params=params,
+                payload_len=payload_len,
+                n_workers=n_workers,
+                executor=executor,
+                seed=seed,
+            )
+        )
+    report = gateway.run(source)
+    if telemetry_out:
+        gateway.telemetry.write_jsonl(telemetry_out)
     sent = sorted(p.payload for p in source.transmitted)
     got = sorted(report.decoded_payloads)
     recovered = sum(1 for p in got if p in sent)
@@ -84,7 +138,7 @@ def run_benchmark(
             for key in ("count", "p50_s", "p95_s", "p99_s", "mean_s", "max_s")
             if key in state
         }
-    return {
+    result = {
         "benchmark": "gateway",
         "config": {
             "duration_s": duration_s,
@@ -96,6 +150,8 @@ def run_benchmark(
             "executor": executor,
             "seed": seed,
             "spreading_factor": spreading_factor,
+            "n_channels": n_channels,
+            "sf_set": list(sfs),
         },
         "environment": {
             "python": platform.python_version(),
@@ -118,6 +174,9 @@ def run_benchmark(
         },
         "stages": stages,
     }
+    if report.shards is not None:
+        result["shards"] = report.shards
+    return result
 
 
 #: Percentiles gated by ``--compare`` (means/maxima are too noisy to gate).
@@ -198,6 +257,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--sf", type=int, default=7)
+    parser.add_argument(
+        "--channels",
+        type=int,
+        default=1,
+        help=">1 benchmarks the sharded multi-channel gateway",
+    )
+    parser.add_argument(
+        "--sf-set",
+        default=None,
+        help="comma list of SFs scanned per channel (e.g. 7,8); implies sharding",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        default=None,
+        help="also dump the run's telemetry registry as JSON-lines here",
+    )
     parser.add_argument("--out", default="BENCH_gateway.json")
     parser.add_argument(
         "--compare",
@@ -240,6 +315,11 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         print("no regressions")
         return 0
+    sf_set = (
+        tuple(int(part) for part in args.sf_set.split(",") if part.strip())
+        if args.sf_set
+        else None
+    )
     result = run_benchmark(
         duration_s=args.duration,
         n_nodes=args.nodes,
@@ -250,6 +330,9 @@ def main(argv: list[str] | None = None) -> int:
         executor=args.executor,
         seed=args.seed,
         spreading_factor=args.sf,
+        n_channels=args.channels,
+        sf_set=sf_set,
+        telemetry_out=args.telemetry_out,
     )
     Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
     thr = result["throughput"]
