@@ -1,6 +1,6 @@
 # Developer workflow for the Choir reproduction.
 #
-#   make lint          repo-specific AST rules (R001-R007) + ruff, if installed
+#   make lint          repo-specific AST rules (R001-R008) + ruff, if installed
 #   make typecheck     mypy per the gradual-strictness table in pyproject.toml
 #   make test          the tier-1 suite (includes the static-analysis gate)
 #   make check         all of the above

@@ -6,11 +6,15 @@ Usage::
     python -m repro run fig8d            # one experiment's table
     python -m repro run all              # everything (slow)
     python -m repro gateway --duration 5 --workers 4   # streaming runtime
+    python -m repro gateway --trace-out trace.json     # + provenance trace
+    python -m repro forensics trace.json               # per-packet post-mortem
 
 Each experiment prints the same rows/series the paper's figure reports;
 ASCII charts accompany the series-shaped ones.  ``gateway`` runs the
 streaming base-station runtime over synthetic traffic (or a recorded IQ
-capture with ``--input``) and prints its telemetry summary.
+capture with ``--input``) and prints its telemetry summary; ``forensics``
+ingests a trace written with ``--trace-out`` and explains every lost
+packet.
 """
 
 from __future__ import annotations
@@ -184,6 +188,8 @@ def cmd_gateway(args: argparse.Namespace) -> int:
             queue_capacity=args.queue_capacity,
             drop_policy=args.drop_policy,
             seed=args.seed,
+            trace=bool(args.trace_out),
+            trace_sample_rate=args.trace_sample_rate,
         )
         nodes = [
             NodeConfig(
@@ -220,6 +226,8 @@ def cmd_gateway(args: argparse.Namespace) -> int:
             queue_capacity=args.queue_capacity,
             drop_policy=args.drop_policy,
             seed=args.seed,
+            trace=bool(args.trace_out),
+            trace_sample_rate=args.trace_sample_rate,
         )
         if args.input is not None:
             source = IqFileSource(params, args.input)
@@ -252,6 +260,18 @@ def cmd_gateway(args: argparse.Namespace) -> int:
     if args.telemetry_out:
         gateway.telemetry.write_jsonl(args.telemetry_out)
         print(f"telemetry written to {args.telemetry_out}")
+    if args.metrics_out:
+        gateway.telemetry.write_prometheus(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    if args.trace_out and report.trace is not None:
+        from repro.trace import write_trace
+
+        write_trace(report.trace, args.trace_out)
+        print(
+            f"trace written to {args.trace_out}"
+            f" ({len(report.trace)} packet trace(s);"
+            f" inspect with `python -m repro forensics {args.trace_out}`)"
+        )
     return 0
 
 
@@ -325,6 +345,31 @@ def main(argv: list[str] | None = None) -> int:
     gw.add_argument("--drop-policy", choices=("newest", "oldest", "block"), default="newest")
     gw.add_argument("--input", default=None, help="IQ capture to replay (.npy or raw complex64)")
     gw.add_argument("--telemetry-out", default=None, help="write telemetry JSON-lines here")
+    gw.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write Prometheus text exposition here (e.g. metrics.prom)",
+    )
+    gw.add_argument(
+        "--trace-out",
+        default=None,
+        help="write a decode provenance trace here"
+        " (.jsonl, or .json for chrome://tracing)",
+    )
+    gw.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=1.0,
+        help="fraction of jobs traced unconditionally (failures always kept)",
+    )
+    forensics_parser = sub.add_parser(
+        "forensics",
+        help="per-packet post-mortem of a trace written with --trace-out",
+    )
+    forensics_parser.add_argument("trace", help="trace file (.jsonl or .json)")
+    forensics_parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
@@ -334,6 +379,11 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_report(args.output_dir, args.names)
     if args.command == "gateway":
         return cmd_gateway(args)
+    if args.command == "forensics":
+        from repro.trace.forensics import main as forensics_main
+
+        forensics_argv = [args.trace] + (["--json"] if args.json else [])
+        return forensics_main(forensics_argv)
     parser.print_help()
     return 1
 

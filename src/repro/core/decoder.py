@@ -39,6 +39,7 @@ from repro.core.sic import _merge_duplicates, phased_sic
 from repro.core.tracking import ConstrainedClusterer, centroids_from_estimates
 from repro.phy.packet import DecodedFrame, LoRaFramer
 from repro.phy.params import LoRaParams
+from repro.trace import context as trace_context
 from repro.utils import circular_distance, ensure_rng
 from repro.utils.rng import RngLike
 
@@ -365,6 +366,15 @@ class ChoirDecoder:
                 break
             i, j = conflict
             loser = i if claim_deviation(i) > claim_deviation(j) else j
+            # Provenance: tone conflicts are the signature of (near-)
+            # collided fractional offsets -- the forensics layer reads
+            # these to call a loss cluster-ambiguous.  No-op untraced.
+            trace_context.add_event(
+                "decode.conflict",
+                window=window_index,
+                users=[int(i), int(j)],
+                loser=int(loser),
+            )
             others = [k for k in decided_users if k != loser]
             cleaned = subtract(others)
             decided[loser] = decide(cleaned, loser, exclude={int(decided[loser])})
@@ -397,6 +407,11 @@ class ChoirDecoder:
                 f"{DECODE_METHODS}"
             )
         users = self.estimate_users(samples, max_users=max_users)
+        trace_context.add_event(
+            "decode.users",
+            n_users=len(users),
+            fractions=[round(float(u.position_bins % 1.0), 4) for u in users],
+        )
         if not users:
             return []
         start = self.params.preamble_len * self.params.samples_per_symbol

@@ -24,6 +24,7 @@ from scipy import stats
 from repro.core.dechirp import DEFAULT_OVERSAMPLE, dechirp_windows, oversampled_spectrum
 from repro.core.peaks import Peak, find_peaks
 from repro.phy.params import LoRaParams
+from repro.trace import context as trace_context
 
 
 def accumulate_preamble(
@@ -179,6 +180,15 @@ def align_to_window_grid(
     best_score = max(score for _, score in candidates)
     ridge = [s for s, score in candidates if score >= ridge_tolerance * best_score]
     start = max(max(ridge) - guard_samples, 0)
+    # Provenance: the ridge evidence behind the chosen grid offset; the
+    # forensics layer calls a failed decode with a plateau-level score
+    # misaligned.  No-op when tracing is off.
+    trace_context.add_event(
+        "detect.align",
+        start=int(start),
+        score=best_score,
+        ridge_width=len(ridge),
+    )
     return start, best_score
 
 

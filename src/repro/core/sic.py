@@ -30,6 +30,7 @@ from repro.core.offsets import (
     refine_offsets,
 )
 from repro.core.residual import residual_power
+from repro.trace import context as trace_context
 from repro.utils import RngLike, circular_distance
 
 
@@ -313,7 +314,7 @@ def phased_sic(
     delays = np.zeros(0)
     n_bins = original.shape[-1]
     refine_method = "coordinate" if use_engine else "coordinate-scalar"
-    for _ in range(max_tiers):
+    for tier in range(max_tiers):
         remaining_budget = None if max_users is None else max_users - positions.size
         if remaining_budget is not None and remaining_budget <= 0:
             break
@@ -357,6 +358,15 @@ def phased_sic(
         channels = estimate_channels(original, positions, delays)
         recon = reconstruct_tones(positions, channels, n_bins, delays)
         residual = original - recon
+        # Provenance: per-tier cancellation evidence (Eqn. 3 residual
+        # trajectory) for the forensics post-mortem; no-op untraced.
+        trace_context.add_event(
+            "sic.tier",
+            tier=tier,
+            n_new=len(new_positions),
+            n_users=int(positions.size),
+            residual_power=float(np.mean(np.abs(residual) ** 2)),
+        )
     if positions.size == 0:
         return []
     positions, delays = _consolidate_clusters(
@@ -368,8 +378,18 @@ def phased_sic(
     # near strong users; anything more than ~34 dB below the strongest
     # channel is far outside the decodable near-far spread and is dropped.
     strongest = estimates[0].channel_magnitude
-    return [
+    kept = [
         e
         for e in estimates
         if e.channel_magnitude >= min_relative_magnitude * strongest
     ]
+    # Cancellation order (strongest first) and final cluster assignment,
+    # as the forensics layer sees them.
+    trace_context.add_event(
+        "sic.result",
+        n_users=len(kept),
+        n_suppressed=len(estimates) - len(kept),
+        positions=[round(float(e.position_bins), 4) for e in kept],
+        delays=[round(float(e.delay_samples), 4) for e in kept],
+    )
+    return kept

@@ -61,10 +61,13 @@ from repro.gateway.sources import (
     TransmittedPacket,
 )
 from repro.gateway.telemetry import (
+    DEFAULT_HISTOGRAM_CAP,
     Counter,
     DurationHistogram,
     Gauge,
     Telemetry,
+    clock,
+    parse_prometheus_text,
     shard_label,
 )
 from repro.gateway.workers import (
@@ -80,6 +83,7 @@ from repro.gateway.workers import (
 __all__ = [
     "Counter",
     "DEFAULT_CHUNK_SAMPLES",
+    "DEFAULT_HISTOGRAM_CAP",
     "DEFAULT_TAPS_PER_BRANCH",
     "DROP_POLICIES",
     "DecodeJob",
@@ -102,7 +106,9 @@ __all__ = [
     "Telemetry",
     "TransmittedPacket",
     "UserResult",
+    "clock",
     "decode_packet_window",
+    "parse_prometheus_text",
     "prototype_filter",
     "shard_label",
     "upconvert_to_channel",

@@ -28,17 +28,17 @@ throughput, per-stage latency percentiles and every decode outcome.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.detection import sliding_packet_search
 from repro.gateway.ring import SampleRing
 from repro.gateway.sources import SampleSource
-from repro.gateway.telemetry import Telemetry
+from repro.gateway.telemetry import Telemetry, clock
 from repro.gateway.workers import DecodeJob, DecodeOutcome, DecodeWorkerPool
 from repro.phy.packet import LoRaFramer
 from repro.phy.params import LoRaParams
+from repro.trace.recorder import TraceConfig, TraceRecorder
 
 
 @dataclass(frozen=True)
@@ -70,6 +70,17 @@ class GatewayConfig:
         scalar reference loops are selected with ``False``.
     seed:
         Master seed; per-job decode RNGs derive from it.
+    trace:
+        Attach a :class:`repro.trace.TraceRecorder` to the run: record
+        every detection and decode outcome, and build provenance span
+        trees per the sampling policy below.
+    trace_sample_rate:
+        Fraction of jobs whose span tree is retained unconditionally
+        (deterministic by rng_key; 1.0 = every job).
+    trace_always_sample_failures:
+        Retain the span tree of every job that fails CRC, whatever the
+        sample rate -- the mode that keeps forensics complete while
+        bounding trace volume on healthy traffic.
     """
 
     params: LoRaParams = field(default_factory=LoRaParams)
@@ -85,6 +96,16 @@ class GatewayConfig:
     max_users: Optional[int] = 4
     use_engine: bool = True
     seed: Optional[int] = None
+    trace: bool = False
+    trace_sample_rate: float = 1.0
+    trace_always_sample_failures: bool = True
+
+    def trace_config(self) -> TraceConfig:
+        """The sampling policy implied by the trace fields."""
+        return TraceConfig(
+            sample_rate=self.trace_sample_rate,
+            always_sample_failures=self.trace_always_sample_failures,
+        )
 
     def n_data_symbols(self) -> int:
         """Data symbols per frame for this payload length."""
@@ -120,6 +141,7 @@ class GatewayReport:
     outcomes: List[DecodeOutcome]
     telemetry: Dict[str, Dict[str, Any]]
     shards: Optional[Dict[str, Dict[str, int]]] = None
+    trace: Optional[TraceRecorder] = None
 
     # ------------------------------------------------------------------
     @property
@@ -247,6 +269,9 @@ class StreamScanner:
         the job-id RNG key (keeping decode RNG independent of cross-shard
         interleaving), and ``label`` prefixes per-shard telemetry.  All
         default to the untagged single-channel behaviour.
+    trace_recorder:
+        Optional :class:`repro.trace.TraceRecorder` receiving one
+        detection record per dispatched job.
     """
 
     def __init__(
@@ -260,6 +285,7 @@ class StreamScanner:
         job_params: Optional[LoRaParams] = None,
         rng_prefix: Optional[Tuple[int, ...]] = None,
         label: str = "",
+        trace_recorder: Optional[TraceRecorder] = None,
     ) -> None:
         self.params = params
         self.payload_len = payload_len
@@ -269,6 +295,7 @@ class StreamScanner:
         self.job_params = job_params
         self.rng_prefix = rng_prefix
         self.label = label
+        self.trace_recorder = trace_recorder
         framer = LoRaFramer(params, coding_rate=coding_rate)
         self.n_data_symbols = framer.n_symbols_for_payload(payload_len)
         n = params.samples_per_symbol
@@ -306,7 +333,7 @@ class StreamScanner:
             payload_len=self.payload_len,
             start_sample=window_start,
             detection_score=score,
-            created_at=time.perf_counter(),
+            created_at=clock(),
             params=self.job_params,
             channel=self.channel,
             rng_key=rng_key,
@@ -364,6 +391,16 @@ class StreamScanner:
             telemetry.counter("detect.packets").inc()
             if self.label:
                 telemetry.counter(f"{self.label}.detect.packets").inc()
+            if self.trace_recorder is not None:
+                self.trace_recorder.record_detection(
+                    job_id=job.job_id,
+                    key=job.key,
+                    channel=self.channel,
+                    spreading_factor=params.spreading_factor,
+                    start_sample=start,
+                    score=float(result.score),
+                    label=self.label,
+                )
             pool.submit(job)
             # The detected start is window-granular and may sit up to one
             # window before the true (mid-window) packet start; skip one
@@ -387,9 +424,17 @@ class Gateway:
     injected (e.g. to aggregate several runs).
     """
 
-    def __init__(self, config: GatewayConfig, telemetry: Optional[Telemetry] = None) -> None:
+    def __init__(
+        self,
+        config: GatewayConfig,
+        telemetry: Optional[Telemetry] = None,
+        trace_recorder: Optional[TraceRecorder] = None,
+    ) -> None:
         self.config = config
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        if trace_recorder is None and config.trace:
+            trace_recorder = TraceRecorder(config.trace_config())
+        self.trace_recorder = trace_recorder
         n = config.params.samples_per_symbol
         frame = config.frame_samples()
         if config.ring_symbols:
@@ -412,12 +457,28 @@ class Gateway:
         params = config.params
         telemetry = self.telemetry
         ring = SampleRing(self._ring_capacity)
+        recorder = self.trace_recorder
+        if recorder is not None:
+            recorder.set_header(
+                run_kind="gateway",
+                executor=config.executor,
+                n_workers=config.n_workers,
+                seed=config.seed,
+                spreading_factor=params.spreading_factor,
+                payload_len=config.payload_len,
+                sample_rate=recorder.config.sample_rate,
+                always_sample_failures=recorder.config.always_sample_failures,
+            )
+            ground_truth = getattr(source, "ground_truth", None)
+            if callable(ground_truth):
+                recorder.set_ground_truth(ground_truth())
         scanner = StreamScanner(
             params,
             config.payload_len,
             telemetry,
             detection_pfa=config.detection_pfa,
             coding_rate=config.coding_rate,
+            trace_recorder=recorder,
         )
         pool = DecodeWorkerPool(
             params,
@@ -434,12 +495,13 @@ class Gateway:
             use_engine=config.use_engine,
             rng=config.seed,
             telemetry=telemetry,
+            trace_recorder=recorder,
         )
         samples_in = 0
         chunks_in = 0
         evicted = 0
         next_job_id = 0
-        started = time.perf_counter()
+        started = clock()
         for chunk in source.chunks():
             with telemetry.timer("ingest.chunk_s"):
                 evicted += ring.append(chunk)
@@ -451,7 +513,7 @@ class Gateway:
         # Final drain: scan whatever remains after the last chunk.
         next_job_id = scanner.scan(ring, pool, next_job_id, final=True)
         outcomes = pool.close()
-        wall = time.perf_counter() - started
+        wall = clock() - started
         snapshot = telemetry.snapshot()
         crc_ok = sum(1 for o in outcomes if o.crc_ok)
         errors = sum(1 for o in outcomes if o.error is not None)
@@ -468,4 +530,5 @@ class Gateway:
             stream_s=samples_in / params.sample_rate,
             outcomes=outcomes,
             telemetry=snapshot,
+            trace=recorder,
         )

@@ -30,7 +30,6 @@ the returned :class:`repro.gateway.runtime.GatewayReport` carries a
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -38,9 +37,10 @@ from repro.gateway.channelizer import DEFAULT_TAPS_PER_BRANCH, PolyphaseChanneli
 from repro.gateway.ring import SampleRing
 from repro.gateway.runtime import GatewayReport, StreamScanner
 from repro.gateway.sources import SampleSource
-from repro.gateway.telemetry import Telemetry, shard_label
+from repro.gateway.telemetry import Telemetry, clock, shard_label
 from repro.gateway.workers import DecodeWorkerPool
 from repro.phy.params import ChannelPlan, LoRaParams
+from repro.trace.recorder import TraceConfig, TraceRecorder
 
 
 @dataclass(frozen=True)
@@ -68,6 +68,11 @@ class ShardedGatewayConfig:
         the master seed all per-shard decode RNG keys derive from.
     taps_per_branch:
         Prototype filter length per channelizer branch.
+    trace, trace_sample_rate, trace_always_sample_failures:
+        Provenance tracing, as in
+        :class:`repro.gateway.runtime.GatewayConfig`; sampling stays
+        deterministic per shard because directives key on
+        ``(channel, sf, shard_seq)``.
     """
 
     plan: ChannelPlan = field(default_factory=ChannelPlan)
@@ -86,6 +91,16 @@ class ShardedGatewayConfig:
     use_engine: bool = True
     seed: Optional[int] = None
     taps_per_branch: int = DEFAULT_TAPS_PER_BRANCH
+    trace: bool = False
+    trace_sample_rate: float = 1.0
+    trace_always_sample_failures: bool = True
+
+    def trace_config(self) -> TraceConfig:
+        """The sampling policy implied by the trace fields."""
+        return TraceConfig(
+            sample_rate=self.trace_sample_rate,
+            always_sample_failures=self.trace_always_sample_failures,
+        )
 
     def __post_init__(self) -> None:
         if not self.sf_set:
@@ -112,9 +127,13 @@ class ShardedGateway:
         self,
         config: ShardedGatewayConfig,
         telemetry: Optional[Telemetry] = None,
+        trace_recorder: Optional[TraceRecorder] = None,
     ) -> None:
         self.config = config
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        if trace_recorder is None and config.trace:
+            trace_recorder = TraceRecorder(config.trace_config())
+        self.trace_recorder = trace_recorder
         # Probe scanners once for frame geometry so the ring capacity can
         # be validated up front (run() builds its own fresh scanners).
         probe = [
@@ -157,6 +176,7 @@ class ShardedGateway:
                     job_params=config.shard_params(sf),
                     rng_prefix=(channel, sf),
                     label=shard_label(channel, sf),
+                    trace_recorder=self.trace_recorder,
                 )
                 for sf in config.sf_set
             ]
@@ -166,6 +186,22 @@ class ShardedGateway:
         """Consume the wideband ``source`` to exhaustion and report."""
         config = self.config
         telemetry = self.telemetry
+        recorder = self.trace_recorder
+        if recorder is not None:
+            recorder.set_header(
+                run_kind="sharded-gateway",
+                executor=config.executor,
+                n_workers=config.n_workers,
+                seed=config.seed,
+                n_channels=config.plan.n_channels,
+                sf_set=list(config.sf_set),
+                payload_len=config.payload_len,
+                sample_rate=recorder.config.sample_rate,
+                always_sample_failures=recorder.config.always_sample_failures,
+            )
+            ground_truth = getattr(source, "ground_truth", None)
+            if callable(ground_truth):
+                recorder.set_ground_truth(ground_truth())
         channelizer = PolyphaseChannelizer(
             config.plan, taps_per_branch=config.taps_per_branch
         )
@@ -184,6 +220,7 @@ class ShardedGateway:
             use_engine=config.use_engine,
             rng=config.seed,
             telemetry=telemetry,
+            trace_recorder=recorder,
         )
         rings = [
             SampleRing(self._ring_capacity) for _ in range(config.plan.n_channels)
@@ -193,7 +230,7 @@ class ShardedGateway:
         chunks_in = 0
         evicted = 0
         next_job_id = 0
-        started = time.perf_counter()
+        started = clock()
 
         def fan_out(bands) -> None:
             nonlocal evicted, next_job_id
@@ -225,7 +262,7 @@ class ShardedGateway:
             for scanner in scanners[channel]:
                 next_job_id = scanner.scan(ring, pool, next_job_id, final=True)
         outcomes = pool.close()
-        wall = time.perf_counter() - started
+        wall = clock() - started
         crc_ok = sum(1 for o in outcomes if o.crc_ok)
         errors = sum(1 for o in outcomes if o.error is not None)
         shards: Dict[str, Dict[str, int]] = {}
@@ -267,4 +304,5 @@ class ShardedGateway:
             outcomes=outcomes,
             telemetry=telemetry.snapshot(),
             shards=shards,
+            trace=recorder,
         )

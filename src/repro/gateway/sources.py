@@ -331,6 +331,32 @@ class SyntheticTrafficSource:
                 chunk = awgn(chunk, self.noise_power, rng=self._noise_rng)
             yield chunk
 
+    def ground_truth(self) -> List[Dict[str, object]]:
+        """Per-packet truth rows for the trace/forensics layer.
+
+        ``start_sample`` is converted to the units the *detector* sees:
+        narrowband samples (a wideband plan's starts divide exactly by
+        its oversample factor, since scheduling runs on the decimation
+        grid), so forensics can match detections to transmissions
+        without knowing the channelizer geometry.
+        """
+        m = 1 if self.plan is None else self.plan.oversample_factor
+        rows: List[Dict[str, object]] = []
+        for packet in self.transmitted:
+            node_params = self._radios[packet.node_id].params
+            rows.append(
+                {
+                    "node_id": packet.node_id,
+                    "payload": packet.payload.hex(),
+                    "start_sample": packet.start_sample // m,
+                    "channel": packet.channel,
+                    "spreading_factor": node_params.spreading_factor,
+                    "frame_samples": packet.frame_samples(node_params),
+                    "snr_db": packet.snr_db,
+                }
+            )
+        return rows
+
 
 class IqFileSource:
     """Replay a recorded IQ capture from disk in chunks.

@@ -7,26 +7,52 @@ sit on the hot path of every chunk and every decode job:
   detected, jobs dropped).
 * :class:`Gauge` -- a sampled level with its running peak (queue depth).
 * :class:`DurationHistogram` -- per-stage latencies with percentile
-  queries (detect time per chunk, queue wait, decode time).
+  queries (detect time per chunk, queue wait, decode time).  Memory is
+  bounded: past ``max_samples`` recordings the histogram switches to
+  reservoir sampling (count / total / max stay exact).
 
 :class:`Telemetry` is the registry tying them together: stages create
 instruments by name on demand, the runtime snapshots everything into a
-plain dict, exports JSON-lines for machines, and renders a human summary
-table for the CLI.
+plain dict, exports JSON-lines and Prometheus text exposition for
+machines, and renders a human summary table for the CLI.  Registries
+also support a portable ``state()`` / ``merge()`` round trip, which is
+how per-job telemetry recorded inside process-executor workers flows
+back into the parent's registry.
+
+This module (plus ``repro/trace/``) owns the gateway's stopwatch:
+everything else under ``gateway/`` times itself through :func:`clock`
+(repro-lint rule R008 enforces this).
 """
 
 from __future__ import annotations
 
 import json
+import random
+import re
 import threading
 import time
+import zlib
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List
+from typing import Any, Dict, Iterator, List, Tuple
 
 import numpy as np
 
 #: Percentiles reported for every duration histogram.
 SUMMARY_PERCENTILES = (50.0, 95.0, 99.0)
+
+#: Raw samples a duration histogram keeps before reservoir sampling
+#: kicks in (64k float64 = 512 KiB per instrument, worst case).
+DEFAULT_HISTOGRAM_CAP = 65536
+
+
+def clock() -> float:
+    """The gateway's monotonic stopwatch (seconds, arbitrary epoch).
+
+    Single timing authority for every duration measured under
+    ``gateway/``: stages call this instead of ``time.perf_counter`` so
+    the clock can be reasoned about (and faked) in one place.
+    """
+    return time.perf_counter()
 
 
 def shard_label(channel: int, spreading_factor: int) -> str:
@@ -63,6 +89,14 @@ class Counter:
     def snapshot(self) -> Dict[str, Any]:
         """JSON-ready state of this instrument."""
         return {"metric": self.name, "type": "counter", "value": self.value}
+
+    def state(self) -> Dict[str, Any]:
+        """Portable state for cross-process merging."""
+        return {"type": "counter", "value": self.value}
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold another counter's state into this one (sums)."""
+        self.inc(int(state["value"]))
 
 
 class Gauge:
@@ -103,75 +137,158 @@ class Gauge:
                 "peak": self._peak,
             }
 
+    def state(self) -> Dict[str, Any]:
+        """Portable state for cross-process merging."""
+        with self._lock:
+            return {"type": "gauge", "value": self._value, "peak": self._peak}
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold another gauge's state in: last value wins, peaks max."""
+        with self._lock:
+            self._value = float(state["value"])
+            self._peak = max(self._peak, float(state.get("peak", 0.0)))
+
 
 class DurationHistogram:
     """Recorded durations (seconds) with percentile queries.
 
-    Stores raw samples; gateway runs are short enough (thousands of
-    packets) that exact percentiles beat bucketing error, and the memory
-    is a few float64 per event.
+    Keeps raw samples up to ``max_samples`` -- gateway runs are short
+    enough that exact percentiles beat bucketing error -- then degrades
+    gracefully to uniform reservoir sampling (Algorithm R), so memory is
+    bounded however long the gateway streams.  Count, total and max are
+    tracked exactly regardless; only percentiles become estimates past
+    the cap.  The reservoir RNG is seeded from the metric name, keeping
+    runs with a fixed stream reproducible.
     """
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self, name: str, max_samples: int = DEFAULT_HISTOGRAM_CAP
+    ) -> None:
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
         self.name = name
+        self.max_samples = max_samples
         self._values: List[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+        self._offered = 0
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
         self._lock = threading.Lock()
+
+    def _offer(self, value: float) -> None:
+        """Reservoir insert (Algorithm R); caller holds the lock."""
+        self._offered += 1
+        if len(self._values) < self.max_samples:
+            self._values.append(value)
+        else:
+            slot = self._rng.randrange(self._offered)
+            if slot < self.max_samples:
+                self._values[slot] = value
 
     def record(self, seconds: float) -> None:
         """Record one duration."""
+        value = float(seconds)
         with self._lock:
-            self._values.append(float(seconds))
+            self._count += 1
+            self._total += value
+            if value > self._max:
+                self._max = value
+            self._offer(value)
 
     @contextmanager
     def time(self) -> Iterator[None]:
         """Context manager recording the wrapped block's wall time."""
-        start = time.perf_counter()
+        start = clock()
         try:
             yield
         finally:
-            self.record(time.perf_counter() - start)
+            self.record(clock() - start)
 
     @property
     def count(self) -> int:
-        """Number of recorded durations."""
+        """Number of recorded durations (exact, even past the cap)."""
+        with self._lock:
+            return self._count
+
+    @property
+    def n_retained(self) -> int:
+        """Samples currently held (== count until the reservoir caps)."""
         with self._lock:
             return len(self._values)
 
     def percentile(self, p: float) -> float:
-        """The ``p``-th percentile duration, or 0.0 when empty."""
+        """The ``p``-th percentile duration, or 0.0 when empty.
+
+        Exact below ``max_samples`` recordings, a uniform-reservoir
+        estimate above.
+        """
         with self._lock:
             if not self._values:
                 return 0.0
             return float(np.percentile(self._values, p))
 
     def mean(self) -> float:
-        """Mean duration, or 0.0 when empty."""
+        """Mean duration (exact), or 0.0 when empty."""
         with self._lock:
-            if not self._values:
-                return 0.0
-            return float(np.mean(self._values))
+            return self._total / self._count if self._count else 0.0
 
     def total(self) -> float:
-        """Sum of all recorded durations."""
+        """Sum of all recorded durations (exact)."""
         with self._lock:
-            return float(np.sum(self._values)) if self._values else 0.0
+            return self._total
 
     def snapshot(self) -> Dict[str, Any]:
         """JSON-ready state: count, mean, max and summary percentiles."""
         with self._lock:
             values = list(self._values)
+            count, total, peak = self._count, self._total, self._max
         out: Dict[str, Any] = {
             "metric": self.name,
             "type": "histogram",
-            "count": len(values),
-            "mean_s": float(np.mean(values)) if values else 0.0,
-            "max_s": float(np.max(values)) if values else 0.0,
-            "total_s": float(np.sum(values)) if values else 0.0,
+            "count": count,
+            "mean_s": total / count if count else 0.0,
+            "max_s": peak,
+            "total_s": total,
         }
         for p in SUMMARY_PERCENTILES:
             key = f"p{p:g}_s"
             out[key] = float(np.percentile(values, p)) if values else 0.0
         return out
+
+    def state(self) -> Dict[str, Any]:
+        """Portable state for cross-process merging."""
+        with self._lock:
+            return {
+                "type": "histogram",
+                "values": list(self._values),
+                "count": self._count,
+                "total_s": self._total,
+                "max_s": self._max,
+            }
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold another histogram's state in.
+
+        Exact scalars add exactly; the other side's (possibly sampled)
+        values feed this reservoir one by one.  Below the cap on both
+        sides the merge is lossless.
+        """
+        values = [float(v) for v in state.get("values", [])]
+        with self._lock:
+            self._count += int(state["count"])
+            self._total += float(state["total_s"])
+            self._max = max(self._max, float(state.get("max_s", 0.0)))
+            for value in values:
+                self._offer(value)
+
+
+#: Instrument classes by the ``type`` tag used in portable state dicts.
+_STATE_KINDS = {
+    "counter": Counter,
+    "gauge": Gauge,
+    "histogram": DurationHistogram,
+}
 
 
 class Telemetry:
@@ -224,6 +341,34 @@ class Telemetry:
             yield
 
     # ------------------------------------------------------------------
+    # Cross-process merge
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, Dict[str, Any]]:
+        """Portable (picklable, JSON-able) state of every instrument.
+
+        The worker side of the process executor ships this back with
+        each decode outcome; :meth:`merge` folds it into the parent.
+        """
+        with self._lock:
+            instruments = list(self._instruments.values())
+        return {inst.name: inst.state() for inst in instruments}
+
+    def merge(self, state: Dict[str, Dict[str, Any]]) -> None:
+        """Fold a :meth:`state` dict from another registry into this one.
+
+        Counters and histogram scalars add exactly, so serial and
+        process executors agree on every total.
+        """
+        for name, inst_state in state.items():
+            kind = _STATE_KINDS.get(inst_state.get("type", ""))
+            if kind is None:
+                raise ValueError(
+                    f"unknown instrument type in state for {name!r}: "
+                    f"{inst_state.get('type')!r}"
+                )
+            self._get(name, kind).merge_state(inst_state)
+
+    # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
@@ -244,6 +389,71 @@ class Telemetry:
         """Write :meth:`jsonl` to ``path``."""
         with open(path, "w") as handle:
             handle.write(self.jsonl())
+
+    def prometheus(self) -> str:
+        """Prometheus text exposition of every instrument.
+
+        Dotted names map to sanitized metric families with shard parts
+        extracted as labels: ``ch3.sf8.decode.crc_ok`` becomes
+        ``repro_decode_crc_ok_total{channel="3",sf="8"}``.  Counters get
+        ``_total``; gauges export the level plus a ``_peak`` family;
+        duration histograms export as summaries in seconds (quantiles
+        from :data:`SUMMARY_PERCENTILES`, plus ``_count`` and ``_sum``).
+        """
+        families: Dict[str, Tuple[str, List[str]]] = {}
+
+        def sample(
+            family: str,
+            prom_type: str,
+            labels: Dict[str, str],
+            value: float,
+        ) -> None:
+            kind, lines = families.setdefault(family, (prom_type, []))
+            if kind != prom_type:
+                raise ValueError(
+                    f"metric family {family!r} exported as both "
+                    f"{kind} and {prom_type}"
+                )
+            rendered = ",".join(
+                f'{key}="{labels[key]}"' for key in sorted(labels)
+            )
+            label_part = f"{{{rendered}}}" if rendered else ""
+            lines.append(f"{family}{label_part} {value:g}")
+
+        for name, state in sorted(self.snapshot().items()):
+            base, labels = _prometheus_name(name)
+            if state["type"] == "counter":
+                sample(f"{base}_total", "counter", labels, state["value"])
+            elif state["type"] == "gauge":
+                sample(base, "gauge", labels, state["value"])
+                sample(f"{base}_peak", "gauge", labels, state["peak"])
+            else:
+                family = _seconds_family(base)
+                for p in SUMMARY_PERCENTILES:
+                    quantile = {"quantile": f"{p / 100.0:g}", **labels}
+                    sample(family, "summary", quantile, state[f"p{p:g}_s"])
+                sample(f"{family}_count", "summary", labels, state["count"])
+                sample(f"{family}_sum", "summary", labels, state["total_s"])
+        out: List[str] = []
+        typed: set = set()
+        for family in sorted(families):
+            prom_type, lines = families[family]
+            # _count/_sum belong to their summary family's TYPE line.
+            root = re.sub(r"_(count|sum)$", "", family)
+            if prom_type == "summary" and root in families:
+                family_type_key = root
+            else:
+                family_type_key = family
+            if family_type_key not in typed:
+                typed.add(family_type_key)
+                out.append(f"# TYPE {family_type_key} {prom_type}")
+            out.extend(lines)
+        return "\n".join(out) + ("\n" if out else "")
+
+    def write_prometheus(self, path: str) -> None:
+        """Write :meth:`prometheus` to ``path``."""
+        with open(path, "w") as handle:
+            handle.write(self.prometheus())
 
     def summary(self) -> str:
         """Human-readable table of every instrument."""
@@ -268,3 +478,54 @@ class Telemetry:
                     f"  max={1e3 * state['max_s']:.2f}ms"
                 )
         return "\n".join(lines)
+
+
+_SHARD_PART = re.compile(r"(ch|sf)(\d+)$")
+_SHARD_LABELS = {"ch": "channel", "sf": "sf"}
+
+
+def _prometheus_name(name: str) -> Tuple[str, Dict[str, str]]:
+    """Map a dotted instrument name to (family base, labels).
+
+    ``ch{c}`` / ``sf{s}`` dotted parts become ``channel`` / ``sf``
+    labels; the remaining parts join with underscores under the
+    ``repro_`` namespace, sanitized to the Prometheus charset.
+    """
+    labels: Dict[str, str] = {}
+    rest: List[str] = []
+    for part in name.split("."):
+        match = _SHARD_PART.match(part)
+        if match is not None and match.group(0) == part:
+            labels[_SHARD_LABELS[match.group(1)]] = match.group(2)
+        else:
+            rest.append(re.sub(r"[^a-zA-Z0-9_]", "_", part))
+    base = "_".join(part for part in rest if part) or "metric"
+    if not re.match(r"[a-zA-Z_]", base):
+        base = f"_{base}"
+    return f"repro_{base}", labels
+
+
+def _seconds_family(base: str) -> str:
+    """Duration-family name: strip the ``_s`` suffix, append ``_seconds``."""
+    if base.endswith("_s"):
+        base = base[: -len("_s")]
+    return f"{base}_seconds"
+
+
+def parse_prometheus_text(text: str) -> Dict[str, float]:
+    """Parse exposition text back to ``{sample-name: value}``.
+
+    The inverse of :meth:`Telemetry.prometheus` for round-trip tests and
+    quick scripting; keys keep their label part verbatim
+    (``repro_decode_crc_ok_total{channel="3",sf="8"}``).
+    """
+    samples: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        key, _, value = line.rpartition(" ")
+        if not key:
+            raise ValueError(f"malformed exposition line: {line!r}")
+        samples[key] = float(value)
+    return samples

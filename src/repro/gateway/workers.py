@@ -20,6 +20,14 @@ Every decode job carries its own RNG derived from the pool seed and the
 job id (:func:`repro.utils.derive_rng`), so which worker decodes which
 packet -- or whether any parallelism is used at all -- never changes the
 result.
+
+Observability rides the same outcome path on every executor: per-job
+instruments are recorded into a job-local registry and shipped back as a
+``telemetry_delta`` the pool merges, and a job's provenance span tree
+(when its :class:`repro.trace.TraceDirective` asks for one) is built
+inside the worker -- thread or process -- and travels home on the
+outcome, so counter totals and retained traces are identical across
+executors by construction.
 """
 
 from __future__ import annotations
@@ -29,15 +37,18 @@ import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.decoder import ChoirDecoder
 from repro.core.detection import align_to_window_grid
-from repro.gateway.telemetry import Telemetry, shard_label
+from repro.gateway.telemetry import Telemetry, clock, shard_label
 from repro.phy.packet import LoRaFramer
 from repro.phy.params import LoRaParams
+from repro.trace import context as trace_context
+from repro.trace.model import PacketTrace, TraceBuilder
+from repro.trace.recorder import TraceDirective, TraceRecorder
 from repro.utils import RngLike, as_seed_sequence, derive_rng
 
 #: Accepted overload behaviors for the bounded decode queue.
@@ -65,10 +76,15 @@ class DecodeJob:
     payload_len: int
     start_sample: int
     detection_score: float
-    created_at: float  # time.perf_counter() at submission
+    created_at: float  # telemetry clock() reading at submission
     params: Optional[LoRaParams] = None
     channel: int = 0
     rng_key: Optional[Tuple[int, ...]] = None
+
+    @property
+    def key(self) -> Tuple[int, ...]:
+        """The job's deterministic identity (rng_key, or job id alone)."""
+        return self.rng_key if self.rng_key is not None else (self.job_id,)
 
 
 @dataclass(frozen=True)
@@ -82,7 +98,13 @@ class UserResult:
 
 @dataclass(frozen=True)
 class DecodeOutcome:
-    """Result of decoding one packet window."""
+    """Result of decoding one packet window.
+
+    ``telemetry_delta`` is the job-local registry state recorded inside
+    the worker (merged into the pool registry on arrival), and ``trace``
+    is the retained provenance span tree -- both travel with the outcome
+    so the process executor loses neither.
+    """
 
     job_id: int
     start_sample: int
@@ -96,11 +118,19 @@ class DecodeOutcome:
     error: Optional[str] = None
     channel: int = 0
     spreading_factor: Optional[int] = None
+    rng_key: Optional[Tuple[int, ...]] = None
+    telemetry_delta: Optional[Dict[str, Dict[str, Any]]] = None
+    trace: Optional[PacketTrace] = None
 
     @property
     def n_users(self) -> int:
         """How many users the decoder disentangled in this window."""
         return len(self.users)
+
+    @property
+    def key(self) -> Tuple[int, ...]:
+        """The outcome's deterministic identity (matches the job's)."""
+        return self.rng_key if self.rng_key is not None else (self.job_id,)
 
 
 def _decode_at(
@@ -136,6 +166,7 @@ def decode_packet_window(
     sync_search_symbols: int = 0,
     max_users: Optional[int] = None,
     use_engine: bool = True,
+    trace_directive: Optional[TraceDirective] = None,
 ) -> DecodeOutcome:
     """Decode one packet window with a job-keyed deterministic RNG.
 
@@ -152,7 +183,8 @@ def decode_packet_window(
     can sink an otherwise decodable packet.
 
     Module-level (rather than a pool method) so the process executor can
-    ship it to workers; everything it touches is picklable.
+    ship it to workers; everything it touches -- including the trace
+    directive in and the span tree out -- is picklable.
 
     A job carrying its own ``params`` (a sharded gateway's SF-tagged
     window) decodes with those instead of the pool's, and a job carrying
@@ -160,61 +192,114 @@ def decode_packet_window(
     job id -- per-shard sequence numbers keep results independent of how
     shards interleave their submissions.
     """
-    started = time.perf_counter()
+    started = clock()
     if job.params is not None:
         params = job.params
-    rng_key = job.rng_key if job.rng_key is not None else (job.job_id,)
+    rng_key = job.key
+    sharded_sf = params.spreading_factor if job.params is not None else None
+    builder: Optional[TraceBuilder] = None
+    if trace_directive is not None and trace_directive.build:
+        builder = TraceBuilder(
+            "decode.job",
+            job_id=job.job_id,
+            key=list(rng_key),
+            channel=job.channel,
+            spreading_factor=sharded_sf,
+            start_sample=job.start_sample,
+            detection_score=job.detection_score,
+        )
+    local = Telemetry()
     decoder = ChoirDecoder(
         params, use_engine=use_engine, rng=derive_rng(base_seed, *rng_key)
     )
     framer = LoRaFramer(params, coding_rate=coding_rate)
     n = params.samples_per_symbol
-    if synchronize:
-        candidate_range = (
-            (0, sync_search_symbols * n) if sync_search_symbols > 0 else None
-        )
-        base, _ = align_to_window_grid(
-            params,
-            job.samples,
-            candidate_range=candidate_range,
-        )
-        # The decoder's sweet spot is a grid a fraction of a window
-        # *after* the true boundary (the small data leak is absorbed by
-        # the boundary-glitch model), while the ridge's "latest" pick can
-        # overshoot it by a variable amount.  Quarter-window ladder steps
-        # cover the overshoot spread (biased earlier) without gaps.
-        offsets = [base]
-        for delta in (-n // 4, n // 4, -n // 2, -3 * n // 4):
-            candidate = base + delta
-            if candidate >= 0 and candidate not in offsets:
-                offsets.append(candidate)
-    else:
-        offsets = [0]
-    results: List[UserResult] = []
-    retries = 0
-    for attempt, offset in enumerate(offsets):
-        attempt_results = _decode_at(decoder, framer, job, offset, max_users)
-        if attempt == 0:
-            results = attempt_results
+    with trace_context.use_builder(builder):
+        if synchronize:
+            candidate_range = (
+                (0, sync_search_symbols * n) if sync_search_symbols > 0 else None
+            )
+            with trace_context.span("align"), local.timer("decode.align_s"):
+                base, align_score = align_to_window_grid(
+                    params,
+                    job.samples,
+                    candidate_range=candidate_range,
+                )
+                trace_context.annotate(offset=base, score=float(align_score))
+            # The decoder's sweet spot is a grid a fraction of a window
+            # *after* the true boundary (the small data leak is absorbed by
+            # the boundary-glitch model), while the ridge's "latest" pick can
+            # overshoot it by a variable amount.  Quarter-window ladder steps
+            # cover the overshoot spread (biased earlier) without gaps.
+            offsets = [base]
+            for delta in (-n // 4, n // 4, -n // 2, -3 * n // 4):
+                candidate = base + delta
+                if candidate >= 0 and candidate not in offsets:
+                    offsets.append(candidate)
         else:
-            retries += 1
-        if any(r.crc_ok for r in attempt_results):
-            results = attempt_results
-            break
-    verified = [r for r in results if r.crc_ok]
+            offsets = [0]
+        results: List[UserResult] = []
+        retries = 0
+        for attempt, offset in enumerate(offsets):
+            with trace_context.span("attempt", index=attempt, offset=int(offset)):
+                local.counter("decode.attempts").inc()
+                attempt_results = _decode_at(decoder, framer, job, offset, max_users)
+                trace_context.add_event(
+                    "attempt.result",
+                    n_users=len(attempt_results),
+                    n_crc_ok=sum(1 for r in attempt_results if r.crc_ok),
+                )
+            if attempt == 0:
+                results = attempt_results
+            else:
+                retries += 1
+            if any(r.crc_ok for r in attempt_results):
+                results = attempt_results
+                break
+        verified = [r for r in results if r.crc_ok]
+        local.counter("decode.users_found").inc(len(results))
+        trace_context.add_event(
+            "result",
+            crc_ok=bool(verified),
+            n_users=len(results),
+            sync_retries=retries,
+        )
     best = verified[0] if verified else (results[0] if results else None)
+    crc_ok = bool(verified)
+    trace: Optional[PacketTrace] = None
+    if builder is not None and trace_directive is not None:
+        root = builder.finish()
+        if trace_directive.keep(crc_ok):
+            trace = PacketTrace(
+                key=rng_key,
+                job_id=job.job_id,
+                channel=job.channel,
+                spreading_factor=sharded_sf,
+                start_sample=job.start_sample,
+                detection_score=job.detection_score,
+                sampled=trace_directive.sampled,
+                root=root,
+                label=(
+                    shard_label(job.channel, sharded_sf)
+                    if sharded_sf is not None
+                    else ""
+                ),
+            )
     return DecodeOutcome(
         job_id=job.job_id,
         start_sample=job.start_sample,
         users=tuple(results),
         payload=best.payload if best is not None else None,
-        crc_ok=bool(verified),
+        crc_ok=crc_ok,
         queue_wait_s=max(started - job.created_at, 0.0),
-        decode_s=time.perf_counter() - started,
+        decode_s=clock() - started,
         detection_score=job.detection_score,
         sync_retries=retries,
         channel=job.channel,
-        spreading_factor=params.spreading_factor if job.params is not None else None,
+        spreading_factor=sharded_sf,
+        rng_key=job.rng_key,
+        telemetry_delta=local.state(),
+        trace=trace,
     )
 
 
@@ -251,6 +336,10 @@ class DecodeWorkerPool:
         Pool seed; each job's decoder RNG is derived from it by job id.
     telemetry:
         Optional registry receiving dispatch/decode instruments.
+    trace_recorder:
+        Optional :class:`repro.trace.TraceRecorder`; when set, each
+        job's trace directive is computed from its key before dispatch
+        and every outcome (with its retained span tree) is recorded.
     """
 
     def __init__(
@@ -267,6 +356,7 @@ class DecodeWorkerPool:
         use_engine: bool = True,
         rng: RngLike = None,
         telemetry: Optional[Telemetry] = None,
+        trace_recorder: Optional[TraceRecorder] = None,
     ) -> None:
         if executor not in EXECUTORS:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
@@ -289,6 +379,7 @@ class DecodeWorkerPool:
         self.max_users = max_users
         self.use_engine = use_engine
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.trace_recorder = trace_recorder
         self._base_seed = as_seed_sequence(rng)
         self._outcomes: List[DecodeOutcome] = []
         self._lock = threading.Lock()
@@ -299,6 +390,9 @@ class DecodeWorkerPool:
         self._threads: List[threading.Thread] = []
         self._pool: Optional[ProcessPoolExecutor] = None
         self._futures: Dict[int, "Future[DecodeOutcome]"] = {}
+        # Scalar facts about in-flight process jobs, kept parent-side so
+        # a worker crash can still be recorded as an error outcome.
+        self._job_meta: Dict[int, Tuple[int, float, int, Optional[int], Optional[Tuple[int, ...]]]] = {}
         if executor == "thread":
             self._threads = [
                 threading.Thread(
@@ -314,6 +408,37 @@ class DecodeWorkerPool:
     # ------------------------------------------------------------------
     # Shared decode + accounting
     # ------------------------------------------------------------------
+    def _directive(self, job: DecodeJob) -> Optional[TraceDirective]:
+        """The job's tracing instruction, or None when tracing is off."""
+        if self.trace_recorder is None:
+            return None
+        return self.trace_recorder.directive(job.key)
+
+    def _error_outcome(
+        self,
+        job_id: int,
+        start_sample: int,
+        detection_score: float,
+        channel: int,
+        spreading_factor: Optional[int],
+        rng_key: Optional[Tuple[int, ...]],
+        exc: BaseException,
+    ) -> DecodeOutcome:
+        return DecodeOutcome(
+            job_id=job_id,
+            start_sample=start_sample,
+            users=(),
+            payload=None,
+            crc_ok=False,
+            queue_wait_s=0.0,
+            decode_s=0.0,
+            detection_score=detection_score,
+            error=f"{type(exc).__name__}: {exc}",
+            channel=channel,
+            spreading_factor=spreading_factor,
+            rng_key=rng_key,
+        )
+
     def _decode(self, job: DecodeJob) -> DecodeOutcome:
         try:
             return decode_packet_window(
@@ -325,28 +450,25 @@ class DecodeWorkerPool:
                 sync_search_symbols=self.sync_search_symbols,
                 max_users=self.max_users,
                 use_engine=self.use_engine,
+                trace_directive=self._directive(job),
             )
         except Exception as exc:  # defensive: a worker must never die
             self.telemetry.counter("decode.errors").inc()
-            return DecodeOutcome(
-                job_id=job.job_id,
-                start_sample=job.start_sample,
-                users=(),
-                payload=None,
-                crc_ok=False,
-                queue_wait_s=0.0,
-                decode_s=0.0,
-                detection_score=job.detection_score,
-                error=f"{type(exc).__name__}: {exc}",
-                channel=job.channel,
-                spreading_factor=(
-                    job.params.spreading_factor if job.params is not None else None
-                ),
+            return self._error_outcome(
+                job.job_id,
+                job.start_sample,
+                job.detection_score,
+                job.channel,
+                job.params.spreading_factor if job.params is not None else None,
+                job.rng_key,
+                exc,
             )
 
     def _record(self, outcome: DecodeOutcome) -> None:
         with self._lock:
             self._outcomes.append(outcome)
+        if outcome.telemetry_delta:
+            self.telemetry.merge(outcome.telemetry_delta)
         self.telemetry.histogram("decode.queue_wait_s").record(outcome.queue_wait_s)
         self.telemetry.histogram("decode.decode_s").record(outcome.decode_s)
         if outcome.sync_retries:
@@ -365,6 +487,25 @@ class DecodeWorkerPool:
                 self.telemetry.counter(f"{label}.decode.crc_failed").inc()
             else:
                 self.telemetry.counter(f"{label}.decode.errors").inc()
+        if self.trace_recorder is not None:
+            self.trace_recorder.record_outcome(
+                job_id=outcome.job_id,
+                key=outcome.key,
+                channel=outcome.channel,
+                spreading_factor=outcome.spreading_factor,
+                start_sample=outcome.start_sample,
+                detection_score=outcome.detection_score,
+                crc_ok=outcome.crc_ok,
+                n_users=outcome.n_users,
+                sync_retries=outcome.sync_retries,
+                error=outcome.error,
+                payload=outcome.payload,
+                users=[
+                    (u.offset_bins, u.payload.hex(), u.crc_ok)
+                    for u in outcome.users
+                ],
+                trace=outcome.trace,
+            )
 
     def _count_drop(self, job: Optional[DecodeJob] = None) -> None:
         """Count one dropped job, with its shard label when known."""
@@ -431,6 +572,7 @@ class DecodeWorkerPool:
                     if future is not None and future.cancel():
                         with self._lock:
                             self._futures.pop(jid, None)
+                            self._job_meta.pop(jid, None)
                         self._count_drop()
                         cancelled = True
                         break
@@ -450,18 +592,38 @@ class DecodeWorkerPool:
             sync_search_symbols=self.sync_search_symbols,
             max_users=self.max_users,
             use_engine=self.use_engine,
+            trace_directive=self._directive(job),
         )
         with self._lock:
             self._futures[job.job_id] = future
+            self._job_meta[job.job_id] = (
+                job.start_sample,
+                job.detection_score,
+                job.channel,
+                job.params.spreading_factor if job.params is not None else None,
+                job.rng_key,
+            )
         future.add_done_callback(lambda f, jid=job.job_id: self._process_done(jid, f))
         return True
 
     def _process_done(self, job_id: int, future: "Future[DecodeOutcome]") -> None:
+        with self._lock:
+            meta = self._job_meta.pop(job_id, None)
         if future.cancelled():
             return
         exc = future.exception()
         if exc is not None:
+            # A worker died outright (the in-worker try/except never got
+            # to run); synthesize the error outcome parent-side so no
+            # job goes unaccounted and telemetry matches serial runs.
             self.telemetry.counter("decode.errors").inc()
+            if meta is not None:
+                start_sample, score, channel, sf, rng_key = meta
+                self._record(
+                    self._error_outcome(
+                        job_id, start_sample, score, channel, sf, rng_key, exc
+                    )
+                )
             return
         self._record(future.result())
 

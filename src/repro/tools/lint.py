@@ -37,6 +37,12 @@ R007      No direct ``np.linalg.lstsq`` calls in ``core/`` outside
           channel solves through the normal-equations paths of
           :mod:`repro.core.engine` (or the chanest reference helpers)
           so decode latency stays bounded.
+R008      No direct ``time.perf_counter()`` calls in ``gateway/``
+          outside ``telemetry.py`` (and the ``trace/`` package).  All
+          gateway timing must route through
+          :func:`repro.gateway.telemetry.clock` so durations come from
+          one monotonic source and tests can reason about a single
+          seam.
 ========  =============================================================
 
 Suppression: append ``# noqa`` (all rules) or ``# noqa: R003`` /
@@ -62,6 +68,8 @@ RULES: dict[str, str] = {
     "R006": "public function in core/ or phy/ missing a docstring",
     "R007": "np.linalg.lstsq in core/ outside chanest.py/engine.py; "
     "use repro.core.engine",
+    "R008": "time.perf_counter in gateway/ outside telemetry.py; "
+    "use repro.gateway.telemetry.clock",
 }
 
 #: Files allowed to touch ``np.random`` directly (the RNG plumbing itself).
@@ -70,6 +78,10 @@ _RNG_ALLOWED_SUFFIXES: tuple[tuple[str, ...], ...] = (("utils", "rng.py"),)
 #: ``core/`` files allowed to call ``np.linalg.lstsq`` directly: the
 #: reference channel solver and the engine's own degenerate-Gram fallback.
 _R007_ALLOWED_NAMES = frozenset({"chanest.py", "engine.py"})
+
+#: ``gateway/`` files allowed to call ``time.perf_counter`` directly: the
+#: telemetry module that wraps it as :func:`clock`.
+_R008_ALLOWED_NAMES = frozenset({"telemetry.py"})
 
 #: Terminal attribute names that make an operand a *property of* an
 #: offset/bin array (its size, shape, ...) rather than the quantity itself.
@@ -141,6 +153,11 @@ class _Checker(ast.NodeVisitor):
         self._lstsq_scope = (
             "core" in path.parent.parts and path.name not in _R007_ALLOWED_NAMES
         )
+        self._perf_counter_scope = (
+            "gateway" in path.parent.parts
+            and "trace" not in path.parent.parts
+            and path.name not in _R008_ALLOWED_NAMES
+        )
         self._has_future_annotations = any(
             isinstance(node, ast.ImportFrom)
             and node.module == "__future__"
@@ -155,6 +172,9 @@ class _Checker(ast.NodeVisitor):
         # R007 alias maps: names bound to numpy.linalg / its lstsq.
         self._linalg_aliases: set[str] = set()
         self._lstsq_aliases: set[str] = set()
+        # R008 alias maps: names bound to the time module / perf_counter.
+        self._time_aliases: set[str] = set()
+        self._perf_counter_aliases: set[str] = set()
         # Class nesting depth, to distinguish methods from nested closures.
         self._scope_stack: list[ast.AST] = [tree]
 
@@ -183,6 +203,8 @@ class _Checker(ast.NodeVisitor):
                     self._random_aliases.add(bound)
                 elif alias.name == "numpy.linalg":
                     self._linalg_aliases.add(bound)
+            elif alias.name == "time":
+                self._time_aliases.add(bound)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -197,6 +219,10 @@ class _Checker(ast.NodeVisitor):
             for alias in node.names:
                 if alias.name == "lstsq":
                     self._lstsq_aliases.add(alias.asname or alias.name)
+        elif node.module == "time":
+            for alias in node.names:
+                if alias.name == "perf_counter":
+                    self._perf_counter_aliases.add(alias.asname or alias.name)
         self.generic_visit(node)
 
     # -- R007: lstsq discipline in core/ -------------------------------
@@ -211,6 +237,17 @@ class _Checker(ast.NodeVisitor):
         if len(chain) == 2 and chain[0] in self._linalg_aliases and chain[1] == "lstsq":
             return True
         return len(chain) == 1 and chain[0] in self._lstsq_aliases
+
+    # -- R008: perf_counter discipline in gateway/ ----------------------
+
+    def _is_perf_counter_call(self, chain: tuple[str, ...]) -> bool:
+        if (
+            len(chain) == 2
+            and chain[0] in self._time_aliases
+            and chain[1] == "perf_counter"
+        ):
+            return True
+        return len(chain) == 1 and chain[0] in self._perf_counter_aliases
 
     # -- R001: rng discipline ------------------------------------------
 
@@ -232,6 +269,15 @@ class _Checker(ast.NodeVisitor):
                     node.lineno,
                     f"direct call to {'.'.join(chain)} in core/; route the "
                     "solve through repro.core.engine (normal equations)",
+                )
+        if self._perf_counter_scope:
+            chain = _dotted_name(node.func)
+            if chain is not None and self._is_perf_counter_call(chain):
+                self._report(
+                    "R008",
+                    node.lineno,
+                    f"direct call to {'.'.join(chain)} in gateway/; use "
+                    "repro.gateway.telemetry.clock",
                 )
         self.generic_visit(node)
 
@@ -434,7 +480,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point: 0 when clean, 1 on any diagnostic, 2 on bad usage."""
     parser = argparse.ArgumentParser(
         prog="repro-lint",
-        description="Choir repo-specific static analysis (rules R001-R007).",
+        description="Choir repo-specific static analysis (rules R001-R008).",
     )
     parser.add_argument(
         "paths",

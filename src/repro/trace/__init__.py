@@ -1,0 +1,63 @@
+"""Decode provenance tracing and packet forensics.
+
+This package is the observability layer under the gateway's telemetry
+registry: span trees per detection->decode job (:mod:`repro.trace.model`),
+ambient context propagation through the DSP stack
+(:mod:`repro.trace.context`), deterministic sampling and collection
+(:mod:`repro.trace.recorder`), JSONL / Chrome trace-event export
+(:mod:`repro.trace.export`), and per-packet drop-reason post-mortems
+(:mod:`repro.trace.forensics`).
+"""
+
+from repro.trace.context import (
+    add_event,
+    annotate,
+    current,
+    span,
+    trace_active,
+    use_builder,
+)
+from repro.trace.export import (
+    TRACE_FORMAT,
+    chrome_trace,
+    load_packets,
+    load_trace,
+    to_jsonl,
+    trace_data,
+    write_trace,
+)
+from repro.trace.forensics import ForensicsReport, PostMortem, analyze
+from repro.trace.model import PacketTrace, Span, SpanEvent, TraceBuilder
+from repro.trace.recorder import (
+    TraceConfig,
+    TraceDirective,
+    TraceRecorder,
+    sample_key,
+)
+
+__all__ = [
+    "TRACE_FORMAT",
+    "ForensicsReport",
+    "PacketTrace",
+    "PostMortem",
+    "Span",
+    "SpanEvent",
+    "TraceBuilder",
+    "TraceConfig",
+    "TraceDirective",
+    "TraceRecorder",
+    "add_event",
+    "analyze",
+    "annotate",
+    "chrome_trace",
+    "current",
+    "load_packets",
+    "load_trace",
+    "sample_key",
+    "span",
+    "to_jsonl",
+    "trace_active",
+    "trace_data",
+    "use_builder",
+    "write_trace",
+]

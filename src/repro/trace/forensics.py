@@ -1,0 +1,431 @@
+"""Packet forensics: per-packet post-mortems from a decode trace.
+
+Answers "why did packet X die, at which stage, with what evidence" for
+every transmitted packet of a traced gateway run.  The input is the
+serialized trace (:func:`repro.trace.export.load_trace`); the output is
+one :class:`PostMortem` per ground-truth packet plus an aggregate
+failure-class histogram.
+
+Drop-reason taxonomy (ordered by pipeline stage)::
+
+    not-detected                 no detection near the packet's start
+    dispatch-dropped             detected, but backpressure shed the job
+    decode-error                 the decode worker raised
+    sic-tier-k-residual-floor    phased SIC gave up after k tiers with
+                                 no user above the residual noise floor
+    misaligned                   users found, but the window never
+                                 snapped to the preamble grid
+    cluster-ambiguous            users found, but fractional signatures
+                                 (near-)collided or the decoder hit tone
+                                 conflicts -- symbols went to the wrong
+                                 transmitter
+    crc-fail                     everything upstream looked healthy; the
+                                 symbol stream still failed the CRC
+
+Every non-recovered ground-truth packet is assigned exactly one reason;
+``unknown`` exists only as a guard value and is structurally unreachable
+when the trace carries outcome rows (the classifier always falls
+through to ``crc-fail``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.trace.export import load_packets, load_trace
+from repro.trace.model import PacketTrace
+from repro.utils import circular_distance
+
+NOT_DETECTED = "not-detected"
+DISPATCH_DROPPED = "dispatch-dropped"
+DECODE_ERROR = "decode-error"
+MISALIGNED = "misaligned"
+CLUSTER_AMBIGUOUS = "cluster-ambiguous"
+CRC_FAIL = "crc-fail"
+UNKNOWN = "unknown"
+
+
+def sic_tier_reason(tier: int) -> str:
+    """The residual-floor reason for a SIC search that ran ``tier`` tiers."""
+    return f"sic-tier-{tier}-residual-floor"
+
+
+#: Alignment-span score below which a failed decode is called misaligned:
+#: the ridge statistic (max/median of the accumulated span) sits in the
+#: noise plateau, so the grid search never locked onto a preamble.
+MISALIGNED_SCORE = 6.0
+
+#: Fractional-signature distance (in bins, circular mod 1) below which
+#: two decoded users are considered ambiguous -- the same threshold the
+#: decoder's junk-absorption stage uses to recognize a user's own tone.
+AMBIGUOUS_FRACTION = 0.12
+
+
+@dataclass
+class PostMortem:
+    """The verdict on one ground-truth packet (or untracked outcome)."""
+
+    index: int
+    node_id: Optional[int]
+    channel: int
+    spreading_factor: Optional[int]
+    start_sample: int
+    payload: Optional[str]
+    recovered: bool
+    reason: Optional[str]
+    stage_reached: str
+    job_id: Optional[int]
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (what ``repro forensics --json`` emits)."""
+        return {
+            "index": self.index,
+            "node_id": self.node_id,
+            "channel": self.channel,
+            "spreading_factor": self.spreading_factor,
+            "start_sample": self.start_sample,
+            "payload": self.payload,
+            "recovered": self.recovered,
+            "reason": self.reason,
+            "stage_reached": self.stage_reached,
+            "job_id": self.job_id,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class ForensicsReport:
+    """Every packet's verdict plus the aggregate failure histogram."""
+
+    packets: List[PostMortem]
+    n_outcomes: int = 0
+    n_traced: int = 0
+    histogram: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.histogram:
+            for packet in self.packets:
+                if packet.reason is not None:
+                    self.histogram[packet.reason] = (
+                        self.histogram.get(packet.reason, 0) + 1
+                    )
+
+    @property
+    def n_recovered(self) -> int:
+        """Packets whose payload was CRC-verified somewhere in the run."""
+        return sum(1 for p in self.packets if p.recovered)
+
+    def summary(self) -> str:
+        """Human-readable post-mortem table (what ``repro forensics`` prints)."""
+        lines = [
+            f"packet forensics: {len(self.packets)} packets,"
+            f" {self.n_recovered} recovered,"
+            f" {len(self.packets) - self.n_recovered} lost"
+            f" ({self.n_outcomes} decode outcomes, {self.n_traced} traced)"
+        ]
+        for packet in self.packets:
+            shard = f"ch{packet.channel}" + (
+                f".sf{packet.spreading_factor}"
+                if packet.spreading_factor is not None
+                else ""
+            )
+            who = f"node {packet.node_id}" if packet.node_id is not None else "?"
+            head = (
+                f"  #{packet.index:<3d} {who:<8s} {shard:<9s}"
+                f" start={packet.start_sample:<8d}"
+                f" payload={packet.payload or '?':<10s}"
+            )
+            if packet.recovered:
+                lines.append(f"{head} RECOVERED (job {packet.job_id})")
+            else:
+                job = f" job {packet.job_id}" if packet.job_id is not None else ""
+                detail = f": {packet.detail}" if packet.detail else ""
+                lines.append(
+                    f"{head} LOST at {packet.stage_reached}"
+                    f" -- {packet.reason}{job}{detail}"
+                )
+        if self.histogram:
+            lines.append("drop-reason histogram")
+            width = max(len(reason) for reason in self.histogram)
+            for reason in sorted(self.histogram):
+                lines.append(
+                    f"  {reason.ljust(width)}  {self.histogram[reason]}"
+                )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form."""
+        return {
+            "packets": [p.to_dict() for p in self.packets],
+            "recovered": self.n_recovered,
+            "outcomes": self.n_outcomes,
+            "traced": self.n_traced,
+            "histogram": dict(self.histogram),
+        }
+
+
+def _align_score(trace: Optional[PacketTrace]) -> Optional[float]:
+    """The grid-alignment ridge score recorded in a job's trace."""
+    if trace is None:
+        return None
+    for span in trace.root.walk():
+        if span.name == "align" and "score" in span.attrs:
+            return float(span.attrs["score"])
+    return None
+
+
+def _sic_tiers(trace: Optional[PacketTrace]) -> Tuple[int, Optional[float]]:
+    """SIC tiers attempted and the final residual power, from trace events."""
+    if trace is None:
+        return 1, None
+    events = trace.root.find_events("sic.tier")
+    if not events:
+        return 1, None
+    tiers = max(int(event.attrs.get("tier", 0)) + 1 for event in events)
+    residual = events[-1].attrs.get("residual_power")
+    return tiers, None if residual is None else float(residual)
+
+
+def _has_conflicts(trace: Optional[PacketTrace]) -> bool:
+    """Whether the decoder's tone-conflict resolver fired for this job."""
+    return trace is not None and bool(trace.root.find_events("decode.conflict"))
+
+
+def _ambiguous_fractionals(users: Sequence[Dict[str, Any]]) -> bool:
+    """Whether two decoded users' fractional signatures nearly collide."""
+    fractions = [float(u["offset_bins"]) % 1.0 for u in users]
+    return any(
+        circular_distance(fractions[i], fractions[j]) < AMBIGUOUS_FRACTION
+        for i in range(len(fractions))
+        for j in range(i + 1, len(fractions))
+    )
+
+
+def classify_outcome(
+    outcome: Dict[str, Any], trace: Optional[PacketTrace]
+) -> Tuple[str, str, str]:
+    """Classify one failed decode outcome into ``(reason, stage, detail)``.
+
+    The checks run in pipeline order and always terminate in ``crc-fail``,
+    so every outcome-bearing packet gets a reason from the taxonomy.
+    """
+    error = outcome.get("error")
+    if error:
+        return DECODE_ERROR, "decode", str(error)
+    if int(outcome.get("n_users", 0)) == 0:
+        tiers, residual = _sic_tiers(trace)
+        detail = (
+            f"residual power {residual:.3g}" if residual is not None else ""
+        )
+        return sic_tier_reason(tiers), "sic", detail
+    score = _align_score(trace)
+    if score is not None and score < MISALIGNED_SCORE:
+        return MISALIGNED, "align", f"align score {score:.2f}"
+    users = outcome.get("users", [])
+    if _has_conflicts(trace) or _ambiguous_fractionals(users):
+        fractions = ", ".join(
+            f"{float(u['offset_bins']) % 1.0:.3f}" for u in users
+        )
+        return CLUSTER_AMBIGUOUS, "cluster", f"fractionals {fractions}"
+    n_users = int(outcome.get("n_users", 0))
+    return CRC_FAIL, "crc", f"{n_users} user(s), none matched this payload"
+
+
+def _sf_matches(a: Optional[int], b: Optional[int]) -> bool:
+    return a is None or b is None or int(a) == int(b)
+
+
+def analyze(data: Dict[str, Any]) -> ForensicsReport:
+    """Build the full forensics report from loaded trace data.
+
+    With ground truth (synthetic runs) the report is per transmitted
+    packet; without it (replay runs), per decode outcome -- the
+    detection-stage reasons then cannot apply, but the decode-stage
+    taxonomy still does.
+    """
+    outcomes = list(data.get("outcomes", []))
+    detections = list(data.get("detections", []))
+    truth = list(data.get("truth", []))
+    traces = {tuple(p.key): p for p in load_packets(data)}
+    outcomes_by_key = {tuple(o["key"]): o for o in outcomes}
+
+    # CRC-verified payload pool: every verified user payload in the run,
+    # as (payload, outcome) pairs consumed one per matching truth packet.
+    payload_pool: Dict[str, List[Dict[str, Any]]] = {}
+    for outcome in outcomes:
+        user_payloads = [
+            u["payload"]
+            for u in outcome.get("users", [])
+            if u.get("crc_ok") and u.get("payload")
+        ]
+        if not user_payloads and outcome.get("crc_ok") and outcome.get("payload"):
+            user_payloads = [outcome["payload"]]
+        for payload in user_payloads:
+            payload_pool.setdefault(payload, []).append(outcome)
+
+    packets: List[PostMortem] = []
+    if truth:
+        for index, row in enumerate(truth):
+            payload = row.get("payload")
+            start = int(row.get("start_sample", 0))
+            channel = int(row.get("channel", 0))
+            sf = row.get("spreading_factor")
+            frame = int(row.get("frame_samples", 0)) or None
+            claimants = payload_pool.get(payload or "", [])
+            if claimants:
+                winner = claimants.pop(0)
+                packets.append(
+                    PostMortem(
+                        index=index,
+                        node_id=row.get("node_id"),
+                        channel=channel,
+                        spreading_factor=sf,
+                        start_sample=start,
+                        payload=payload,
+                        recovered=True,
+                        reason=None,
+                        stage_reached="recovered",
+                        job_id=winner.get("job_id"),
+                    )
+                )
+                continue
+            # Not recovered: walk the pipeline stages front to back.
+            tolerance = frame if frame is not None else 1 << 30
+            nearby = [
+                d
+                for d in detections
+                if int(d.get("channel", 0)) == channel
+                and _sf_matches(d.get("spreading_factor"), sf)
+                and abs(int(d.get("start_sample", 0)) - start) <= tolerance
+            ]
+            if not nearby:
+                packets.append(
+                    PostMortem(
+                        index=index,
+                        node_id=row.get("node_id"),
+                        channel=channel,
+                        spreading_factor=sf,
+                        start_sample=start,
+                        payload=payload,
+                        recovered=False,
+                        reason=NOT_DETECTED,
+                        stage_reached="detect",
+                        job_id=None,
+                        detail="no detection within one frame of the start",
+                    )
+                )
+                continue
+            detection = min(
+                nearby, key=lambda d: abs(int(d["start_sample"]) - start)
+            )
+            key = tuple(detection["key"])
+            outcome = outcomes_by_key.get(key)
+            if outcome is None:
+                packets.append(
+                    PostMortem(
+                        index=index,
+                        node_id=row.get("node_id"),
+                        channel=channel,
+                        spreading_factor=sf,
+                        start_sample=start,
+                        payload=payload,
+                        recovered=False,
+                        reason=DISPATCH_DROPPED,
+                        stage_reached="dispatch",
+                        job_id=detection.get("job_id"),
+                        detail="job shed by the queue drop policy",
+                    )
+                )
+                continue
+            reason, stage, detail = classify_outcome(outcome, traces.get(key))
+            packets.append(
+                PostMortem(
+                    index=index,
+                    node_id=row.get("node_id"),
+                    channel=channel,
+                    spreading_factor=sf,
+                    start_sample=start,
+                    payload=payload,
+                    recovered=False,
+                    reason=reason,
+                    stage_reached=stage,
+                    job_id=outcome.get("job_id"),
+                    detail=detail,
+                )
+            )
+    else:
+        # No ground truth (replay run): report per decode outcome.
+        for index, outcome in enumerate(outcomes):
+            key = tuple(outcome["key"])
+            if outcome.get("crc_ok"):
+                packets.append(
+                    PostMortem(
+                        index=index,
+                        node_id=None,
+                        channel=int(outcome.get("channel", 0)),
+                        spreading_factor=outcome.get("spreading_factor"),
+                        start_sample=int(outcome.get("start_sample", 0)),
+                        payload=outcome.get("payload"),
+                        recovered=True,
+                        reason=None,
+                        stage_reached="recovered",
+                        job_id=outcome.get("job_id"),
+                    )
+                )
+                continue
+            reason, stage, detail = classify_outcome(outcome, traces.get(key))
+            packets.append(
+                PostMortem(
+                    index=index,
+                    node_id=None,
+                    channel=int(outcome.get("channel", 0)),
+                    spreading_factor=outcome.get("spreading_factor"),
+                    start_sample=int(outcome.get("start_sample", 0)),
+                    payload=outcome.get("payload"),
+                    recovered=False,
+                    reason=reason,
+                    stage_reached=stage,
+                    job_id=outcome.get("job_id"),
+                    detail=detail,
+                )
+            )
+    return ForensicsReport(
+        packets=packets, n_outcomes=len(outcomes), n_traced=len(traces)
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro forensics`` entry point: trace in, post-mortem out."""
+    parser = argparse.ArgumentParser(
+        prog="repro forensics",
+        description="Per-packet post-mortem of a traced gateway run.",
+    )
+    parser.add_argument("trace", help="trace file (.jsonl or Chrome .json)")
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    args = parser.parse_args(argv)
+    try:
+        data = load_trace(args.trace)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"repro forensics: {exc}", file=sys.stderr)
+        return 2
+    report = analyze(data)
+    try:
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.summary())
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe early.
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

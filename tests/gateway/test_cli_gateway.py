@@ -53,6 +53,47 @@ class TestGatewayCommand:
         assert main(FAST + ["--workers", "2", "--executor", "thread"]) == 0
         assert "gateway run summary" in capsys.readouterr().out
 
+    def test_metrics_out_writes_prometheus(self, tmp_path, capsys):
+        path = tmp_path / "metrics.prom"
+        assert main(FAST + ["--metrics-out", str(path)]) == 0
+        assert "metrics written" in capsys.readouterr().out
+        text = path.read_text()
+        assert "# TYPE repro_decode_crc_ok_total counter" in text
+
+    def test_trace_out_then_forensics(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(FAST + ["--trace-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace written" in out
+        assert "repro forensics" in out  # the follow-up hint
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows[0]["kind"] == "header"
+        assert any(row["kind"] == "outcome" for row in rows)
+
+        assert main(["forensics", str(path)]) == 0
+        report = capsys.readouterr().out
+        assert "packet forensics:" in report
+        assert "RECOVERED" in report
+
+    def test_forensics_json_flag(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(FAST + ["--trace-out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["forensics", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["packets"]
+
+    def test_trace_sample_rate_zero_on_clean_run(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(
+            FAST + ["--trace-out", str(path), "--trace-sample-rate", "0.0"]
+        ) == 0
+        capsys.readouterr()
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        # Clean traffic at rate 0: outcome rows, but no retained span trees.
+        assert any(row["kind"] == "outcome" for row in rows)
+        assert not any(row["kind"] == "packet" for row in rows)
+
 
 class TestMultiChannelCommand:
     MULTI = [

@@ -5,7 +5,14 @@ import threading
 
 import pytest
 
-from repro.gateway.telemetry import Counter, DurationHistogram, Gauge, Telemetry
+from repro.gateway.telemetry import (
+    DEFAULT_HISTOGRAM_CAP,
+    Counter,
+    DurationHistogram,
+    Gauge,
+    Telemetry,
+    parse_prometheus_text,
+)
 
 
 class TestCounter:
@@ -145,3 +152,112 @@ class TestTelemetry:
 
     def test_summary_empty(self):
         assert Telemetry().summary() == "(no telemetry recorded)"
+
+
+class TestReservoir:
+    """Memory-bounded histogram: exact below the cap, sampled above it."""
+
+    def test_exact_below_cap(self):
+        hist = DurationHistogram("lat", max_samples=100)
+        for i in range(100):
+            hist.record(i / 1000.0)
+        assert hist.count == 100
+        assert hist.n_retained == 100
+        assert hist.percentile(50) == pytest.approx(0.0495, abs=1e-6)
+
+    def test_memory_bounded_above_cap(self):
+        hist = DurationHistogram("lat", max_samples=64)
+        for i in range(10_000):
+            hist.record(i / 10_000.0)
+        assert hist.n_retained == 64
+        # Exact scalars survive the sampling.
+        assert hist.count == 10_000
+        assert hist.total() == pytest.approx(sum(i / 10_000.0 for i in range(10_000)))
+        assert hist.snapshot()["max_s"] == pytest.approx(0.9999)
+
+    def test_sampled_percentiles_statistically_sane(self):
+        # Uniform [0, 1) stream: the sampled median must land near 0.5.
+        # Algorithm R with a fixed per-name seed makes this deterministic.
+        hist = DurationHistogram("lat", max_samples=512)
+        for i in range(50_000):
+            hist.record((i * 7919 % 50_000) / 50_000.0)
+        assert hist.percentile(50) == pytest.approx(0.5, abs=0.1)
+        assert hist.percentile(95) == pytest.approx(0.95, abs=0.1)
+
+    def test_default_cap(self):
+        assert DurationHistogram("lat").max_samples == DEFAULT_HISTOGRAM_CAP
+
+
+class TestStateMerge:
+    """state() / merge() carry deltas across process boundaries."""
+
+    def test_counter_and_gauge_merge(self):
+        parent, child = Telemetry(), Telemetry()
+        parent.counter("events").inc(2)
+        child.counter("events").inc(3)
+        child.gauge("depth").set(7)
+        parent.merge(child.state())
+        assert parent.counter("events").value == 5
+        assert parent.gauge("depth").peak == 7
+
+    def test_histogram_merge_preserves_exact_scalars(self):
+        parent, child = Telemetry(), Telemetry()
+        parent.histogram("lat").record(0.1)
+        child.histogram("lat").record(0.3)
+        child.histogram("lat").record(0.5)
+        parent.merge(child.state())
+        hist = parent.histogram("lat")
+        assert hist.count == 3
+        assert hist.total() == pytest.approx(0.9)
+        assert hist.snapshot()["max_s"] == pytest.approx(0.5)
+
+    def test_state_roundtrip_through_json(self):
+        t = Telemetry()
+        t.counter("events").inc(4)
+        t.histogram("lat").record(0.25)
+        restored = Telemetry()
+        restored.merge(json.loads(json.dumps(t.state())))
+        assert restored.counter("events").value == 4
+        assert restored.histogram("lat").count == 1
+
+    def test_merge_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown"):
+            Telemetry().merge({"x": {"type": "bogus", "value": 1}})
+
+
+class TestPrometheus:
+    def test_shard_labels_extracted(self):
+        t = Telemetry()
+        t.counter("ch3.sf8.decode.crc_ok").inc(5)
+        text = t.prometheus()
+        assert 'repro_decode_crc_ok_total{channel="3",sf="8"} 5' in text
+
+    def test_type_lines_and_families(self):
+        t = Telemetry()
+        t.counter("events").inc(1)
+        t.gauge("depth").set(2)
+        t.histogram("decode.align_s").record(0.25)
+        text = t.prometheus()
+        assert "# TYPE repro_events_total counter" in text
+        assert "# TYPE repro_queue_depth gauge" not in text  # not registered
+        assert "# TYPE repro_decode_align_seconds summary" in text
+        assert 'repro_decode_align_seconds{quantile="0.5"}' in text
+        assert "repro_decode_align_seconds_count 1" in text
+
+    def test_roundtrip_parse(self):
+        t = Telemetry()
+        t.counter("ch1.sf7.decode.crc_ok").inc(9)
+        t.gauge("queue.depth").set(3)
+        t.histogram("decode.align_s").record(0.5)
+        parsed = parse_prometheus_text(t.prometheus())
+        assert parsed['repro_decode_crc_ok_total{channel="1",sf="7"}'] == 9.0
+        assert parsed["repro_queue_depth"] == 3.0
+        assert parsed["repro_decode_align_seconds_count"] == 1.0
+        assert parsed["repro_decode_align_seconds_sum"] == pytest.approx(0.5)
+
+    def test_write_prometheus(self, tmp_path):
+        t = Telemetry()
+        t.counter("events").inc(2)
+        path = tmp_path / "metrics.prom"
+        t.write_prometheus(str(path))
+        assert "repro_events_total 2" in path.read_text()

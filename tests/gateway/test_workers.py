@@ -108,6 +108,35 @@ class TestPoolExecutors:
         assert len(outcomes) == 1
         assert outcomes[0].payload == payload
 
+    def test_process_telemetry_parity_with_serial(self):
+        # The per-job counters are recorded worker-side and shipped back
+        # as a state delta, so the parent registry must see identical
+        # totals whether the job ran in-process or in a worker process.
+        def counter_totals(executor):
+            pool = DecodeWorkerPool(
+                PARAMS,
+                n_workers=1,
+                executor=executor,
+                synchronize=False,
+                rng=0,
+            )
+            for seed in (12, 13):
+                job, _ = _clean_window(seed=seed)
+                assert pool.submit(job)
+            pool.close()
+            snapshot = pool.telemetry.snapshot()
+            return {
+                name: state["value"]
+                for name, state in snapshot.items()
+                if state["type"] == "counter"
+            }
+
+        serial, process = counter_totals("serial"), counter_totals("process")
+        assert serial == process
+        assert serial["decode.attempts"] >= 2
+        assert serial["decode.users_found"] >= 2
+        assert serial["decode.crc_ok"] == 2
+
     def test_close_is_idempotent_and_sorted(self):
         pool = DecodeWorkerPool(PARAMS, executor="serial", synchronize=False, rng=0)
         for seed in (21, 20):

@@ -1,4 +1,4 @@
-"""Unit tests for every repro-lint rule (R001-R007), positive and negative."""
+"""Unit tests for every repro-lint rule (R001-R008), positive and negative."""
 
 import subprocess
 import sys
@@ -300,6 +300,59 @@ class TestR007LstsqInCore:
         assert codes_for(source, path="src/repro/core/residual.py") == []
 
 
+class TestR008PerfCounterInGateway:
+    def test_flags_time_perf_counter_in_gateway(self):
+        source = """
+            import time
+            started = time.perf_counter()
+            """
+        assert codes_for(source, path="src/repro/gateway/runtime.py") == ["R008"]
+
+    def test_flags_module_alias(self):
+        source = """
+            import time as t
+            started = t.perf_counter()
+            """
+        assert codes_for(source, path="src/repro/gateway/workers.py") == ["R008"]
+
+    def test_flags_from_import_alias(self):
+        source = """
+            from time import perf_counter as tick
+            started = tick()
+            """
+        assert codes_for(source, path="src/repro/gateway/sharded.py") == ["R008"]
+
+    def test_allows_telemetry_and_trace(self):
+        source = """
+            import time
+            started = time.perf_counter()
+            """
+        assert codes_for(source, path="src/repro/gateway/telemetry.py") == []
+        assert codes_for(source, path="src/repro/gateway/trace/spans.py") == []
+
+    def test_not_enforced_outside_gateway(self):
+        source = """
+            import time
+            started = time.perf_counter()
+            """
+        assert codes_for(source, path="src/repro/core/decoder.py") == []
+
+    def test_allows_other_time_calls_in_gateway(self):
+        source = """
+            import time
+            time.sleep(0.01)
+            now = time.time()
+            """
+        assert codes_for(source, path="src/repro/gateway/workers.py") == []
+
+    def test_noqa_suppresses(self):
+        source = """
+            import time
+            started = time.perf_counter()  # noqa: R008
+            """
+        assert codes_for(source, path="src/repro/gateway/runtime.py") == []
+
+
 class TestDiagnosticsAndCli:
     def test_diagnostic_format_is_file_line_code(self):
         diagnostics = lint_source(
@@ -313,7 +366,7 @@ class TestDiagnosticsAndCli:
         diagnostics = lint_source("def broken(:\n", Path("src/repro/core/x.py"))
         assert [d.code for d in diagnostics] == ["E999"]
 
-    def test_rule_catalog_covers_r001_through_r007(self):
+    def test_rule_catalog_covers_r001_through_r008(self):
         assert sorted(RULES) == [
             "R001",
             "R002",
@@ -322,6 +375,7 @@ class TestDiagnosticsAndCli:
             "R005",
             "R006",
             "R007",
+            "R008",
         ]
 
     def test_lint_paths_walks_directories(self, tmp_path):
@@ -345,7 +399,7 @@ class TestDiagnosticsAndCli:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        assert "R001" in out and "R007" in out
+        assert "R001" in out and "R008" in out
 
     def test_wrapper_script_runs_without_pythonpath(self, tmp_path):
         wrapper = REPO_ROOT / "tools" / "repro_lint.py"

@@ -1,0 +1,1 @@
+"""Tests for the decode-provenance tracing and forensics subsystem."""

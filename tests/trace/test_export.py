@@ -1,0 +1,128 @@
+"""Tests for trace serialization: JSONL and Chrome trace-event JSON."""
+
+import json
+
+import pytest
+
+from repro.trace.export import (
+    TRACE_FORMAT,
+    chrome_trace,
+    load_packets,
+    load_trace,
+    to_jsonl,
+    trace_data,
+    write_trace,
+)
+from repro.trace.model import PacketTrace, Span, SpanEvent
+from repro.trace.recorder import TraceConfig, TraceRecorder
+
+
+def _recorder() -> TraceRecorder:
+    recorder = TraceRecorder(TraceConfig(sample_rate=1.0))
+    recorder.set_header(run_kind="gateway", executor="serial", seed=0)
+    recorder.set_ground_truth(
+        [{"node_id": 0, "payload": "aabbccdd", "start_sample": 100, "channel": 0}]
+    )
+    recorder.record_detection(
+        job_id=0, key=(0,), channel=0, spreading_factor=7,
+        start_sample=100, score=4.2, label="ch0.sf7",
+    )
+    root = Span(name="decode.job", start_ts=1.0, end_ts=2.0)
+    root.events.append(SpanEvent(name="result", ts=1.5, attrs={"crc_ok": True}))
+    trace = PacketTrace(
+        key=(0,), job_id=0, channel=0, spreading_factor=7,
+        start_sample=100, detection_score=4.2, sampled=True,
+        root=root, label="ch0.sf7",
+    )
+    recorder.record_outcome(
+        job_id=0, key=(0,), channel=0, spreading_factor=7, start_sample=100,
+        detection_score=4.2, crc_ok=True, n_users=1, sync_retries=0,
+        error=None, payload=bytes.fromhex("aabbccdd"),
+        users=((3.25, "aabbccdd", True),), trace=trace,
+    )
+    return recorder
+
+
+class TestJsonl:
+    def test_row_kinds(self):
+        rows = [json.loads(line) for line in to_jsonl(_recorder()).splitlines()]
+        kinds = [row["kind"] for row in rows]
+        assert kinds == ["header", "truth", "detection", "outcome", "packet"]
+        assert rows[0]["format"] == TRACE_FORMAT
+        assert rows[0]["executor"] == "serial"
+        assert rows[3]["payload"] == "aabbccdd"
+        assert rows[3]["users"][0]["offset_bins"] == 3.25
+
+    def test_roundtrip_through_file(self, tmp_path):
+        recorder = _recorder()
+        path = tmp_path / "trace.jsonl"
+        write_trace(recorder, path)
+        data = load_trace(path)
+        assert data["header"]["seed"] == 0
+        assert data["outcomes"] == trace_data(recorder)["outcomes"]
+        packets = load_packets(data)
+        assert len(packets) == 1
+        assert packets[0].structure() == recorder.packets[0].structure()
+
+
+class TestChromeTrace:
+    def test_event_shapes(self):
+        doc = chrome_trace(_recorder())
+        events = doc["traceEvents"]
+        phases = {event["ph"] for event in events}
+        assert phases == {"M", "X", "i"}
+        complete = [e for e in events if e["ph"] == "X"]
+        assert complete[0]["name"] == "decode.job"
+        assert complete[0]["dur"] == pytest.approx(1e6)
+        names = [e for e in events if e["ph"] == "M"]
+        assert any(e["args"]["name"] == "repro-gateway" for e in names)
+        assert any(e["args"]["name"] == "ch0.sf7" for e in names)
+
+    def test_embeds_full_payload(self):
+        doc = chrome_trace(_recorder())
+        assert doc["reproTrace"]["format"] == TRACE_FORMAT
+        assert len(doc["reproTrace"]["packets"]) == 1
+
+    def test_roundtrip_through_file(self, tmp_path):
+        recorder = _recorder()
+        path = tmp_path / "trace.json"
+        write_trace(recorder, path)
+        data = load_trace(path)
+        assert data["outcomes"] == trace_data(recorder)["outcomes"]
+        assert load_packets(data)[0].key == (0,)
+
+    def test_per_label_tracks(self):
+        recorder = _recorder()
+        other = PacketTrace(
+            key=(1,), job_id=1, channel=1, spreading_factor=8,
+            start_sample=50, detection_score=2.0, sampled=True,
+            root=Span(name="decode.job", start_ts=1.0, end_ts=1.1),
+            label="ch1.sf8",
+        )
+        recorder.record_outcome(
+            job_id=1, key=(1,), channel=1, spreading_factor=8, start_sample=50,
+            detection_score=2.0, crc_ok=False, n_users=0, sync_retries=0,
+            error=None, payload=None, trace=other,
+        )
+        doc = chrome_trace(recorder)
+        tids = {
+            e["args"]["name"]: e["tid"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert set(tids) == {"ch0.sf7", "ch1.sf8"}
+        assert len(set(tids.values())) == 2
+
+
+class TestLoadErrors:
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ValueError, match="not a repro trace"):
+            load_trace(path)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_trace(path)

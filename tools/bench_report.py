@@ -63,13 +63,20 @@ def run_benchmark(
     n_channels: int = 1,
     sf_set: tuple[int, ...] | list[int] | None = None,
     telemetry_out: str | None = None,
+    metrics_out: str | None = None,
+    trace_out: str | None = None,
 ) -> dict:
     """Run one gateway benchmark and return the JSON-ready result dict.
 
     ``n_channels > 1`` (or a multi-SF ``sf_set``) benchmarks the sharded
     multi-channel gateway over wideband synthetic traffic instead of the
     single-channel runtime; ``telemetry_out`` additionally dumps the run's
-    telemetry registry as JSON-lines (the CI artifact).
+    telemetry registry as JSON-lines (the CI artifact), ``metrics_out``
+    writes Prometheus text exposition, and ``trace_out`` enables
+    provenance tracing and writes the trace there.  The output paths are
+    deliberately not part of the recorded ``config``, so ``--compare``
+    reruns stay untraced (tracing costs a little and baselines must stay
+    comparable).
     """
     sfs = tuple(sf_set) if sf_set else (spreading_factor,)
     params = LoRaParams(spreading_factor=sfs[0])
@@ -103,6 +110,7 @@ def run_benchmark(
                 n_workers=n_workers,
                 executor=executor,
                 seed=seed,
+                trace=bool(trace_out),
             )
         )
     else:
@@ -120,11 +128,18 @@ def run_benchmark(
                 n_workers=n_workers,
                 executor=executor,
                 seed=seed,
+                trace=bool(trace_out),
             )
         )
     report = gateway.run(source)
     if telemetry_out:
         gateway.telemetry.write_jsonl(telemetry_out)
+    if metrics_out:
+        gateway.telemetry.write_prometheus(metrics_out)
+    if trace_out and report.trace is not None:
+        from repro.trace import write_trace
+
+        write_trace(report.trace, trace_out)
     sent = sorted(p.payload for p in source.transmitted)
     got = sorted(report.decoded_payloads)
     recovered = sum(1 for p in got if p in sent)
@@ -273,6 +288,17 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also dump the run's telemetry registry as JSON-lines here",
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="also write Prometheus text exposition here",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="enable provenance tracing and write the trace here"
+        " (.jsonl or .json)",
+    )
     parser.add_argument("--out", default="BENCH_gateway.json")
     parser.add_argument(
         "--compare",
@@ -333,6 +359,8 @@ def main(argv: list[str] | None = None) -> int:
         n_channels=args.channels,
         sf_set=sf_set,
         telemetry_out=args.telemetry_out,
+        metrics_out=args.metrics_out,
+        trace_out=args.trace_out,
     )
     Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
     thr = result["throughput"]
