@@ -1,6 +1,7 @@
 # Developer workflow for the Choir reproduction.
 #
-#   make lint          repo-specific AST rules (R001-R008) + ruff, if installed
+#   make lint          repo-specific AST rules (R001-R011) + ruff, if installed
+#   make analyze       the AST dataflow engine alone, with a JSON findings report
 #   make typecheck     mypy per the gradual-strictness table in pyproject.toml
 #   make test          the tier-1 suite (includes the static-analysis gate)
 #   make check         all of the above
@@ -26,15 +27,22 @@ BENCH_CANDIDATE  ?=
 BENCH_TOLERANCE  ?= 0.25
 BENCH_SLACK      ?= 0.002
 
-.PHONY: lint typecheck test check ci bench-gateway bench-decode bench-check
+ANALYZE_OUT ?= analysis_findings.json
+
+.PHONY: lint analyze typecheck test check ci bench-gateway bench-decode bench-check
 
 lint:
-	$(PYTHON) tools/repro_lint.py src tools
+	$(PYTHON) tools/repro_lint.py --engine=ast src tools
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests tools; \
 	else \
 		echo "ruff not installed (pip install -e '.[lint]'); skipping"; \
 	fi
+
+# Concurrency & determinism audit (DESIGN.md Sec. 14): rules R001-R011
+# over the source tree, findings also written as a JSON artifact.
+analyze:
+	$(PYTHON) tools/repro_lint.py --engine=ast --json $(ANALYZE_OUT) src tools
 
 typecheck:
 	@if command -v mypy >/dev/null 2>&1; then \
@@ -53,6 +61,7 @@ check: lint typecheck test
 # runner slack), without touching BENCH_decode.json.
 ci:
 	$(MAKE) lint
+	$(MAKE) analyze
 	$(MAKE) typecheck
 	$(MAKE) test
 	CI=1 $(MAKE) bench-decode BENCH_DECODE_OUT=BENCH_decode.ci.json

@@ -70,14 +70,18 @@ def _find_clusters(positions: np.ndarray, n_bins: int, radius: float) -> list[li
     unvisited = set(range(n))
     clusters = []
     while unvisited:
-        seed = unvisited.pop()
+        # Deterministic traversal: seed each component from its smallest
+        # index and scan candidates in index order, so cluster emission
+        # order never depends on set iteration order.
+        seed = min(unvisited)
+        unvisited.remove(seed)
         component = [seed]
         frontier = [seed]
         while frontier:
             i = frontier.pop()
             near = [
                 j
-                for j in list(unvisited)
+                for j in sorted(unvisited)
                 if circular_distance(positions[i], positions[j], period=n_bins)
                 <= radius
             ]

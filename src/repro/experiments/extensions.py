@@ -56,7 +56,7 @@ def run_multisf_demux(
         capture, _ = receive_mixed_sf(transmissions, rng=rng)
         branches = decoder.decode(
             capture,
-            {sf: n_symbols for sf in set(sf_assignments)},
+            {sf: n_symbols for sf in sorted(set(sf_assignments))},
             cancel_across_sf=cancel,
         )
         for branch in branches:

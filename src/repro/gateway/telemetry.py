@@ -173,7 +173,9 @@ class DurationHistogram:
         self._total = 0.0
         self._max = 0.0
         self._offered = 0
-        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
+        # Reservoir sampling needs cheap stdlib randomness, not the decode
+        # seed tree; seeding from the metric name keeps it reproducible.
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))  # noqa: R010
         self._lock = threading.Lock()
 
     def _offer(self, value: float) -> None:

@@ -609,6 +609,10 @@ class DecodeWorkerPool:
     def _process_done(self, job_id: int, future: "Future[DecodeOutcome]") -> None:
         with self._lock:
             meta = self._job_meta.pop(job_id, None)
+            # Drop the completed future so the table tracks only live
+            # work; otherwise it grows for the pool's lifetime and every
+            # _in_flight() scan pays for all jobs ever submitted.
+            self._futures.pop(job_id, None)
         if future.cancelled():
             return
         exc = future.exception()

@@ -1,0 +1,22 @@
+"""AST dataflow analysis engine behind ``repro-lint``.
+
+Layout:
+
+* :mod:`~repro.tools.analysis.base` -- rule catalog + :class:`Diagnostic`
+* :mod:`~repro.tools.analysis.model` -- per-module parse/import/noqa model
+* :mod:`~repro.tools.analysis.project` -- cross-module class index,
+  attribute dataflow, thread entry points
+* :mod:`~repro.tools.analysis.rules_core` -- R001-R008 (legacy rules)
+* :mod:`~repro.tools.analysis.concurrency` -- R009 lock discipline
+* :mod:`~repro.tools.analysis.determinism` -- R010 determinism hazards
+* :mod:`~repro.tools.analysis.dtypes` -- R011 complex64 upcast contract
+* :mod:`~repro.tools.analysis.engine` -- driver (parse once, run all)
+* :mod:`~repro.tools.analysis.cli` -- the ``repro-lint`` entry point
+* :mod:`~repro.tools.analysis.witness` -- runtime race witness
+"""
+
+from repro.tools.analysis.base import RULES, Diagnostic
+from repro.tools.analysis.cli import main
+from repro.tools.analysis.engine import lint_paths, lint_source
+
+__all__ = ["RULES", "Diagnostic", "lint_paths", "lint_source", "main"]

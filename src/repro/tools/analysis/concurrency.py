@@ -1,0 +1,276 @@
+"""R009: lock discipline for state shared with worker threads.
+
+The pass consumes the :class:`~repro.tools.analysis.project.Project`
+class index and runs three analyses:
+
+1. **Reachability** -- BFS over the class-method call graph from every
+   thread entry point (``threading.Thread(target=self.m)``, ``Timer``,
+   ``Future.add_done_callback``), following both ``self.m()`` edges and
+   cross-class ``self.attr.m()`` edges through inferred attribute types.
+2. **Lock-context inference** -- a write is guarded when it happens
+   inside ``with self.<lock>:`` *or* inside a private helper that every
+   caller invokes with a lock held (fixpoint over call sites, so
+   ``Telemetry._offer``-style helpers don't need their own lock).
+3. **Lock-order consistency** -- nested ``with self.a: with self.b:``
+   pairs must acquire in one global order per class.
+
+Any attribute touched by entry-reachable code is considered shared;
+every mutation of a shared attribute, from *any* method (worker side or
+main thread), must then be guarded.  Attributes that are locks, or whose
+type synchronizes internally (``queue.Queue``), are exempt.
+
+:func:`classify_attrs` exports the per-attribute verdicts so the runtime
+race witness can cross-check that every dynamically observed shared
+write was statically accounted for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.tools.analysis.base import Diagnostic
+from repro.tools.analysis.model import ModuleModel
+from repro.tools.analysis.project import AttrWrite, ClassModel, Project
+
+#: Witness-acceptable classifications (see :func:`classify_attrs`).
+SAFE_CLASSIFICATIONS = frozenset(
+    {"lock", "synchronized", "guarded", "suppressed", "readonly", "unshared"}
+)
+
+_MethodKey = Tuple[str, str]  # (class qualname, method name)
+
+
+class ConcurrencyAnalysis:
+    """Project-wide reachability + lock inference, computed once."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.reachable: Set[_MethodKey] = set()
+        self.entry_origin: Dict[str, List[str]] = {}
+        self._compute_reachability()
+        self.always_locked: Set[_MethodKey] = set()
+        self._infer_lock_contexts()
+
+    # -- reachability ---------------------------------------------------
+
+    def _edges_from(self, class_model: ClassModel,
+                    method_name: str) -> Iterator[_MethodKey]:
+        method = class_model.methods.get(method_name)
+        if method is None:
+            return
+        for site in method.calls:
+            if site.attr is None:
+                if site.method in class_model.methods:
+                    yield (class_model.qualname, site.method)
+            else:
+                target = self.project.resolve_attr_class(class_model, site.attr)
+                if target is not None and site.method in target.methods:
+                    yield (target.qualname, site.method)
+
+    def _compute_reachability(self) -> None:
+        frontier: List[_MethodKey] = []
+        for class_model in self.project.classes.values():
+            entries = class_model.entry_methods()
+            if entries:
+                self.entry_origin[class_model.qualname] = entries
+            for entry in entries:
+                if entry in class_model.methods:
+                    frontier.append((class_model.qualname, entry))
+        self.reachable = set(frontier)
+        while frontier:
+            qualname, method_name = frontier.pop()
+            class_model = self.project.classes[qualname]
+            for edge in self._edges_from(class_model, method_name):
+                if edge not in self.reachable:
+                    self.reachable.add(edge)
+                    frontier.append(edge)
+
+    # -- lock-context inference -----------------------------------------
+
+    def _infer_lock_contexts(self) -> None:
+        # Call-site index: for each target method, who calls it and with
+        # what lock context.  Entry points get a synthetic lockless site
+        # (the thread runtime calls them bare).
+        sites: Dict[_MethodKey, List[Tuple[Optional[_MethodKey], bool]]] = {}
+        entry_keys: Set[_MethodKey] = set()
+        for class_model in self.project.classes.values():
+            for entry in class_model.entry_methods():
+                key = (class_model.qualname, entry)
+                entry_keys.add(key)
+                sites.setdefault(key, []).append((None, False))
+            for method in class_model.methods.values():
+                caller = (class_model.qualname, method.name)
+                for site in method.calls:
+                    if site.attr is None:
+                        if site.method not in class_model.methods:
+                            continue
+                        target_key = (class_model.qualname, site.method)
+                    else:
+                        target = self.project.resolve_attr_class(
+                            class_model, site.attr
+                        )
+                        if target is None or site.method not in target.methods:
+                            continue
+                        target_key = (target.qualname, site.method)
+                    sites.setdefault(target_key, []).append(
+                        (caller, bool(site.locks))
+                    )
+        # Fixpoint: a *private* helper is always-locked when every known
+        # call site either holds a lock or sits in an always-locked body.
+        changed = True
+        while changed:
+            changed = False
+            for key, callers in sites.items():
+                if key in self.always_locked or key in entry_keys:
+                    continue
+                method_name = key[1]
+                if not method_name.startswith("_") or method_name.startswith("__"):
+                    # Public methods are callable from anywhere; never
+                    # assume a caller-held lock for them.
+                    continue
+                if callers and all(
+                    locked or (caller is not None and caller in self.always_locked)
+                    for caller, locked in callers
+                ):
+                    self.always_locked.add(key)
+                    changed = True
+
+    # -- shared-state classification ------------------------------------
+
+    def shared_attrs(self, class_model: ClassModel) -> Set[str]:
+        """Attributes touched by any entry-reachable method of the class."""
+        shared: Set[str] = set()
+        for method in class_model.methods.values():
+            if (class_model.qualname, method.name) not in self.reachable:
+                continue
+            shared.update(method.reads)
+            shared.update(write.attr for write in method.writes)
+        return shared
+
+    def _write_guarded(self, class_model: ClassModel, method_name: str,
+                       write: AttrWrite) -> bool:
+        if write.locks:
+            return True
+        return (class_model.qualname, method_name) in self.always_locked
+
+    def check_class(self, class_model: ClassModel) -> Iterator[Diagnostic]:
+        """R009 diagnostics for one class (unfiltered by noqa)."""
+        model = self.project.model_for_class(class_model.qualname)
+        if model is None:
+            return
+        shared = self.shared_attrs(class_model)
+        exempt = set(class_model.lock_attrs) | {
+            attr
+            for attr, kind in class_model.attr_types.items()
+            if kind == "synchronized"
+        }
+        lock_hint = min(class_model.lock_attrs, default="_lock")
+        entries = ", ".join(self.entry_origin.get(class_model.qualname, ()))
+        for method in class_model.methods.values():
+            if method.name == "__init__":
+                continue
+            for write in method.writes:
+                attr = write.attr
+                if attr not in shared or attr in exempt or "lock" in attr.lower():
+                    continue
+                if self._write_guarded(class_model, method.name, write):
+                    continue
+                yield Diagnostic(
+                    path=str(model.path),
+                    line=write.lineno,
+                    code="R009",
+                    message=(
+                        f"unguarded mutation of shared `self.{attr}` in "
+                        f"`{class_model.name}.{method.name}` (reachable from "
+                        f"thread entry {entries or 'point'}); wrap in "
+                        f"`with self.{lock_hint}:`"
+                    ),
+                )
+        yield from self._check_lock_order(model, class_model)
+
+    def _check_lock_order(self, model: ModuleModel,
+                          class_model: ClassModel) -> Iterator[Diagnostic]:
+        orders: Dict[Tuple[str, str], List[Tuple[str, int]]] = {}
+        for method in class_model.methods.values():
+            for outer, inner, lineno in method.lock_pairs:
+                orders.setdefault((outer, inner), []).append((method.name, lineno))
+        for (outer, inner), occurrences in sorted(orders.items()):
+            reverse = orders.get((inner, outer))
+            if reverse is None or outer >= inner:
+                # Report each conflicting pair once, at every site of
+                # both orders; self-nesting is a re-entrancy question,
+                # not an ordering one.
+                continue
+            for method_name, lineno in occurrences + reverse:
+                yield Diagnostic(
+                    path=str(model.path),
+                    line=lineno,
+                    code="R009",
+                    message=(
+                        f"inconsistent lock acquisition order in "
+                        f"`{class_model.name}.{method_name}`: `self.{outer}` "
+                        f"and `self.{inner}` are nested in both orders"
+                    ),
+                )
+
+    # -- witness export --------------------------------------------------
+
+    def classify_attrs(self, qualname: str) -> Dict[str, str]:
+        """Per-attribute static verdicts for one class.
+
+        Returns a mapping ``attr -> classification`` with values in
+        ``{"lock", "synchronized", "unshared", "readonly", "guarded",
+        "suppressed", "unguarded"}``.  The runtime witness accepts a
+        dynamically observed shared write only when its attribute's
+        classification is in :data:`SAFE_CLASSIFICATIONS` (everything
+        except ``"unguarded"``).
+        """
+        class_model = self.project.classes[qualname]
+        model = self.project.model_for_class(qualname)
+        shared = self.shared_attrs(class_model)
+        verdicts: Dict[str, str] = {}
+        attrs: Set[str] = set(class_model.attr_types) | shared
+        for method in class_model.methods.values():
+            attrs.update(write.attr for write in method.writes)
+            attrs.update(method.reads)
+        for attr in attrs:
+            if attr in class_model.lock_attrs or "lock" in attr.lower():
+                verdicts[attr] = "lock"
+                continue
+            if class_model.attr_types.get(attr) == "synchronized":
+                verdicts[attr] = "synchronized"
+                continue
+            if attr not in shared:
+                verdicts[attr] = "unshared"
+                continue
+            writes = [
+                (method.name, write)
+                for method in class_model.methods.values()
+                if method.name != "__init__"
+                for write in method.writes
+                if write.attr == attr
+            ]
+            if not writes:
+                verdicts[attr] = "readonly"
+                continue
+            unguarded = [
+                (name, write)
+                for name, write in writes
+                if not self._write_guarded(class_model, name, write)
+            ]
+            if not unguarded:
+                verdicts[attr] = "guarded"
+            elif model is not None and all(
+                model.suppressed(write.lineno, "R009") for _, write in unguarded
+            ):
+                verdicts[attr] = "suppressed"
+            else:
+                verdicts[attr] = "unguarded"
+        return verdicts
+
+
+def check_concurrency(project: Project) -> Iterator[Diagnostic]:
+    """Run R009 over every class in the project (unfiltered by noqa)."""
+    analysis = ConcurrencyAnalysis(project)
+    for class_model in project.classes.values():
+        yield from analysis.check_class(class_model)

@@ -1,0 +1,278 @@
+"""R011: implicit complex64 -> complex128 upcasts in hot kernels.
+
+Single-precision IQ pipelines silently double their memory traffic when
+a ``float64`` scalar or ``complex128`` array leaks into a ``complex64``
+expression: NEP 50 promotes the result to ``complex128`` and every
+downstream op inherits it.  This pass runs a shallow per-function dtype
+abstract interpretation over ``core/`` and ``phy/`` modules:
+
+* dtypes enter the lattice through ``np.zeros(..., dtype=np.complex64)``
+  -style constructors, ``astype``, explicit scalar constructors
+  (``np.float64(x)``), and a handful of dtype-preserving ufuncs;
+* Python numeric literals are *weak* (NEP 50: they adopt the array
+  dtype, so ``c64 * 0.5`` is fine);
+* a ``BinOp`` mixing ``complex64`` with ``float64`` or ``complex128``
+  is the reportable event.
+
+Anything the interpreter cannot see becomes *unknown* and never flags:
+the rule is deliberately low-recall / high-precision.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.tools.analysis.base import Diagnostic
+from repro.tools.analysis.model import ModuleModel, dotted_name
+
+_DTYPES = frozenset({"float32", "float64", "complex64", "complex128"})
+
+#: numpy constructors that default to float64 when ``dtype=`` is absent.
+_FLOAT64_DEFAULT_CTORS = frozenset(
+    {"zeros", "ones", "empty", "full", "linspace", "logspace", "geomspace", "eye"}
+)
+
+#: numpy constructors whose result dtype we only know via ``dtype=``.
+_DTYPE_KWARG_CTORS = frozenset({"array", "asarray", "ascontiguousarray", "arange"})
+
+#: Elementwise numpy functions that preserve their first operand's dtype.
+_PRESERVING_UFUNCS = frozenset(
+    {"exp", "conj", "conjugate", "sqrt", "sin", "cos", "tan", "sum", "mean",
+     "cumsum", "roll", "reshape", "ravel", "concatenate", "stack", "copy"}
+)
+
+#: ``np.abs``/``np.angle`` map complex onto the matching real precision.
+_COMPLEX_TO_REAL = {"complex64": "float32", "complex128": "float64"}
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _dtype_from_annotation_expr(node: ast.expr) -> Optional[str]:
+    """``np.complex64`` / ``"complex64"`` / ``float`` -> lattice value."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value if node.value in _DTYPES else None
+    chain = dotted_name(node)
+    if chain is None:
+        return None
+    terminal = chain[-1]
+    if terminal in _DTYPES:
+        return terminal
+    if terminal == "float":
+        return "float64"
+    if terminal == "complex":
+        return "complex128"
+    return None
+
+
+def _promote(left: Optional[str], right: Optional[str]) -> Optional[str]:
+    """NEP 50 promotion over the lattice; None is absorbing (unknown)."""
+    if left is None or right is None:
+        return None
+    if left == "weak":
+        return right
+    if right == "weak":
+        return left
+    if left == right:
+        return left
+    complex_result = "complex64" in (left, right) or "complex128" in (left, right)
+    wide = (
+        "float64" in (left, right)
+        or "complex128" in (left, right)
+    )
+    if complex_result:
+        return "complex128" if wide else "complex64"
+    return "float64" if wide else "float32"
+
+
+def _is_upcast(left: Optional[str], right: Optional[str]) -> bool:
+    pair = {left, right}
+    return "complex64" in pair and bool(pair & {"float64", "complex128"})
+
+
+class _KernelVisitor(ast.NodeVisitor):
+    """Per-function dtype interpretation; reports upcasting BinOps."""
+
+    def __init__(self, model: ModuleModel, diagnostics: List[Diagnostic]) -> None:
+        self.model = model
+        self.diagnostics = diagnostics
+        self.env: Dict[str, Optional[str]] = {}
+
+    # -- inference ------------------------------------------------------
+
+    def _resolve(self, node: ast.expr) -> Optional[Tuple[str, ...]]:
+        chain = dotted_name(node)
+        if chain is None:
+            return None
+        return self.model.imports.resolve(chain)
+
+    def _dtype_kwarg(self, node: ast.Call) -> Optional[str]:
+        for keyword in node.keywords:
+            if keyword.arg == "dtype":
+                return _dtype_from_annotation_expr(keyword.value)
+        return None
+
+    def infer(self, node: ast.expr) -> Optional[str]:
+        """Lattice value of an expression: dtype name, "weak", or None."""
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return None
+            if isinstance(node.value, (int, float, complex)):
+                return "weak"
+            return None
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.UnaryOp):
+            return self.infer(node.operand)
+        if isinstance(node, ast.Subscript):
+            # Indexing/slicing an array preserves its dtype.
+            return self.infer(node.value)
+        if isinstance(node, ast.Attribute):
+            if node.attr in ("real", "imag"):
+                inner = self.infer(node.value)
+                return _COMPLEX_TO_REAL.get(inner or "", inner)
+            if node.attr == "T":
+                return self.infer(node.value)
+            return None
+        if isinstance(node, ast.BinOp):
+            left = self.infer(node.left)
+            right = self.infer(node.right)
+            if _is_upcast(left, right):
+                self._report(node, left, right)
+            return _promote(left, right)
+        if isinstance(node, ast.Call):
+            return self._infer_call(node)
+        if isinstance(node, ast.IfExp):
+            body = self.infer(node.body)
+            orelse = self.infer(node.orelse)
+            return body if body == orelse else None
+        return None
+
+    def _infer_call(self, node: ast.Call) -> Optional[str]:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "astype" and node.args:
+            return _dtype_from_annotation_expr(node.args[0]) or self._dtype_kwarg(node)
+        resolved = self._resolve(func)
+        if resolved is None:
+            return None
+        if resolved[0] != "numpy":
+            return None
+        if len(resolved) >= 2 and resolved[1] == "fft":
+            # np.fft always computes in double precision.
+            return "complex128"
+        terminal = resolved[-1]
+        if terminal in _DTYPES:
+            return terminal
+        if terminal in _FLOAT64_DEFAULT_CTORS:
+            return self._dtype_kwarg(node) or "float64"
+        if terminal in _DTYPE_KWARG_CTORS:
+            return self._dtype_kwarg(node)
+        if terminal in _PRESERVING_UFUNCS and node.args:
+            return self.infer(node.args[0])
+        if terminal in ("abs", "absolute", "angle") and node.args:
+            inner = self.infer(node.args[0])
+            return _COMPLEX_TO_REAL.get(inner or "", inner)
+        return None
+
+    # -- reporting ------------------------------------------------------
+
+    def _report(self, node: ast.BinOp, left: Optional[str],
+                right: Optional[str]) -> None:
+        wide = right if left == "complex64" else left
+        self.diagnostics.append(
+            Diagnostic(
+                path=str(self.model.path),
+                line=node.lineno,
+                code="R011",
+                message=(
+                    f"implicit complex64 -> complex128 upcast: {wide} operand "
+                    "in a complex64 expression; cast it (np.float32/"
+                    "np.complex64) to keep the kernel single-precision"
+                ),
+            )
+        )
+
+    # -- statement walk -------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        inferred = self.infer(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self.env[target.id] = inferred
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is None:
+            return
+        inferred = self.infer(node.value)
+        if isinstance(node.target, ast.Name):
+            self.env[node.target.id] = inferred
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        target_dtype = (
+            self.env.get(node.target.id)
+            if isinstance(node.target, ast.Name)
+            else None
+        )
+        value_dtype = self.infer(node.value)
+        if _is_upcast(target_dtype, value_dtype):
+            self._report(
+                ast.BinOp(
+                    left=node.target, op=node.op, right=node.value,
+                    lineno=node.lineno, col_offset=node.col_offset,
+                ),
+                target_dtype,
+                value_dtype,
+            )
+        if isinstance(node.target, ast.Name):
+            self.env[node.target.id] = _promote(target_dtype, value_dtype)
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        self.infer(node.value)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None:
+            self.infer(node.value)
+
+    def _visit_block(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self.visit(stmt)
+
+    def visit_If(self, node: ast.If) -> None:
+        self.infer(node.test)
+        self._visit_block(node.body)
+        self._visit_block(node.orelse)
+
+    def visit_For(self, node: ast.For) -> None:
+        iter_dtype = self.infer(node.iter)
+        if isinstance(node.target, ast.Name):
+            # Iterating an array yields rows of the same dtype.
+            self.env[node.target.id] = iter_dtype
+        self._visit_block(node.body)
+        self._visit_block(node.orelse)
+
+    def visit_While(self, node: ast.While) -> None:
+        self.infer(node.test)
+        self._visit_block(node.body)
+        self._visit_block(node.orelse)
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_block(node.body)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested functions get their own interpretation pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+
+def check_dtypes(model: ModuleModel) -> Iterator[Diagnostic]:
+    """Run R011 over every function in a core//phy/ module."""
+    if not model.in_packages(("core", "phy")):
+        return iter(())
+    diagnostics: List[Diagnostic] = []
+    for node in ast.walk(model.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            visitor = _KernelVisitor(model, diagnostics)
+            for stmt in node.body:
+                visitor.visit(stmt)
+    return iter(diagnostics)

@@ -1,0 +1,110 @@
+"""Analysis driver: one parse per file, every pass over the shared model.
+
+The engine is the only component that touches the filesystem or handles
+syntax errors.  It builds one :class:`ModuleModel` per file, assembles
+them into a :class:`Project` (so the concurrency pass can resolve
+cross-module attribute types), runs every pass, and filters the combined
+findings through the per-module ``# noqa`` suppression map.
+
+``lint_source`` / ``lint_paths`` keep the exact signatures and
+diagnostic format of the legacy single-file scanner; callers (tests,
+the ``repro-lint`` CLI, CI) are unaffected by the engine swap.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.tools.analysis.base import Diagnostic
+from repro.tools.analysis.concurrency import check_concurrency
+from repro.tools.analysis.determinism import check_determinism
+from repro.tools.analysis.dtypes import check_dtypes
+from repro.tools.analysis.model import ModuleModel
+from repro.tools.analysis.project import Project
+from repro.tools.analysis.rules_core import check_core_rules
+
+
+def build_module_model(
+    source: str, path: Path
+) -> Tuple[Optional[ModuleModel], Optional[Diagnostic]]:
+    """Parse one module; a syntax error becomes an E999 diagnostic."""
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return None, Diagnostic(
+            path=str(path),
+            line=exc.lineno or 1,
+            code="E999",
+            message=f"syntax error: {exc.msg}",
+        )
+    return ModuleModel(path, tree, source), None
+
+
+def _run_passes(project: Project) -> Iterator[Diagnostic]:
+    for model in project.models:
+        yield from check_core_rules(model)
+        yield from check_determinism(model)
+        yield from check_dtypes(model)
+    yield from check_concurrency(project)
+
+
+def _filter_suppressed(
+    diagnostics: Iterable[Diagnostic], by_path: Dict[str, ModuleModel]
+) -> List[Diagnostic]:
+    kept: List[Diagnostic] = []
+    for diagnostic in diagnostics:
+        model = by_path.get(diagnostic.path)
+        if model is not None and model.suppressed(diagnostic.line, diagnostic.code):
+            continue
+        kept.append(diagnostic)
+    return kept
+
+
+def analyze_models(
+    models: Iterable[ModuleModel], errors: Iterable[Diagnostic] = ()
+) -> List[Diagnostic]:
+    """Run every pass over pre-built models and return sorted findings."""
+    project = Project(list(models))
+    by_path = {str(model.path): model for model in project.models}
+    diagnostics = _filter_suppressed(_run_passes(project), by_path)
+    diagnostics.extend(errors)
+    return sorted(diagnostics)
+
+
+def lint_source(source: str, path: Path) -> List[Diagnostic]:
+    """Lint one module's source text; syntax errors become diagnostics."""
+    model, error = build_module_model(source, Path(path))
+    if model is None:
+        return [error] if error is not None else []
+    return analyze_models([model])
+
+
+def _iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not any(part.startswith(".") for part in candidate.parts):
+                    yield candidate
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(paths: Iterable[Path]) -> List[Diagnostic]:
+    """Lint every ``.py`` file under ``paths`` and return sorted findings.
+
+    All files are parsed first and analyzed as one project, so the
+    concurrency pass sees cross-module class relationships (for example
+    a gateway worker pool holding a ``trace.recorder.TraceRecorder``).
+    """
+    models: List[ModuleModel] = []
+    errors: List[Diagnostic] = []
+    for file_path in _iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        model, error = build_module_model(source, file_path)
+        if model is not None:
+            models.append(model)
+        elif error is not None:
+            errors.append(error)
+    return analyze_models(models, errors)

@@ -1,0 +1,236 @@
+"""Per-module AST model: one parse, shared by every rule.
+
+The engine parses each file exactly once into a :class:`ModuleModel` and
+hands the same model to every pass.  The model owns the three things all
+rules need and no rule should rebuild:
+
+* the parse tree and raw source lines,
+* an :class:`ImportMap` resolving local names through ``import``/
+  ``from-import`` aliases to fully-qualified dotted names, and
+* the suppression map: ``# noqa`` / ``# noqa: R003,R009`` comments,
+  applied to the *full logical line* of multi-line statements (a
+  suppression on any physical line of a wrapped statement covers a
+  diagnostic anchored to that statement's first line).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+_NOQA = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
+
+#: Statement types whose full source span is one logical line (no body).
+_SIMPLE_STMTS = (
+    ast.Assign,
+    ast.AugAssign,
+    ast.AnnAssign,
+    ast.Expr,
+    ast.Return,
+    ast.Raise,
+    ast.Assert,
+    ast.Delete,
+    ast.Import,
+    ast.ImportFrom,
+    ast.Global,
+    ast.Nonlocal,
+    ast.Pass,
+    ast.Break,
+    ast.Continue,
+)
+
+
+def dotted_name(node: ast.expr) -> Optional[Tuple[str, ...]]:
+    """Resolve ``a.b.c`` into ``("a", "b", "c")``; None for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def line_noqa(source_line: str) -> Optional[frozenset[str]]:
+    """Codes suppressed by a ``# noqa`` comment (empty set == all codes)."""
+    match = _NOQA.search(source_line)
+    if match is None:
+        return None
+    codes = match.group("codes")
+    if not codes:
+        return frozenset()
+    return frozenset(c.strip().upper() for c in codes.split(",") if c.strip())
+
+
+class ImportMap:
+    """Local-name -> fully-qualified dotted-name resolution for one module.
+
+    ``import numpy.random as nr`` binds ``nr -> ("numpy", "random")``;
+    ``from numpy.random import default_rng as mk`` binds
+    ``mk -> ("numpy", "random", "default_rng")``; plain ``import numpy.x``
+    binds the top-level ``numpy``.  :meth:`resolve` qualifies an attribute
+    chain through those bindings, returning ``None`` for purely local
+    names.
+    """
+
+    def __init__(self, module_name: str = "") -> None:
+        self.module_name = module_name
+        self._modules: Dict[str, Tuple[str, ...]] = {}
+        self._objects: Dict[str, Tuple[str, ...]] = {}
+
+    def add_import(self, node: ast.Import) -> None:
+        """Record one ``import a.b [as c]`` statement."""
+        for alias in node.names:
+            parts = tuple(alias.name.split("."))
+            if alias.asname is not None:
+                self._modules[alias.asname] = parts
+            else:
+                self._modules[parts[0]] = (parts[0],)
+
+    def add_import_from(self, node: ast.ImportFrom) -> None:
+        """Record one ``from a.b import c [as d]`` statement."""
+        if node.level:
+            # Relative import: anchor on this module's package when known.
+            package = tuple(self.module_name.split(".")[: -node.level])
+            if not package and not self.module_name:
+                return
+            base = package + tuple((node.module or "").split(".") if node.module else ())
+        else:
+            base = tuple((node.module or "").split("."))
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            self._objects[alias.asname or alias.name] = base + (alias.name,)
+
+    def resolve(self, chain: Tuple[str, ...]) -> Optional[Tuple[str, ...]]:
+        """Fully qualify ``chain`` through the import bindings, or None."""
+        if not chain:
+            return None
+        head = chain[0]
+        target = self._objects.get(head)
+        if target is None:
+            target = self._modules.get(head)
+        if target is None:
+            return None
+        return target + tuple(chain[1:])
+
+    def resolve_name(self, chain: Tuple[str, ...]) -> str:
+        """:meth:`resolve` joined with dots; the original chain if local."""
+        resolved = self.resolve(chain)
+        return ".".join(resolved if resolved is not None else chain)
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for ``path`` (``src/repro/a/b.py`` -> ``repro.a.b``).
+
+    Falls back to the bare stem for paths outside a recognizable package
+    root, which keeps fixture files in temp directories addressable.
+    """
+    parts = list(path.parts)
+    stem_parts = parts[:-1] + [path.stem]
+    for root in ("repro", "src"):
+        if root in stem_parts:
+            idx = stem_parts.index(root)
+            chosen = stem_parts[idx + 1 :] if root == "src" else stem_parts[idx:]
+            if chosen:
+                if chosen[-1] == "__init__":
+                    chosen = chosen[:-1]
+                return ".".join(chosen)
+    return path.stem if path.stem != "__init__" else (parts[-2] if len(parts) > 1 else "")
+
+
+class ModuleModel:
+    """Everything the rule passes need about one parsed module."""
+
+    def __init__(self, path: Path, tree: ast.Module, source: str) -> None:
+        self.path = path
+        self.tree = tree
+        self.source_lines: List[str] = source.splitlines()
+        self.module_name = module_name_for(path)
+        self.imports = ImportMap(self.module_name)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                self.imports.add_import(node)
+            elif isinstance(node, ast.ImportFrom):
+                self.imports.add_import_from(node)
+        self.has_future_annotations = any(
+            isinstance(node, ast.ImportFrom)
+            and node.module == "__future__"
+            and any(alias.name == "annotations" for alias in node.names)
+            for node in tree.body
+        )
+        self._noqa: Dict[int, frozenset[str]] = {}
+        for lineno, line in enumerate(self.source_lines, start=1):
+            codes = line_noqa(line)
+            if codes is not None:
+                self._noqa[lineno] = codes
+        self._span_of: Dict[int, Tuple[int, int]] = {}
+        self._index_logical_lines()
+
+    # ------------------------------------------------------------------
+    # Logical-line indexing for multi-line noqa
+    # ------------------------------------------------------------------
+    def _record_span(self, start: int, end: int) -> None:
+        if end < start:
+            end = start
+        for line in range(start, end + 1):
+            existing = self._span_of.get(line)
+            if existing is None or (end - start) < (existing[1] - existing[0]):
+                self._span_of[line] = (start, end)
+
+    def _index_logical_lines(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, _SIMPLE_STMTS):
+                self._record_span(node.lineno, node.end_lineno or node.lineno)
+            elif isinstance(node, (ast.If, ast.While)):
+                self._record_span(node.lineno, node.test.end_lineno or node.lineno)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                self._record_span(node.lineno, node.iter.end_lineno or node.lineno)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                end = max(
+                    (item.context_expr.end_lineno or node.lineno)
+                    for item in node.items
+                )
+                self._record_span(node.lineno, end)
+            elif isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                # The header logical line runs from `def`/`class` to the
+                # line before the first body statement (the signature,
+                # however many physical lines it wraps).
+                self._record_span(node.lineno, node.body[0].lineno - 1)
+
+    # ------------------------------------------------------------------
+    # Suppression
+    # ------------------------------------------------------------------
+    def _noqa_covers(self, lineno: int, code: str) -> bool:
+        codes = self._noqa.get(lineno)
+        return codes is not None and (not codes or code in codes)
+
+    def suppressed(self, lineno: int, code: str) -> bool:
+        """Whether a diagnostic at ``lineno`` for ``code`` is noqa'd.
+
+        A suppression comment counts when it sits on the diagnostic's
+        physical line *or* on any physical line of the logical statement
+        containing it (so ``# noqa`` at the end of a wrapped call covers
+        a diagnostic anchored to the call's first line).
+        """
+        if self._noqa_covers(lineno, code):
+            return True
+        span = self._span_of.get(lineno)
+        if span is None:
+            return False
+        return any(
+            self._noqa_covers(line, code) for line in range(span[0], span[1] + 1)
+        )
+
+    # ------------------------------------------------------------------
+    # Path scopes shared by several rules
+    # ------------------------------------------------------------------
+    def in_packages(self, names: Iterable[str]) -> bool:
+        """Whether this module sits under any of the named directories."""
+        parts = set(self.path.parent.parts)
+        return any(name in parts for name in names)

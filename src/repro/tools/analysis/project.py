@@ -1,0 +1,467 @@
+"""Cross-module program model: classes, attribute dataflow, thread entries.
+
+Where :mod:`repro.tools.analysis.model` answers single-module questions
+(imports, suppression), this module builds the *project* view the
+concurrency pass needs:
+
+* a class index across every analyzed module (``repro.gateway.workers.
+  DecodeWorkerPool`` -> :class:`ClassModel`),
+* per-class attribute dataflow: every ``self.x`` mutation site with the
+  set of class locks held at that point, every ``self.x`` read, and the
+  inferred type of each attribute (from ``__init__`` construction or
+  parameter annotations) so calls through ``self.attr.method()`` can be
+  resolved cross-class,
+* thread entry points: methods registered via ``threading.Thread(
+  target=self.m)`` / ``threading.Timer`` / ``Future.add_done_callback``.
+
+Everything is a deliberately shallow abstract interpretation -- enough to
+drive call-graph reachability and lock-context inference without a full
+type system.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.tools.analysis.model import ModuleModel, dotted_name
+
+#: Method names on ``self.<attr>`` that mutate the attribute in place.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "popleft",
+        "appendleft",
+        "clear",
+        "add",
+        "discard",
+        "update",
+        "setdefault",
+        "sort",
+        "reverse",
+        "write",
+    }
+)
+
+#: Constructors whose instances synchronize internally (mutating them
+#: without the class lock is safe by design).
+SYNCHRONIZED_TYPES = frozenset(
+    {
+        ("queue", "Queue"),
+        ("queue", "LifoQueue"),
+        ("queue", "PriorityQueue"),
+        ("queue", "SimpleQueue"),
+    }
+)
+
+#: Constructors that make an attribute a lock (acquiring it opens a
+#: guarded region; mutating it is not itself a shared write).
+LOCK_TYPES = frozenset(
+    {
+        ("threading", "Lock"),
+        ("threading", "RLock"),
+        ("threading", "Condition"),
+        ("threading", "Semaphore"),
+        ("threading", "BoundedSemaphore"),
+    }
+)
+
+#: Thread-spawning constructors whose ``target=`` is an entry point.
+_THREAD_TYPES = frozenset({("threading", "Thread"), ("threading", "Timer")})
+
+
+@dataclass(frozen=True)
+class AttrWrite:
+    """One mutation of ``self.<attr>`` inside a method body."""
+
+    attr: str
+    lineno: int
+    kind: str  # "assign" | "augassign" | "setitem" | "delete" | "mutcall"
+    locks: Tuple[str, ...]  # class lock attrs held at the write
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One ``self.m(...)`` or ``self.attr.m(...)`` call inside a method."""
+
+    attr: Optional[str]  # None for direct self.m() calls
+    method: str
+    lineno: int
+    locks: Tuple[str, ...]
+
+
+@dataclass
+class MethodModel:
+    """Dataflow facts about one method body."""
+
+    name: str
+    node: ast.AST
+    writes: List[AttrWrite] = field(default_factory=list)
+    reads: Set[str] = field(default_factory=set)
+    calls: List[CallSite] = field(default_factory=list)
+    lock_pairs: List[Tuple[str, str, int]] = field(default_factory=list)
+    thread_targets: List[Tuple[str, int]] = field(default_factory=list)
+
+
+@dataclass
+class ClassModel:
+    """One class's attribute dataflow and lock discipline."""
+
+    name: str
+    qualname: str  # module.Class
+    module: str
+    node: ast.ClassDef
+    methods: Dict[str, MethodModel] = field(default_factory=dict)
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    lock_attrs: Set[str] = field(default_factory=set)
+
+    def entry_methods(self) -> List[str]:
+        """Methods registered anywhere in the class as thread targets."""
+        found: List[str] = []
+        for method in self.methods.values():
+            for target, _ in method.thread_targets:
+                if target not in found:
+                    found.append(target)
+        return found
+
+
+def _is_lockish(class_model: ClassModel, attr: str) -> bool:
+    return attr in class_model.lock_attrs or "lock" in attr.lower()
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    """``self.X`` -> ``"X"``; None otherwise."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _AnnotationType:
+    """Extract a nominal class name from a parameter annotation."""
+
+    @staticmethod
+    def extract(model: ModuleModel, annotation: Optional[ast.expr]) -> Optional[str]:
+        """Resolve ``X`` / ``Optional[X]`` / ``X | None`` / ``"X"`` to a FQN."""
+        if annotation is None:
+            return None
+        if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+            try:
+                annotation = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(annotation, ast.Subscript):
+            head = dotted_name(annotation.value)
+            if head is not None and head[-1] in ("Optional", "Union"):
+                inner = annotation.slice
+                elts = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+                for elt in elts:
+                    found = _AnnotationType.extract(model, elt)
+                    if found is not None:
+                        return found
+            return None
+        if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+            return _AnnotationType.extract(
+                model, annotation.left
+            ) or _AnnotationType.extract(model, annotation.right)
+        chain = dotted_name(annotation)
+        if chain is None:
+            return None
+        if chain[-1] == "None":
+            return None
+        return _qualify(model, chain)
+
+
+def _qualify(model: ModuleModel, chain: Tuple[str, ...]) -> Optional[str]:
+    """Fully-qualified dotted name for ``chain``, or module-local fallback."""
+    resolved = model.imports.resolve(chain)
+    if resolved is not None:
+        return ".".join(resolved)
+    if len(chain) == 1:
+        # A name defined in this module (class or function).
+        return f"{model.module_name}.{chain[0]}" if model.module_name else chain[0]
+    return None
+
+
+class _MethodVisitor(ast.NodeVisitor):
+    """Collect dataflow facts for one method body, tracking held locks."""
+
+    def __init__(self, model: ModuleModel, class_model: ClassModel,
+                 method: MethodModel) -> None:
+        self.model = model
+        self.class_model = class_model
+        self.method = method
+        self._locks: List[str] = []
+
+    # -- lock tracking --------------------------------------------------
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        acquired: List[str] = []
+        for item in node.items:
+            attr = _self_attr(item.context_expr)
+            if attr is not None and _is_lockish(self.class_model, attr):
+                for held in self._locks:
+                    self.method.lock_pairs.append((held, attr, item.context_expr.lineno))
+                acquired.append(attr)
+            else:
+                self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        self._locks.extend(acquired)
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in acquired:
+            self._locks.pop()
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    # -- writes ---------------------------------------------------------
+
+    def _record_write(self, attr: str, lineno: int, kind: str) -> None:
+        self.method.writes.append(
+            AttrWrite(attr=attr, lineno=lineno, kind=kind, locks=tuple(self._locks))
+        )
+
+    def _handle_target(self, target: ast.expr, kind: str) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._handle_target(elt, kind)
+            return
+        if isinstance(target, ast.Starred):
+            self._handle_target(target.value, kind)
+            return
+        attr = _self_attr(target)
+        if attr is not None:
+            self._record_write(attr, target.lineno, kind)
+            return
+        if isinstance(target, ast.Subscript):
+            attr = _self_attr(target.value)
+            if attr is not None:
+                self._record_write(attr, target.lineno, "setitem")
+            else:
+                self.visit(target.value)
+            self.visit(target.slice)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._handle_target(target, "assign")
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._handle_target(node.target, "augassign")
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._handle_target(node.target, "assign")
+        if node.value is not None:
+            self.visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._handle_target(target, "delete")
+
+    # -- reads ----------------------------------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = _self_attr(node)
+        if attr is not None and isinstance(node.ctx, ast.Load):
+            self.method.reads.add(attr)
+        self.generic_visit(node)
+
+    # -- calls and thread entries ---------------------------------------
+
+    def _entry_targets_in(self, node: ast.expr) -> List[str]:
+        """Self-method names referenced by a callback argument."""
+        attr = _self_attr(node)
+        if attr is not None:
+            return [attr]
+        if isinstance(node, ast.Lambda):
+            found: List[str] = []
+            for sub in ast.walk(node.body):
+                if isinstance(sub, ast.Call):
+                    called = _self_attr(sub.func)
+                    if called is not None:
+                        found.append(called)
+            return found
+        return []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        # self.m(...) and self.attr.m(...)
+        if isinstance(func, ast.Attribute):
+            attr = _self_attr(func)
+            if attr is not None:
+                self.method.calls.append(
+                    CallSite(attr=None, method=attr, lineno=node.lineno,
+                             locks=tuple(self._locks))
+                )
+                if attr in MUTATING_METHODS:
+                    # self.append(...)-style mutation of the instance
+                    # itself; rare, treated as a write to the method name.
+                    pass
+            else:
+                owner = _self_attr(func.value)
+                if owner is not None:
+                    self.method.calls.append(
+                        CallSite(attr=owner, method=func.attr, lineno=node.lineno,
+                                 locks=tuple(self._locks))
+                    )
+                    if func.attr in MUTATING_METHODS:
+                        self._record_write(owner, node.lineno, "mutcall")
+            if func.attr == "add_done_callback" and node.args:
+                for target in self._entry_targets_in(node.args[0]):
+                    self.method.thread_targets.append((target, node.lineno))
+        # threading.Thread(target=self.m) / threading.Timer(..., self.m)
+        chain = dotted_name(func)
+        if chain is not None:
+            resolved = self.model.imports.resolve(chain)
+            if resolved is not None and tuple(resolved) in _THREAD_TYPES:
+                candidates: List[ast.expr] = [
+                    kw.value for kw in node.keywords if kw.arg == "target"
+                ]
+                if tuple(resolved) == ("threading", "Timer") and len(node.args) >= 2:
+                    candidates.append(node.args[1])
+                for candidate in candidates:
+                    for target in self._entry_targets_in(candidate):
+                        self.method.thread_targets.append((target, node.lineno))
+        self.generic_visit(node)
+
+
+class _InitScanner:
+    """Sequential scan of ``__init__`` inferring attribute types."""
+
+    def __init__(self, model: ModuleModel, class_model: ClassModel,
+                 node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.model = model
+        self.class_model = class_model
+        self.env: Dict[str, Optional[str]] = {}
+        args = node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            self.env[arg.arg] = _AnnotationType.extract(model, arg.annotation)
+        for stmt in ast.walk(node):
+            if isinstance(stmt, ast.Assign):
+                inferred = self._infer(stmt.value)
+                for target in stmt.targets:
+                    self._apply(target, inferred, stmt.value)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                self._apply(stmt.target, self._infer(stmt.value), stmt.value)
+
+    def _apply(self, target: ast.expr, inferred: Optional[str],
+               value: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = inferred
+            return
+        attr = _self_attr(target)
+        if attr is None:
+            return
+        if inferred is not None:
+            self.class_model.attr_types.setdefault(attr, inferred)
+        # Lock/synchronized detection wants the *constructor*, which the
+        # FQN string already encodes.
+        chain = self._ctor_chain(value)
+        if chain is not None:
+            if chain in LOCK_TYPES:
+                self.class_model.lock_attrs.add(attr)
+            elif chain in SYNCHRONIZED_TYPES:
+                self.class_model.attr_types[attr] = "synchronized"
+
+    def _ctor_chain(self, value: ast.expr) -> Optional[Tuple[str, ...]]:
+        if isinstance(value, ast.IfExp):
+            return self._ctor_chain(value.body) or self._ctor_chain(value.orelse)
+        if not isinstance(value, ast.Call):
+            return None
+        chain = dotted_name(value.func)
+        if chain is None:
+            return None
+        resolved = self.model.imports.resolve(chain)
+        return tuple(resolved) if resolved is not None else tuple(chain)
+
+    def _infer(self, value: ast.expr) -> Optional[str]:
+        if isinstance(value, ast.IfExp):
+            return self._infer(value.body) or self._infer(value.orelse)
+        if isinstance(value, ast.Name):
+            return self.env.get(value.id)
+        if isinstance(value, ast.Call):
+            chain = dotted_name(value.func)
+            if chain is None:
+                return None
+            if tuple(chain) in SYNCHRONIZED_TYPES:
+                return "synchronized"
+            qualified = _qualify(self.model, chain)
+            resolved = self.model.imports.resolve(chain)
+            if resolved is not None and tuple(resolved) in SYNCHRONIZED_TYPES:
+                return "synchronized"
+            return qualified
+        return None
+
+
+def build_class_model(model: ModuleModel, node: ast.ClassDef) -> ClassModel:
+    """Analyze one class body into a :class:`ClassModel`."""
+    class_model = ClassModel(
+        name=node.name,
+        qualname=(
+            f"{model.module_name}.{node.name}" if model.module_name else node.name
+        ),
+        module=model.module_name,
+        node=node,
+    )
+    methods = [
+        stmt
+        for stmt in node.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    # Two passes: locks/attr types first (so method bodies know which
+    # attributes are locks), then the dataflow walk of every method.
+    for stmt in methods:
+        if stmt.name == "__init__":
+            _InitScanner(model, class_model, stmt)
+    for stmt in methods:
+        method = MethodModel(name=stmt.name, node=stmt)
+        visitor = _MethodVisitor(model, class_model, method)
+        for body_stmt in stmt.body:
+            visitor.visit(body_stmt)
+        class_model.methods[stmt.name] = method
+    return class_model
+
+
+class Project:
+    """All analyzed modules plus the cross-module class index."""
+
+    def __init__(self, models: Sequence[ModuleModel]) -> None:
+        self.models: List[ModuleModel] = list(models)
+        self.by_module: Dict[str, ModuleModel] = {
+            model.module_name: model for model in self.models
+        }
+        self.classes: Dict[str, ClassModel] = {}
+        self._class_module: Dict[str, ModuleModel] = {}
+        for model in self.models:
+            for node in model.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    class_model = build_class_model(model, node)
+                    self.classes[class_model.qualname] = class_model
+                    self._class_module[class_model.qualname] = model
+
+    def model_for_class(self, qualname: str) -> Optional[ModuleModel]:
+        """The module model a class was parsed from."""
+        return self._class_module.get(qualname)
+
+    def resolve_attr_class(self, class_model: ClassModel,
+                           attr: str) -> Optional[ClassModel]:
+        """The :class:`ClassModel` behind ``self.<attr>``, when inferable."""
+        target = class_model.attr_types.get(attr)
+        if target is None or target == "synchronized":
+            return None
+        return self.classes.get(target)

@@ -1,524 +1,20 @@
-"""repro-lint: an AST lint pass enforcing Choir's DSP invariants.
+"""Compatibility shim: ``repro.tools.lint`` is now the analysis engine.
 
-The Choir pipeline (dechirp -> peak fit -> residual search -> SIC ->
-clustering) fails *silently* when numeric discipline slips: a stray global
-RNG makes an experiment unreproducible, an exact float compare on a
-fractional bin position flips a decision near the grid, a mutable default
-leaks state between decoder instances.  Generic linters do not know about
-these invariants, so this module encodes them as repo-specific rules and
-emits ``file:line:code message`` diagnostics with a non-zero exit code on
-any violation.
-
-Rule catalog
-------------
-
-========  =============================================================
-Code      Invariant
-========  =============================================================
-R001      No direct ``np.random.*`` calls (``default_rng``, ``seed``,
-          legacy ``rand``/``randn``/``RandomState``...) outside
-          ``utils/rng.py``.  All randomness must route through
-          :func:`repro.utils.rng.ensure_rng` so one experiment-level
-          seed deterministically derives every stream.
-R002      Any module using PEP 604 (``X | Y``) or PEP 585
-          (``list[int]``) annotation syntax must carry
-          ``from __future__ import annotations`` -- keeps
-          ``requires-python >= 3.9`` honest.
-R003      No float equality (``==`` / ``!=``) on offset/bin quantities;
-          compare with a tolerance (``circular_distance``,
-          ``math.isclose``, ``np.isclose``) instead.
-R004      No mutable default arguments (``[]``, ``{}``, ``set()``...).
-R005      No bare ``except:`` clauses.
-R006      Public functions and methods in ``core/`` and ``phy/`` must
-          have docstrings.
-R007      No direct ``np.linalg.lstsq`` calls in ``core/`` outside
-          ``chanest.py`` / ``engine.py``.  The SVD-based solver is the
-          scalar *reference* path; hot code must route residual and
-          channel solves through the normal-equations paths of
-          :mod:`repro.core.engine` (or the chanest reference helpers)
-          so decode latency stays bounded.
-R008      No direct ``time.perf_counter()`` calls in ``gateway/``
-          outside ``telemetry.py`` (and the ``trace/`` package).  All
-          gateway timing must route through
-          :func:`repro.gateway.telemetry.clock` so durations come from
-          one monotonic source and tests can reason about a single
-          seam.
-========  =============================================================
-
-Suppression: append ``# noqa`` (all rules) or ``# noqa: R003`` /
-``# noqa: R001,R003`` (specific rules) to the offending line.
+The original single-file line scanner that lived here was superseded by
+the AST dataflow engine in :mod:`repro.tools.analysis` (one parse per
+file, import/alias resolution, call-graph reachability, rules
+R001-R011).  Every public name this module used to export is re-exported
+unchanged, so ``from repro.tools.lint import lint_paths`` and the
+``repro-lint`` console script keep working.
 """
 
 from __future__ import annotations
 
-import argparse
-import ast
-import re
 import sys
-from dataclasses import dataclass
-from pathlib import Path
-from typing import Iterable, Iterator, Optional, Sequence
 
-RULES: dict[str, str] = {
-    "R001": "direct np.random call outside utils/rng.py; route through ensure_rng",
-    "R002": "PEP 604/585 annotation syntax without `from __future__ import annotations`",
-    "R003": "float equality on offset/bin quantity; use a tolerance compare",
-    "R004": "mutable default argument",
-    "R005": "bare `except:` clause",
-    "R006": "public function in core/ or phy/ missing a docstring",
-    "R007": "np.linalg.lstsq in core/ outside chanest.py/engine.py; "
-    "use repro.core.engine",
-    "R008": "time.perf_counter in gateway/ outside telemetry.py; "
-    "use repro.gateway.telemetry.clock",
-}
+from repro.tools.analysis import RULES, Diagnostic, lint_paths, lint_source, main
 
-#: Files allowed to touch ``np.random`` directly (the RNG plumbing itself).
-_RNG_ALLOWED_SUFFIXES: tuple[tuple[str, ...], ...] = (("utils", "rng.py"),)
-
-#: ``core/`` files allowed to call ``np.linalg.lstsq`` directly: the
-#: reference channel solver and the engine's own degenerate-Gram fallback.
-_R007_ALLOWED_NAMES = frozenset({"chanest.py", "engine.py"})
-
-#: ``gateway/`` files allowed to call ``time.perf_counter`` directly: the
-#: telemetry module that wraps it as :func:`clock`.
-_R008_ALLOWED_NAMES = frozenset({"telemetry.py"})
-
-#: Terminal attribute names that make an operand a *property of* an
-#: offset/bin array (its size, shape, ...) rather than the quantity itself.
-_R003_EXEMPT_ATTRS = frozenset({"size", "shape", "ndim", "dtype", "len", "count"})
-
-#: Identifier pattern that marks a value as an offset/bin quantity.
-_R003_NAME = re.compile(r"offset|(?:^|_)bins?(?:$|_)")
-
-#: Builtin generics whose subscription is PEP 585 syntax.
-_PEP585_GENERICS = frozenset(
-    {"list", "dict", "tuple", "set", "frozenset", "type"}
-)
-
-_NOQA = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
-
-
-@dataclass(frozen=True, order=True)
-class Diagnostic:
-    """One lint finding, formatted as ``file:line:code message``."""
-
-    path: str
-    line: int
-    code: str
-    message: str
-
-    def format(self) -> str:
-        """Render as the canonical ``file:line:code message`` form."""
-        return f"{self.path}:{self.line}:{self.code} {self.message}"
-
-
-def _suppressed_codes(source_line: str) -> Optional[frozenset[str]]:
-    """Codes suppressed by a ``# noqa`` comment (empty set == all codes)."""
-    match = _NOQA.search(source_line)
-    if match is None:
-        return None
-    codes = match.group("codes")
-    if not codes:
-        return frozenset()
-    return frozenset(c.strip().upper() for c in codes.split(",") if c.strip())
-
-
-def _dotted_name(node: ast.expr) -> Optional[tuple[str, ...]]:
-    """Resolve ``a.b.c`` into ``("a", "b", "c")``; None for non-name chains."""
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return tuple(reversed(parts))
-    return None
-
-
-class _Checker(ast.NodeVisitor):
-    """Single-file visitor collecting diagnostics for every rule."""
-
-    def __init__(self, path: Path, tree: ast.Module, source_lines: Sequence[str]) -> None:
-        self.path = path
-        self.tree = tree
-        self.source_lines = source_lines
-        self.diagnostics: list[Diagnostic] = []
-        self._rng_exempt = any(
-            tuple(path.parts[-len(suffix):]) == suffix
-            for suffix in _RNG_ALLOWED_SUFFIXES
-        )
-        self._docstring_scope = any(
-            part in ("core", "phy") for part in path.parent.parts
-        )
-        self._lstsq_scope = (
-            "core" in path.parent.parts and path.name not in _R007_ALLOWED_NAMES
-        )
-        self._perf_counter_scope = (
-            "gateway" in path.parent.parts
-            and "trace" not in path.parent.parts
-            and path.name not in _R008_ALLOWED_NAMES
-        )
-        self._has_future_annotations = any(
-            isinstance(node, ast.ImportFrom)
-            and node.module == "__future__"
-            and any(alias.name == "annotations" for alias in node.names)
-            for node in tree.body
-        )
-        # R001 alias maps: names bound to numpy, numpy.random, and
-        # functions imported straight out of numpy.random.
-        self._numpy_aliases: set[str] = set()
-        self._random_aliases: set[str] = set()
-        self._random_func_aliases: set[str] = set()
-        # R007 alias maps: names bound to numpy.linalg / its lstsq.
-        self._linalg_aliases: set[str] = set()
-        self._lstsq_aliases: set[str] = set()
-        # R008 alias maps: names bound to the time module / perf_counter.
-        self._time_aliases: set[str] = set()
-        self._perf_counter_aliases: set[str] = set()
-        # Class nesting depth, to distinguish methods from nested closures.
-        self._scope_stack: list[ast.AST] = [tree]
-
-    # -- plumbing ------------------------------------------------------
-
-    def _report(self, code: str, line: int, message: str) -> None:
-        if 1 <= line <= len(self.source_lines):
-            suppressed = _suppressed_codes(self.source_lines[line - 1])
-            if suppressed is not None and (not suppressed or code in suppressed):
-                return
-        self.diagnostics.append(
-            Diagnostic(path=str(self.path), line=line, code=code, message=message)
-        )
-
-    # -- import tracking (R001) ----------------------------------------
-
-    def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            bound = alias.asname or alias.name.split(".")[0]
-            if alias.name == "numpy" or alias.name.startswith("numpy."):
-                if alias.asname is None:
-                    self._numpy_aliases.add(bound)
-                elif alias.name == "numpy":
-                    self._numpy_aliases.add(bound)
-                elif alias.name == "numpy.random":
-                    self._random_aliases.add(bound)
-                elif alias.name == "numpy.linalg":
-                    self._linalg_aliases.add(bound)
-            elif alias.name == "time":
-                self._time_aliases.add(bound)
-        self.generic_visit(node)
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module == "numpy":
-            for alias in node.names:
-                if alias.name == "random":
-                    self._random_aliases.add(alias.asname or alias.name)
-        elif node.module == "numpy.random":
-            for alias in node.names:
-                self._random_func_aliases.add(alias.asname or alias.name)
-        elif node.module == "numpy.linalg":
-            for alias in node.names:
-                if alias.name == "lstsq":
-                    self._lstsq_aliases.add(alias.asname or alias.name)
-        elif node.module == "time":
-            for alias in node.names:
-                if alias.name == "perf_counter":
-                    self._perf_counter_aliases.add(alias.asname or alias.name)
-        self.generic_visit(node)
-
-    # -- R007: lstsq discipline in core/ -------------------------------
-
-    def _is_lstsq_call(self, chain: tuple[str, ...]) -> bool:
-        if (
-            len(chain) == 3
-            and chain[0] in self._numpy_aliases
-            and chain[1:] == ("linalg", "lstsq")
-        ):
-            return True
-        if len(chain) == 2 and chain[0] in self._linalg_aliases and chain[1] == "lstsq":
-            return True
-        return len(chain) == 1 and chain[0] in self._lstsq_aliases
-
-    # -- R008: perf_counter discipline in gateway/ ----------------------
-
-    def _is_perf_counter_call(self, chain: tuple[str, ...]) -> bool:
-        if (
-            len(chain) == 2
-            and chain[0] in self._time_aliases
-            and chain[1] == "perf_counter"
-        ):
-            return True
-        return len(chain) == 1 and chain[0] in self._perf_counter_aliases
-
-    # -- R001: rng discipline ------------------------------------------
-
-    def visit_Call(self, node: ast.Call) -> None:
-        if not self._rng_exempt:
-            chain = _dotted_name(node.func)
-            if chain is not None and self._is_numpy_random_call(chain):
-                self._report(
-                    "R001",
-                    node.lineno,
-                    f"direct call to {'.'.join(chain)}; route randomness "
-                    "through repro.utils.rng.ensure_rng",
-                )
-        if self._lstsq_scope:
-            chain = _dotted_name(node.func)
-            if chain is not None and self._is_lstsq_call(chain):
-                self._report(
-                    "R007",
-                    node.lineno,
-                    f"direct call to {'.'.join(chain)} in core/; route the "
-                    "solve through repro.core.engine (normal equations)",
-                )
-        if self._perf_counter_scope:
-            chain = _dotted_name(node.func)
-            if chain is not None and self._is_perf_counter_call(chain):
-                self._report(
-                    "R008",
-                    node.lineno,
-                    f"direct call to {'.'.join(chain)} in gateway/; use "
-                    "repro.gateway.telemetry.clock",
-                )
-        self.generic_visit(node)
-
-    def _is_numpy_random_call(self, chain: tuple[str, ...]) -> bool:
-        if len(chain) >= 3 and chain[0] in self._numpy_aliases and chain[1] == "random":
-            return True
-        if len(chain) >= 2 and chain[0] in self._random_aliases:
-            return True
-        return len(chain) == 1 and chain[0] in self._random_func_aliases
-
-    # -- R002: future annotations --------------------------------------
-
-    def _check_annotation(self, annotation: Optional[ast.expr]) -> None:
-        if annotation is None or self._has_future_annotations:
-            return
-        for sub in ast.walk(annotation):
-            if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.BitOr):
-                self._report(
-                    "R002",
-                    sub.lineno,
-                    "PEP 604 union in annotation requires "
-                    "`from __future__ import annotations`",
-                )
-                return
-            if (
-                isinstance(sub, ast.Subscript)
-                and isinstance(sub.value, ast.Name)
-                and sub.value.id in _PEP585_GENERICS
-            ):
-                self._report(
-                    "R002",
-                    sub.lineno,
-                    f"PEP 585 `{sub.value.id}[...]` annotation requires "
-                    "`from __future__ import annotations`",
-                )
-                return
-
-    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
-        self._check_annotation(node.annotation)
-        self.generic_visit(node)
-
-    # -- R003: float equality on offsets/bins --------------------------
-
-    @staticmethod
-    def _quantity_name(node: ast.expr) -> Optional[str]:
-        """Terminal identifier of an operand, if it is a name/attribute."""
-        if isinstance(node, ast.Name):
-            return node.id
-        if isinstance(node, ast.Attribute):
-            if node.attr in _R003_EXEMPT_ATTRS:
-                return None
-            return node.attr
-        if isinstance(node, ast.Call):
-            # len(x), int(x), x.round() ... treat as non-quantity; exact
-            # equality on derived integers is legitimate.
-            return None
-        return None
-
-    def _is_offset_quantity(self, node: ast.expr) -> bool:
-        name = self._quantity_name(node)
-        return name is not None and bool(_R003_NAME.search(name.lower()))
-
-    def visit_Compare(self, node: ast.Compare) -> None:
-        operands = [node.left, *node.comparators]
-        for op, left, right in zip(node.ops, operands, operands[1:]):
-            if not isinstance(op, (ast.Eq, ast.NotEq)):
-                continue
-            pair = (left, right)
-            if any(
-                isinstance(other, ast.Constant)
-                and (other.value is None or isinstance(other.value, (str, bool)))
-                for other in pair
-            ):
-                continue
-            if any(self._is_offset_quantity(operand) for operand in pair):
-                self._report(
-                    "R003",
-                    node.lineno,
-                    "exact ==/!= on an offset/bin quantity; use "
-                    "circular_distance / np.isclose with a tolerance",
-                )
-        self.generic_visit(node)
-
-    # -- R004/R006: function-level rules -------------------------------
-
-    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
-        self._check_mutable_defaults(node)
-        self._check_docstring(node)
-        for arg in [
-            *node.args.posonlyargs,
-            *node.args.args,
-            *node.args.kwonlyargs,
-            node.args.vararg,
-            node.args.kwarg,
-        ]:
-            if arg is not None:
-                self._check_annotation(arg.annotation)
-        self._check_annotation(node.returns)
-        self._scope_stack.append(node)
-        self.generic_visit(node)
-        self._scope_stack.pop()
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._visit_function(node)
-
-    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._visit_function(node)
-
-    def visit_ClassDef(self, node: ast.ClassDef) -> None:
-        self._scope_stack.append(node)
-        self.generic_visit(node)
-        self._scope_stack.pop()
-
-    def _check_mutable_defaults(
-        self, node: ast.FunctionDef | ast.AsyncFunctionDef
-    ) -> None:
-        defaults = [*node.args.defaults, *node.args.kw_defaults]
-        for default in defaults:
-            if default is None:
-                continue
-            mutable = isinstance(
-                default, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
-            ) or (
-                isinstance(default, ast.Call)
-                and isinstance(default.func, ast.Name)
-                and default.func.id in ("list", "dict", "set", "bytearray")
-            )
-            if mutable:
-                self._report(
-                    "R004",
-                    default.lineno,
-                    f"mutable default argument in `{node.name}`; default to "
-                    "None and build inside the function",
-                )
-
-    def _check_docstring(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
-        if not self._docstring_scope or node.name.startswith("_"):
-            return
-        # Only module-level functions and class methods; nested closures
-        # are implementation detail.
-        if not isinstance(self._scope_stack[-1], (ast.Module, ast.ClassDef)):
-            return
-        if not ast.get_docstring(node):
-            self._report(
-                "R006",
-                node.lineno,
-                f"public function `{node.name}` in core/phy has no docstring",
-            )
-
-    # -- R005: bare except ---------------------------------------------
-
-    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
-        if node.type is None:
-            self._report(
-                "R005",
-                node.lineno,
-                "bare `except:`; name the exception types (or `Exception`)",
-            )
-        self.generic_visit(node)
-
-
-def lint_source(source: str, path: Path) -> list[Diagnostic]:
-    """Lint one module's source text; syntax errors become diagnostics."""
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        return [
-            Diagnostic(
-                path=str(path),
-                line=exc.lineno or 1,
-                code="E999",
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
-    checker = _Checker(path, tree, source.splitlines())
-    checker.visit(tree)
-    return checker.diagnostics
-
-
-def _iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
-    for path in paths:
-        if path.is_dir():
-            for candidate in sorted(path.rglob("*.py")):
-                if not any(part.startswith(".") for part in candidate.parts):
-                    yield candidate
-        elif path.suffix == ".py":
-            yield path
-
-
-def lint_paths(paths: Iterable[Path]) -> list[Diagnostic]:
-    """Lint every ``.py`` file under ``paths`` and return sorted findings."""
-    diagnostics: list[Diagnostic] = []
-    for file_path in _iter_python_files(paths):
-        source = file_path.read_text(encoding="utf-8")
-        diagnostics.extend(lint_source(source, file_path))
-    return sorted(diagnostics)
-
-
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point: 0 when clean, 1 on any diagnostic, 2 on bad usage."""
-    parser = argparse.ArgumentParser(
-        prog="repro-lint",
-        description="Choir repo-specific static analysis (rules R001-R008).",
-    )
-    parser.add_argument(
-        "paths",
-        nargs="*",
-        default=["src"],
-        help="files or directories to lint (default: src)",
-    )
-    parser.add_argument(
-        "--list-rules",
-        action="store_true",
-        help="print the rule catalog and exit",
-    )
-    args = parser.parse_args(argv)
-
-    if args.list_rules:
-        for code, description in sorted(RULES.items()):
-            print(f"{code}  {description}")
-        return 0
-
-    targets = [Path(p) for p in args.paths]
-    missing = [p for p in targets if not p.exists()]
-    if missing:
-        for path in missing:
-            print(f"repro-lint: no such path: {path}", file=sys.stderr)
-        return 2
-
-    diagnostics = lint_paths(targets)
-    for diagnostic in diagnostics:
-        print(diagnostic.format())
-    if diagnostics:
-        print(
-            f"repro-lint: {len(diagnostics)} finding(s) across "
-            f"{len({d.path for d in diagnostics})} file(s)",
-            file=sys.stderr,
-        )
-        return 1
-    return 0
-
+__all__ = ["RULES", "Diagnostic", "lint_paths", "lint_source", "main"]
 
 if __name__ == "__main__":
     sys.exit(main())

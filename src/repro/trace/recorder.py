@@ -221,4 +221,7 @@ class TraceRecorder:
             return sorted(self._packets, key=lambda p: p.key)
 
     def __len__(self) -> int:
-        return len(self._packets)
+        # Workers may be appending concurrently; snapshot under the lock
+        # so the count is consistent with the views above.
+        with self._lock:
+            return len(self._packets)

@@ -103,3 +103,17 @@ class TestMergeDuplicates:
         windows = np.ones((2, 256), dtype=complex)
         pos, del_ = _merge_duplicates(np.array([5.0]), np.zeros(1), windows, 0.75)
         assert pos.size == 1
+
+
+class TestClusterDeterminism:
+    def test_clusters_emitted_in_deterministic_index_order(self):
+        # Regression for the R010 finding: cluster discovery used to
+        # seed components via set.pop() and scan candidates in set
+        # iteration order.  Components must now come out seeded by their
+        # smallest member, ascending, on every run.
+        from repro.core.sic import _find_clusters
+
+        positions = np.array([10.0, 11.0, 60.0, 61.0, 120.0])
+        for _ in range(5):
+            clusters = _find_clusters(positions, n_bins=128, radius=2.0)
+            assert clusters == [[0, 1], [2, 3], [4]]

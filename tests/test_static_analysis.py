@@ -83,6 +83,9 @@ class TestTypingArtifacts:
         extras = config["project"]["optional-dependencies"]
         assert any(dep.startswith("mypy") for dep in extras["lint"])
         assert any(dep.startswith("ruff") for dep in extras["lint"])
-        assert config["project"]["scripts"]["repro-lint"] == "repro.tools.lint:main"
+        assert (
+            config["project"]["scripts"]["repro-lint"]
+            == "repro.tools.analysis.cli:main"
+        )
         assert "mypy" in config["tool"]
         assert "ruff" in config["tool"]

@@ -1,0 +1,131 @@
+"""Engine-layer tests: module model, import resolution, logical-line noqa."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.tools.analysis.engine import build_module_model, lint_source
+from repro.tools.analysis.model import ImportMap, ModuleModel, module_name_for
+
+
+def model_of(source: str, path: str = "src/repro/core/example.py") -> ModuleModel:
+    model, error = build_module_model(source, Path(path))
+    assert error is None, error
+    assert model is not None
+    return model
+
+
+class TestImportMap:
+    def test_plain_import(self):
+        model = model_of("import numpy\n")
+        assert model.imports.resolve(("numpy", "fft", "fft")) == (
+            "numpy",
+            "fft",
+            "fft",
+        )
+
+    def test_aliased_import(self):
+        model = model_of("import numpy as np\n")
+        assert model.imports.resolve(("np", "random", "seed")) == (
+            "numpy",
+            "random",
+            "seed",
+        )
+
+    def test_submodule_alias(self):
+        model = model_of("import numpy.random as nr\n")
+        assert model.imports.resolve(("nr", "default_rng")) == (
+            "numpy",
+            "random",
+            "default_rng",
+        )
+
+    def test_from_import_with_alias(self):
+        model = model_of("from numpy.random import default_rng as mk\n")
+        assert model.imports.resolve(("mk",)) == ("numpy", "random", "default_rng")
+
+    def test_relative_import_resolves_against_package(self):
+        model = model_of(
+            "from ..utils.rng import derive_rng\n",
+            path="src/repro/gateway/workers.py",
+        )
+        assert model.imports.resolve(("derive_rng",)) == (
+            "repro",
+            "utils",
+            "rng",
+            "derive_rng",
+        )
+
+    def test_unknown_names_stay_local(self):
+        assert ImportMap().resolve(("local_helper",)) is None
+
+
+class TestModuleNames:
+    def test_src_layout(self):
+        assert module_name_for(Path("src/repro/core/sic.py")) == "repro.core.sic"
+
+    def test_package_init(self):
+        assert module_name_for(Path("src/repro/core/__init__.py")) == "repro.core"
+
+    def test_bare_fixture_path(self):
+        assert module_name_for(Path("/tmp/x/fixture.py")) == "fixture"
+
+
+class TestLogicalLineNoqa:
+    def test_noqa_on_last_physical_line_of_wrapped_call(self):
+        # The diagnostic anchors to the call's first line; the noqa sits
+        # two lines down, still inside the same logical statement.
+        source = (
+            "import numpy as np\n"
+            "x = np.random.normal(\n"
+            "    0.0, 1.0, size=8,\n"
+            ")  # noqa: R001\n"
+        )
+        assert lint_source(source, Path("src/repro/core/x.py")) == []
+
+    def test_noqa_on_first_line_still_works(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.random.normal(  # noqa: R001\n"
+            "    0.0, 1.0, size=8,\n"
+            ")\n"
+        )
+        assert lint_source(source, Path("src/repro/core/x.py")) == []
+
+    def test_noqa_on_neighbouring_statement_does_not_leak(self):
+        source = (
+            "import numpy as np\n"
+            "y = 1  # noqa: R001\n"
+            "x = np.random.normal(0.0, 1.0, size=8)\n"
+        )
+        diagnostics = lint_source(source, Path("src/repro/core/x.py"))
+        assert [d.code for d in diagnostics] == ["R001"]
+
+    def test_wrong_code_does_not_suppress(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.random.normal(\n"
+            "    0.0, 1.0, size=8,\n"
+            ")  # noqa: R005\n"
+        )
+        diagnostics = lint_source(source, Path("src/repro/core/x.py"))
+        assert [d.code for d in diagnostics] == ["R001"]
+
+    def test_bare_noqa_covers_all_codes_across_the_statement(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.random.normal(\n"
+            "    0.0, 1.0, size=8,\n"
+            ")  # noqa\n"
+        )
+        assert lint_source(source, Path("src/repro/core/x.py")) == []
+
+
+class TestSingleParse:
+    def test_model_tree_is_shared_across_rules(self):
+        model = model_of("import numpy as np\nx = np.zeros(4)\n")
+        # Every pass consumes model.tree; make sure the model exposes a
+        # real parse, not a re-parse per rule.
+        assert isinstance(model.tree, ast.Module)
+        assert model.source_lines[1] == "x = np.zeros(4)"

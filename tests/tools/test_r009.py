@@ -1,0 +1,287 @@
+"""R009 fixtures: lock discipline for thread-shared class state."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.tools.analysis.engine import lint_source
+
+PATH = Path("src/repro/gateway/example.py")
+
+
+def codes(source: str, path: Path = PATH) -> list[str]:
+    return sorted(d.code for d in lint_source(source, path))
+
+
+def diags(source: str, path: Path = PATH):
+    return [d for d in lint_source(source, path) if d.code == "R009"]
+
+
+GUARDED_POOL = """
+import threading
+
+class Pool:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._results = []
+        self._thread = threading.Thread(target=self._worker)
+
+    def _worker(self):
+        with self._lock:
+            self._results.append(1)
+
+    def drain(self):
+        with self._lock:
+            out = list(self._results)
+            self._results = []
+        return out
+"""
+
+UNGUARDED_POOL = """
+import threading
+
+class Pool:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._results = []
+        self._thread = threading.Thread(target=self._worker)
+
+    def _worker(self):
+        self._results.append(1)
+"""
+
+
+class TestPositive:
+    def test_unguarded_append_reachable_from_thread_entry(self):
+        found = diags(UNGUARDED_POOL)
+        assert len(found) == 1
+        assert found[0].line == 11
+        assert "_results" in found[0].message
+        assert "with self._lock" in found[0].message
+
+    def test_unguarded_rebind_flagged(self):
+        source = """
+import threading
+
+class Pool:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._state = 0
+        threading.Thread(target=self._worker).start()
+
+    def _worker(self):
+        self._state = self._state + 1
+"""
+        found = diags(source)
+        assert [d.line for d in found] == [11]
+
+    def test_main_thread_writer_of_shared_attr_also_flagged(self):
+        # The worker reads under lock, but the main-thread writer skips
+        # the lock: still a race.
+        source = """
+import threading
+
+class Pool:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._jobs = {}
+        threading.Thread(target=self._worker).start()
+
+    def _worker(self):
+        with self._lock:
+            self._jobs.clear()
+
+    def submit(self, jid, job):
+        self._jobs[jid] = job
+"""
+        found = diags(source)
+        assert [d.line for d in found] == [15]
+
+    def test_callback_entry_via_add_done_callback_lambda(self):
+        source = """
+import threading
+
+class Pool:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._done = []
+
+    def submit(self, future):
+        future.add_done_callback(lambda f: self._on_done(f))
+
+    def _on_done(self, future):
+        self._done.append(future)
+"""
+        found = diags(source)
+        assert [d.line for d in found] == [13]
+
+    def test_inconsistent_lock_order(self):
+        source = """
+import threading
+
+class Pool:
+    def __init__(self):
+        self._alock = threading.Lock()
+        self._block = threading.Lock()
+
+    def forward(self):
+        with self._alock:
+            with self._block:
+                pass
+
+    def backward(self):
+        with self._block:
+            with self._alock:
+                pass
+"""
+        found = diags(source)
+        assert len(found) == 2
+        assert all("lock acquisition order" in d.message for d in found)
+        assert sorted(d.line for d in found) == [11, 16]
+
+
+class TestNegative:
+    def test_guarded_pool_is_clean(self):
+        assert diags(GUARDED_POOL) == []
+
+    def test_no_thread_entry_means_no_sharing(self):
+        # Same unguarded mutation, but nothing ever runs on a thread.
+        source = """
+class Accumulator:
+    def __init__(self):
+        self._results = []
+
+    def add(self, x):
+        self._results.append(x)
+"""
+        assert diags(source) == []
+
+    def test_synchronized_queue_is_exempt(self):
+        source = """
+import queue
+import threading
+
+class Pool:
+    def __init__(self):
+        self._queue = queue.Queue()
+        threading.Thread(target=self._worker).start()
+
+    def _worker(self):
+        self._queue.put(1)
+
+    def submit(self, job):
+        self._queue.put(job)
+"""
+        assert diags(source) == []
+
+    def test_private_helper_called_under_lock_everywhere(self):
+        # _offer never takes the lock itself; every caller holds it.
+        source = """
+import threading
+
+class Histogram:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._values = []
+        threading.Thread(target=self._drain).start()
+
+    def _offer(self, value):
+        self._values.append(value)
+
+    def record(self, value):
+        with self._lock:
+            self._offer(value)
+
+    def _drain(self):
+        with self._lock:
+            self._offer(0)
+"""
+        assert diags(source) == []
+
+    def test_consistent_lock_order_is_clean(self):
+        source = """
+import threading
+
+class Pool:
+    def __init__(self):
+        self._alock = threading.Lock()
+        self._block = threading.Lock()
+
+    def one(self):
+        with self._alock:
+            with self._block:
+                pass
+
+    def two(self):
+        with self._alock:
+            with self._block:
+                pass
+"""
+        assert diags(source) == []
+
+
+class TestAliasDodging:
+    def test_threading_module_alias(self):
+        source = UNGUARDED_POOL.replace(
+            "import threading", "import threading as t"
+        ).replace("threading.Thread", "t.Thread").replace(
+            "threading.Lock", "t.Lock"
+        )
+        assert len(diags(source)) == 1
+
+    def test_from_import_thread_alias(self):
+        source = """
+from threading import Lock, Thread as Worker
+
+class Pool:
+    def __init__(self):
+        self._lock = Lock()
+        self._results = []
+        self._thread = Worker(target=self._worker)
+
+    def _worker(self):
+        self._results.append(1)
+"""
+        assert len(diags(source)) == 1
+
+    def test_cross_class_reachability_through_attribute(self):
+        # The unguarded mutation lives in a *different* class; only the
+        # attribute-type edge connects it to the thread entry.
+        source = """
+import threading
+
+class Sink:
+    def __init__(self):
+        self._items = []
+
+    def push(self, item):
+        self._items.append(item)
+
+class Pool:
+    def __init__(self, sink: Sink):
+        self._sink = sink
+        threading.Thread(target=self._worker).start()
+
+    def _worker(self):
+        self._sink.push(1)
+"""
+        found = diags(source)
+        assert len(found) == 1
+        assert found[0].line == 9
+        assert "Sink.push" in found[0].message
+
+
+class TestNoqa:
+    def test_noqa_suppresses_r009(self):
+        source = UNGUARDED_POOL.replace(
+            "self._results.append(1)",
+            "self._results.append(1)  # noqa: R009",
+        )
+        assert diags(source) == []
+
+    def test_noqa_for_other_code_does_not_suppress(self):
+        source = UNGUARDED_POOL.replace(
+            "self._results.append(1)",
+            "self._results.append(1)  # noqa: R010",
+        )
+        assert len(diags(source)) == 1

@@ -1,0 +1,147 @@
+"""R010 fixtures: determinism hazards in decode paths."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.tools.analysis.engine import lint_source
+
+PATH = Path("src/repro/core/example.py")
+
+
+def r010(source: str, path: Path = PATH):
+    return [d for d in lint_source(source, path) if d.code == "R010"]
+
+
+class TestStrayRng:
+    def test_random_random_call(self):
+        source = "import random\nx = random.random()\n"
+        found = r010(source)
+        assert [d.line for d in found] == [2]
+        assert "random.random" in found[0].message
+
+    def test_random_constructor(self):
+        source = "import random\nrng = random.Random(7)\n"
+        assert len(r010(source)) == 1
+
+    def test_from_import_alias_dodging(self):
+        source = "from random import Random as MkRng\nrng = MkRng(7)\n"
+        found = r010(source)
+        assert len(found) == 1
+        assert "MkRng" in found[0].message
+
+    def test_module_alias_dodging(self):
+        source = "import random as rnd\nx = rnd.shuffle(items)\n"
+        assert len(r010(source)) == 1
+
+    def test_derive_rng_is_fine(self):
+        source = (
+            "from repro.utils.rng import derive_rng\n"
+            "rng = derive_rng(0, 1, 2)\n"
+        )
+        assert r010(source) == []
+
+    def test_rng_plumbing_module_is_exempt(self):
+        source = "import random\nx = random.Random(0)\n"
+        assert r010(source, Path("src/repro/utils/rng.py")) == []
+
+    def test_local_name_random_not_confused(self):
+        # A locally defined `random` object is not the stdlib module.
+        source = "random = make_jitterer()\nx = random.random()\n"
+        assert r010(source) == []
+
+
+class TestIdKeyedSort:
+    def test_sorted_key_id(self):
+        source = "out = sorted(items, key=id)\n"
+        found = r010(source)
+        assert len(found) == 1
+        assert "id()-keyed" in found[0].message
+
+    def test_list_sort_lambda_id(self):
+        source = "items.sort(key=lambda x: (x.rank, id(x)))\n"
+        assert len(r010(source)) == 1
+
+    def test_stable_key_is_fine(self):
+        source = "out = sorted(items, key=lambda x: x.key)\n"
+        assert r010(source) == []
+
+
+class TestSetIteration:
+    def test_for_over_set_call(self):
+        source = "for x in set(items):\n    emit(x)\n"
+        found = r010(source)
+        assert [d.line for d in found] == [1]
+        assert "unordered set" in found[0].message
+
+    def test_for_over_set_literal(self):
+        source = "for x in {1, 2, 3}:\n    emit(x)\n"
+        assert len(r010(source)) == 1
+
+    def test_list_comprehension_over_set(self):
+        source = "out = [f(x) for x in set(items)]\n"
+        assert len(r010(source)) == 1
+
+    def test_dict_comprehension_over_set(self):
+        source = "out = {x: 1 for x in set(items)}\n"
+        assert len(r010(source)) == 1
+
+    def test_list_materialization(self):
+        source = "out = list(frozenset(items))\n"
+        assert len(r010(source)) == 1
+
+    def test_alias_dodging_through_local_name(self):
+        source = "seen = set(items)\nfor x in seen:\n    emit(x)\n"
+        found = r010(source)
+        assert [d.line for d in found] == [2]
+
+    def test_sorted_sanitizes(self):
+        source = "for x in sorted(set(items)):\n    emit(x)\n"
+        assert r010(source) == []
+
+    def test_sorted_generator_over_set_sanitized(self):
+        source = "out = sorted(f(x) for x in set(items))\n"
+        assert r010(source) == []
+
+    def test_order_insensitive_reduction_is_fine(self):
+        source = "total = sum(f(x) for x in set(items))\n"
+        assert r010(source) == []
+
+    def test_set_to_set_is_fine(self):
+        source = "out = {f(x) for x in set(items)}\n"
+        assert r010(source) == []
+
+    def test_membership_not_flagged(self):
+        source = "seen = set(items)\nok = x in seen\n"
+        assert r010(source) == []
+
+    def test_ambiguous_rebinding_not_flagged(self):
+        # `seen` is also bound to a list; don't guess.
+        source = (
+            "seen = set(items)\n"
+            "seen = order(seen)\n"
+            "for x in seen:\n"
+            "    emit(x)\n"
+        )
+        assert r010(source) == []
+
+
+class TestScopeAndNoqa:
+    def test_tools_package_is_exempt(self):
+        source = "for x in set(items):\n    emit(x)\n"
+        assert r010(source, Path("src/repro/tools/analysis/example.py")) == []
+
+    def test_noqa_with_justification_suppresses(self):
+        source = (
+            "import random\n"
+            "rng = random.Random(0)  # noqa: R010 -- seeded from metric name\n"
+        )
+        assert r010(source) == []
+
+    def test_noqa_on_multiline_statement(self):
+        source = (
+            "out = list(\n"
+            "    frozenset(items)\n"
+            ")  # noqa: R010\n"
+        )
+        assert r010(source) == []

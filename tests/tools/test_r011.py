@@ -1,0 +1,149 @@
+"""R011 fixtures: implicit complex64 -> complex128 upcasts in hot kernels."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.tools.analysis.engine import lint_source
+
+PATH = Path("src/repro/core/example.py")
+
+
+def r011(source: str, path: Path = PATH):
+    return [d for d in lint_source(source, path) if d.code == "R011"]
+
+
+def kernel(body: str) -> str:
+    indented = "\n".join(f"    {line}" if line else "" for line in body.splitlines())
+    return f'import numpy as np\n\ndef kernel(x):\n    """Fixture."""\n{indented}\n'
+
+
+class TestPositive:
+    def test_complex64_times_float64_scalar(self):
+        source = kernel(
+            "iq = np.zeros(8, dtype=np.complex64)\n"
+            "scale = np.float64(0.5)\n"
+            "return iq * scale"
+        )
+        found = r011(source)
+        assert len(found) == 1
+        assert "complex64 -> complex128" in found[0].message
+
+    def test_complex64_plus_default_float64_array(self):
+        # np.zeros with no dtype is float64: mixing it in upcasts.
+        source = kernel(
+            "iq = np.ones(8, dtype=np.complex64)\n"
+            "bias = np.zeros(8)\n"
+            "return iq + bias"
+        )
+        assert len(r011(source)) == 1
+
+    def test_complex64_times_complex128(self):
+        source = kernel(
+            "iq = np.zeros(8, dtype=np.complex64)\n"
+            "ref = np.zeros(8, dtype=np.complex128)\n"
+            "return iq * ref"
+        )
+        assert len(r011(source)) == 1
+
+    def test_fft_output_mixing_back_into_complex64(self):
+        # np.fft always returns complex128.
+        source = kernel(
+            "iq = np.zeros(8, dtype=np.complex64)\n"
+            "spec = np.fft.fft(iq)\n"
+            "return iq * spec"
+        )
+        assert len(r011(source)) == 1
+
+    def test_augassign_upcast(self):
+        source = kernel(
+            "iq = np.zeros(8, dtype=np.complex64)\n"
+            "iq *= np.float64(2.0)\n"
+            "return iq"
+        )
+        assert len(r011(source)) == 1
+
+    def test_dtype_via_string(self):
+        source = kernel(
+            'iq = np.zeros(8, dtype="complex64")\n'
+            "scale = np.linspace(0.0, 1.0, 8)\n"
+            "return iq * scale"
+        )
+        assert len(r011(source)) == 1
+
+    def test_astype_chain(self):
+        source = kernel(
+            "iq = x.astype(np.complex64)\n"
+            "w = np.ones(8)\n"
+            "return iq * w"
+        )
+        assert len(r011(source)) == 1
+
+
+class TestNegative:
+    def test_weak_python_scalar_is_fine(self):
+        # NEP 50: python floats adopt the array dtype.
+        source = kernel(
+            "iq = np.zeros(8, dtype=np.complex64)\n"
+            "return iq * 0.5"
+        )
+        assert r011(source) == []
+
+    def test_float32_operand_is_fine(self):
+        source = kernel(
+            "iq = np.zeros(8, dtype=np.complex64)\n"
+            "w = np.ones(8, dtype=np.float32)\n"
+            "return iq * w"
+        )
+        assert r011(source) == []
+
+    def test_explicit_cast_is_fine(self):
+        source = kernel(
+            "iq = np.zeros(8, dtype=np.complex64)\n"
+            "bias = np.zeros(8).astype(np.float32)\n"
+            "return iq + bias"
+        )
+        assert r011(source) == []
+
+    def test_double_precision_pipeline_is_fine(self):
+        source = kernel(
+            "iq = np.zeros(8, dtype=np.complex128)\n"
+            "w = np.ones(8)\n"
+            "return iq * w"
+        )
+        assert r011(source) == []
+
+    def test_unknown_dtype_never_flags(self):
+        source = kernel(
+            "iq = load_capture(x)\n"
+            "w = np.ones(8)\n"
+            "return iq * w"
+        )
+        assert r011(source) == []
+
+
+class TestScopeAliasNoqa:
+    def test_gateway_module_out_of_scope(self):
+        source = kernel(
+            "iq = np.zeros(8, dtype=np.complex64)\n"
+            "return iq * np.float64(0.5)"
+        )
+        assert r011(source, Path("src/repro/gateway/example.py")) == []
+
+    def test_numpy_alias_dodging(self):
+        source = (
+            "import numpy as xp\n"
+            "\n"
+            "def kernel(x):\n"
+            '    """Fixture."""\n'
+            "    iq = xp.zeros(8, dtype=xp.complex64)\n"
+            "    return iq * xp.float64(0.5)\n"
+        )
+        assert len(r011(source)) == 1
+
+    def test_noqa_suppresses(self):
+        source = kernel(
+            "iq = np.zeros(8, dtype=np.complex64)\n"
+            "return iq * np.float64(0.5)  # noqa: R011 -- precision bump intended"
+        )
+        assert r011(source) == []

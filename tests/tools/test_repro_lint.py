@@ -366,7 +366,7 @@ class TestDiagnosticsAndCli:
         diagnostics = lint_source("def broken(:\n", Path("src/repro/core/x.py"))
         assert [d.code for d in diagnostics] == ["E999"]
 
-    def test_rule_catalog_covers_r001_through_r008(self):
+    def test_rule_catalog_covers_r001_through_r011(self):
         assert sorted(RULES) == [
             "R001",
             "R002",
@@ -376,6 +376,9 @@ class TestDiagnosticsAndCli:
             "R006",
             "R007",
             "R008",
+            "R009",
+            "R010",
+            "R011",
         ]
 
     def test_lint_paths_walks_directories(self, tmp_path):

@@ -1,13 +1,15 @@
 #!/usr/bin/env python
-"""Runnable wrapper for the repro-lint static-analysis pass.
+"""Runnable wrapper for the repro-lint static-analysis engine.
 
 Usage::
 
-    python tools/repro_lint.py [paths...]      # default: src
+    python tools/repro_lint.py [paths...]                # default: src
+    python tools/repro_lint.py --engine=ast src tools
+    python tools/repro_lint.py --json findings.json src
     python tools/repro_lint.py --list-rules
 
-The implementation lives in :mod:`repro.tools.lint` so it ships with the
-package (console script ``repro-lint``); this wrapper only makes it
+The implementation lives in :mod:`repro.tools.analysis` so it ships with
+the package (console script ``repro-lint``); this wrapper only makes it
 runnable from a source checkout without installation.
 """
 
