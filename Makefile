@@ -4,6 +4,7 @@
 #   make analyze       the AST dataflow engine alone, with a JSON findings report
 #   make typecheck     mypy per the gradual-strictness table in pyproject.toml
 #   make test          the tier-1 suite (includes the static-analysis gate)
+#   make soak          full-length server soak (bounded-memory proof)
 #   make check         all of the above
 #   make ci            what .github/workflows/ci.yml runs, locally
 #   make bench-gateway streaming-gateway throughput -> BENCH_gateway.json
@@ -29,7 +30,7 @@ BENCH_SLACK      ?= 0.002
 
 ANALYZE_OUT ?= analysis_findings.json
 
-.PHONY: lint analyze typecheck test check ci bench-gateway bench-decode bench-check
+.PHONY: lint analyze typecheck test soak check ci bench-gateway bench-decode bench-check
 
 lint:
 	$(PYTHON) tools/repro_lint.py --engine=ast src tools
@@ -53,6 +54,11 @@ typecheck:
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# The tier-1 suite runs a scaled-down version of this; SOAK=1 runs the
+# full-length stream (50x) and the telemetry-cardinality check.
+soak:
+	SOAK=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/server/test_soak_server.py -q
 
 check: lint typecheck test
 

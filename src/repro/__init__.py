@@ -49,6 +49,7 @@ from repro.mac import (
     SingleUserPhy,
 )
 from repro.mimo import ZfMimoDecoder, decode_choir_multiantenna, receive_multiantenna
+from repro.server import NetworkServer, ServerConfig
 from repro.sensing import EnvironmentField, SensorNode
 from repro.deployment import Building, CampusTestbed, Position
 from repro.utils.rng import RngLike, ensure_rng
@@ -81,8 +82,10 @@ __all__ = [
     "ChoirPhyModel",
     "MuMimoPhyModel",
     "SingleUserPhy",
+    "NetworkServer",
     "NetworkSimulator",
     "NodeConfig",
+    "ServerConfig",
     "ZfMimoDecoder",
     "decode_choir_multiantenna",
     "receive_multiantenna",

@@ -8,6 +8,7 @@ Usage::
     python -m repro gateway --duration 5 --workers 4   # streaming runtime
     python -m repro gateway --trace-out trace.json     # + provenance trace
     python -m repro forensics trace.json               # per-packet post-mortem
+    python -m repro server --gateways 2 --duration 120  # closed ADR loop
 
 Each experiment prints the same rows/series the paper's figure reports;
 ASCII charts accompany the series-shaped ones.  ``gateway`` runs the
@@ -275,6 +276,75 @@ def cmd_gateway(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_server(args: argparse.Namespace) -> int:
+    """Run the closed-loop multi-gateway network-server scenario."""
+    from repro.server import ServerConfig, build_scenario, run_closed_loop
+
+    node_snrs = [
+        args.snr_hi if i % 2 == 0 else args.snr_lo for i in range(args.nodes)
+    ]
+    server_config = (
+        ServerConfig(
+            dedup_window_s=args.dedup_window, adr_initial_sf=args.initial_sf
+        )
+        if args.dedup_window is not None
+        else None  # build_scenario defaults the window to two slots
+    )
+    sim, phy, server = build_scenario(
+        n_gateways=args.gateways,
+        node_snrs_db=node_snrs,
+        initial_sf=args.initial_sf,
+        seed=args.seed,
+        server_config=server_config,
+    )
+    if args.state_in:
+        with open(args.state_in) as handle:
+            n_loaded = server.restore_sessions(handle.read())
+        print(f"restored {n_loaded} session(s) from {args.state_in}")
+    print(
+        f"closed-loop scenario: {args.gateways} gateway(s), {args.nodes} "
+        f"node(s) at {args.snr_hi:.0f}/{args.snr_lo:.0f} dB, initial SF"
+        f"{args.initial_sf}, {args.duration:.1f}s simulated, "
+        f"{args.ingest} ingest"
+    )
+    report = run_closed_loop(
+        sim, phy, server, args.duration, ingest=args.ingest
+    )
+    faster, slower = report.moved_faster(), report.moved_slower()
+    print(
+        f"ingested {report.server.n_ingested} gateway copies -> "
+        f"{report.server.n_delivered} delivered "
+        f"({report.server.n_duplicates} duplicates collapsed, "
+        f"{report.server.n_replays} replays rejected)"
+    )
+    print(f"downlink commands: {report.n_commands}")
+    for nid in sorted(report.final_sf):
+        trajectory = " -> ".join(str(sf) for sf in report.sf_trajectory[nid])
+        print(
+            f"  node {nid}: SF {trajectory}"
+            f" (best gateway {report.best_gateway_truth.get(nid, '-')})"
+        )
+    print(
+        f"ADR moved {len(faster)} node(s) faster, {len(slower)} node(s) slower"
+    )
+    print(server.telemetry.summary())
+    if args.metrics_out:
+        server.telemetry.write_prometheus(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    if args.state_out:
+        with open(args.state_out, "w") as handle:
+            handle.write(report.server.sessions_jsonl)
+        print(f"session state written to {args.state_out}")
+    if args.assert_adr and (not faster or not slower):
+        print(
+            "ADR convergence assertion failed: expected at least one node "
+            "to speed up and one to slow down",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_run(names: list[str]) -> int:
     """Run the named experiments and print their tables."""
     targets = list(EXPERIMENTS) if names == ["all"] else names
@@ -362,6 +432,60 @@ def main(argv: list[str] | None = None) -> int:
         default=1.0,
         help="fraction of jobs traced unconditionally (failures always kept)",
     )
+    srv = sub.add_parser(
+        "server",
+        help="run the closed-loop multi-gateway network-server scenario",
+    )
+    srv.add_argument(
+        "--gateways", type=int, default=2, help="overlapping gateways"
+    )
+    srv.add_argument(
+        "--nodes",
+        type=int,
+        default=4,
+        help="devices (alternating high/low SNR)",
+    )
+    srv.add_argument(
+        "--duration", type=float, default=120.0, help="simulated seconds"
+    )
+    srv.add_argument(
+        "--snr-hi", type=float, default=20.0, help="strong devices' SNR (dB)"
+    )
+    srv.add_argument(
+        "--snr-lo", type=float, default=-4.0, help="weak devices' SNR (dB)"
+    )
+    srv.add_argument(
+        "--initial-sf", type=int, default=10, help="starting spreading factor"
+    )
+    srv.add_argument(
+        "--dedup-window",
+        type=float,
+        default=None,
+        help="dedup window seconds (default: two slot times)",
+    )
+    srv.add_argument(
+        "--ingest",
+        choices=("serial", "thread", "async"),
+        default="serial",
+        help="ingest transport (all three are deterministic and agree)",
+    )
+    srv.add_argument("--seed", type=int, default=0, help="master seed")
+    srv.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write server Prometheus exposition here",
+    )
+    srv.add_argument(
+        "--state-out", default=None, help="write session JSONL snapshot here"
+    )
+    srv.add_argument(
+        "--state-in", default=None, help="restore session JSONL snapshot first"
+    )
+    srv.add_argument(
+        "--assert-adr",
+        action="store_true",
+        help="exit 1 unless ADR moved a node faster AND one slower (CI gate)",
+    )
     forensics_parser = sub.add_parser(
         "forensics",
         help="per-packet post-mortem of a trace written with --trace-out",
@@ -379,6 +503,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_report(args.output_dir, args.names)
     if args.command == "gateway":
         return cmd_gateway(args)
+    if args.command == "server":
+        return cmd_server(args)
     if args.command == "forensics":
         from repro.trace.forensics import main as forensics_main
 

@@ -29,7 +29,7 @@ throughput, per-stage latency percentiles and every decode outcome.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.detection import sliding_packet_search
 from repro.gateway.ring import SampleRing
@@ -421,7 +421,10 @@ class Gateway:
     Construct with a :class:`GatewayConfig`, then :meth:`run` it over any
     :class:`repro.gateway.sources.SampleSource`.  A fresh
     :class:`Telemetry` registry is created per run unless one is
-    injected (e.g. to aggregate several runs).
+    injected (e.g. to aggregate several runs).  ``on_outcome`` streams
+    every decode outcome to the caller live (the network-server uplink
+    tap); see :class:`repro.gateway.workers.DecodeWorkerPool` for its
+    threading contract.
     """
 
     def __init__(
@@ -429,8 +432,10 @@ class Gateway:
         config: GatewayConfig,
         telemetry: Optional[Telemetry] = None,
         trace_recorder: Optional[TraceRecorder] = None,
+        on_outcome: Optional[Callable[[DecodeOutcome], None]] = None,
     ) -> None:
         self.config = config
+        self.on_outcome = on_outcome
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         if trace_recorder is None and config.trace:
             trace_recorder = TraceRecorder(config.trace_config())
@@ -496,6 +501,7 @@ class Gateway:
             rng=config.seed,
             telemetry=telemetry,
             trace_recorder=recorder,
+            on_outcome=self.on_outcome,
         )
         samples_in = 0
         chunks_in = 0

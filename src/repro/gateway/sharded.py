@@ -31,14 +31,14 @@ the returned :class:`repro.gateway.runtime.GatewayReport` carries a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.gateway.channelizer import DEFAULT_TAPS_PER_BRANCH, PolyphaseChannelizer
 from repro.gateway.ring import SampleRing
 from repro.gateway.runtime import GatewayReport, StreamScanner
 from repro.gateway.sources import SampleSource
 from repro.gateway.telemetry import Telemetry, clock, shard_label
-from repro.gateway.workers import DecodeWorkerPool
+from repro.gateway.workers import DecodeOutcome, DecodeWorkerPool
 from repro.phy.params import ChannelPlan, LoRaParams
 from repro.trace.recorder import TraceConfig, TraceRecorder
 
@@ -128,8 +128,10 @@ class ShardedGateway:
         config: ShardedGatewayConfig,
         telemetry: Optional[Telemetry] = None,
         trace_recorder: Optional[TraceRecorder] = None,
+        on_outcome: Optional[Callable[[DecodeOutcome], None]] = None,
     ) -> None:
         self.config = config
+        self.on_outcome = on_outcome
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         if trace_recorder is None and config.trace:
             trace_recorder = TraceRecorder(config.trace_config())
@@ -221,6 +223,7 @@ class ShardedGateway:
             rng=config.seed,
             telemetry=telemetry,
             trace_recorder=recorder,
+            on_outcome=self.on_outcome,
         )
         rings = [
             SampleRing(self._ring_capacity) for _ in range(config.plan.n_channels)

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Protocol
+from typing import Callable, Dict, Iterator, List, Optional, Protocol
 
 import numpy as np
 
@@ -113,6 +113,14 @@ class SyntheticTrafficSource:
         imperfections, and noise are all derived sub-streams, so one seed
         reproduces the stream bit-for-bit (for a fixed chunk size -- the
         rendered signal is chunk-invariant, but noise is drawn per chunk).
+    payload_fn:
+        Optional ``(node_id, packet_seq) -> bytes`` supplying each
+        packet's payload instead of the random draw (``packet_seq``
+        counts that node's packets from 0 in schedule order).  This is
+        how the network-server integration stamps LoRaWAN-style
+        devaddr/fcnt headers onto synthesized uplinks.  Returned bytes
+        must be exactly ``payload_len`` long.  The default (``None``)
+        leaves the legacy random-payload draw sequence untouched.
     """
 
     def __init__(
@@ -125,6 +133,7 @@ class SyntheticTrafficSource:
         noise_power: float = 1.0,
         plan: ChannelPlan | None = None,
         rng: RngLike = None,
+        payload_fn: Optional[Callable[[int, int], bytes]] = None,
     ) -> None:
         if duration_s <= 0:
             raise ValueError(f"duration_s must be positive, got {duration_s}")
@@ -133,6 +142,7 @@ class SyntheticTrafficSource:
         self.params = params
         self.plan = plan
         self.payload_len = payload_len
+        self.payload_fn = payload_fn
         self.chunk_samples = int(chunk_samples)
         self.noise_power = noise_power
         framer = LoRaFramer(params)
@@ -156,6 +166,27 @@ class SyntheticTrafficSource:
             self._init_wideband(plan, nodes, schedule_rng, seq)
         self._rendered: Dict[int, np.ndarray] = {}
         self._next_to_render = 0
+
+    def _make_payload(
+        self,
+        node_id: int,
+        seq_by_node: Dict[int, int],
+        schedule_rng: np.random.Generator,
+    ) -> bytes:
+        """One packet's payload: the custom function, or the random draw."""
+        if self.payload_fn is None:
+            return bytes(
+                schedule_rng.integers(0, 256, self.payload_len, dtype=np.uint8)
+            )
+        seq = seq_by_node.get(node_id, 0)
+        seq_by_node[node_id] = seq + 1
+        payload = self.payload_fn(node_id, seq)
+        if len(payload) != self.payload_len:
+            raise ValueError(
+                f"payload_fn returned {len(payload)} bytes for node "
+                f"{node_id}, expected payload_len={self.payload_len}"
+            )
+        return payload
 
     def _init_single(
         self,
@@ -194,12 +225,11 @@ class SyntheticTrafficSource:
                 if start + frame_samples + n <= self.duration_samples
             )
         arrivals.sort(key=lambda item: (item[0], item[1].node_id))
+        seq_by_node: Dict[int, int] = {}
         self.transmitted: List[TransmittedPacket] = [
             TransmittedPacket(
                 node_id=cfg.node_id,
-                payload=bytes(
-                    schedule_rng.integers(0, 256, self.payload_len, dtype=np.uint8)
-                ),
+                payload=self._make_payload(cfg.node_id, seq_by_node, schedule_rng),
                 start_sample=start,
                 n_data_symbols=self.n_data_symbols,
                 snr_db=cfg.snr_db,
@@ -259,12 +289,11 @@ class SyntheticTrafficSource:
                 if start + (frame_nb + n) * m <= self.duration_samples
             )
         arrivals.sort(key=lambda item: (item[0], item[1].node_id))
+        seq_by_node: Dict[int, int] = {}
         self.transmitted = [
             TransmittedPacket(
                 node_id=cfg.node_id,
-                payload=bytes(
-                    schedule_rng.integers(0, 256, self.payload_len, dtype=np.uint8)
-                ),
+                payload=self._make_payload(cfg.node_id, seq_by_node, schedule_rng),
                 start_sample=start,
                 n_data_symbols=self._node_symbols[cfg.node_id],
                 snr_db=cfg.snr_db,

@@ -355,11 +355,20 @@ class Telemetry:
             instruments = list(self._instruments.values())
         return {inst.name: inst.state() for inst in instruments}
 
-    def merge(self, state: Dict[str, Dict[str, Any]]) -> None:
+    def merge(
+        self, state: Dict[str, Dict[str, Any]], prefix: str = ""
+    ) -> None:
         """Fold a :meth:`state` dict from another registry into this one.
 
         Counters and histogram scalars add exactly, so serial and
         process executors agree on every total.
+
+        ``prefix`` namespaces every merged instrument (for example
+        ``"gw1."``), which is how the network server absorbs N gateways'
+        registries without their identically-named shard metrics
+        colliding: ``gw1.ch3.sf8.decode.crc_ok`` and
+        ``gw2.ch3.sf8.decode.crc_ok`` stay distinct and export with
+        ``gateway="1"`` / ``gateway="2"`` labels.
         """
         for name, inst_state in state.items():
             kind = _STATE_KINDS.get(inst_state.get("type", ""))
@@ -368,7 +377,7 @@ class Telemetry:
                     f"unknown instrument type in state for {name!r}: "
                     f"{inst_state.get('type')!r}"
                 )
-            self._get(name, kind).merge_state(inst_state)
+            self._get(prefix + name, kind).merge_state(inst_state)
 
     # ------------------------------------------------------------------
     # Export
@@ -482,16 +491,17 @@ class Telemetry:
         return "\n".join(lines)
 
 
-_SHARD_PART = re.compile(r"(ch|sf)(\d+)$")
-_SHARD_LABELS = {"ch": "channel", "sf": "sf"}
+_SHARD_PART = re.compile(r"(ch|sf|gw)(\d+)$")
+_SHARD_LABELS = {"ch": "channel", "sf": "sf", "gw": "gateway"}
 
 
 def _prometheus_name(name: str) -> Tuple[str, Dict[str, str]]:
     """Map a dotted instrument name to (family base, labels).
 
-    ``ch{c}`` / ``sf{s}`` dotted parts become ``channel`` / ``sf``
-    labels; the remaining parts join with underscores under the
-    ``repro_`` namespace, sanitized to the Prometheus charset.
+    ``ch{c}`` / ``sf{s}`` / ``gw{g}`` dotted parts become ``channel`` /
+    ``sf`` / ``gateway`` labels; the remaining parts join with
+    underscores under the ``repro_`` namespace, sanitized to the
+    Prometheus charset.
     """
     labels: Dict[str, str] = {}
     rest: List[str] = []

@@ -37,7 +37,7 @@ import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -340,6 +340,14 @@ class DecodeWorkerPool:
         Optional :class:`repro.trace.TraceRecorder`; when set, each
         job's trace directive is computed from its key before dispatch
         and every outcome (with its retained span tree) is recorded.
+    on_outcome:
+        Optional live outcome hook, called once per recorded outcome
+        (after aggregation, outside the pool lock) -- the gateway's
+        report-streaming tap, e.g. forwarding decoded frames to a
+        network server while the stream is still running.  Thread and
+        process executors call it from worker/callback threads, so the
+        callable must be thread-safe; outcomes may arrive out of stream
+        order.
     """
 
     def __init__(
@@ -357,6 +365,7 @@ class DecodeWorkerPool:
         rng: RngLike = None,
         telemetry: Optional[Telemetry] = None,
         trace_recorder: Optional[TraceRecorder] = None,
+        on_outcome: Optional[Callable[[DecodeOutcome], None]] = None,
     ) -> None:
         if executor not in EXECUTORS:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
@@ -380,6 +389,7 @@ class DecodeWorkerPool:
         self.use_engine = use_engine
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.trace_recorder = trace_recorder
+        self.on_outcome = on_outcome
         self._base_seed = as_seed_sequence(rng)
         self._outcomes: List[DecodeOutcome] = []
         self._lock = threading.Lock()
@@ -506,6 +516,8 @@ class DecodeWorkerPool:
                 ],
                 trace=outcome.trace,
             )
+        if self.on_outcome is not None:
+            self.on_outcome(outcome)
 
     def _count_drop(self, job: Optional[DecodeJob] = None) -> None:
         """Count one dropped job, with its shard label when known."""

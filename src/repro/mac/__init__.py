@@ -25,9 +25,10 @@ from repro.mac.phy import (
     Transmission,
 )
 from repro.mac.protocols import AlohaMac, ChoirMac, Mac, OracleMac
-from repro.mac.simulator import MacMetrics, NetworkSimulator, NodeConfig
+from repro.mac.simulator import MacMetrics, NetworkSimulator, NodeConfig, SlotResult
 
 __all__ = [
+    "SlotResult",
     "EventScheduler",
     "PhyModel",
     "SingleUserPhy",

@@ -39,12 +39,17 @@ class Transmission:
     :class:`repro.phy.params.ChannelPlan` carried the attempt; the
     simulator groups transmissions by it before resolving collisions, so
     the PHY models themselves only ever see same-channel contention.
+    ``spreading_factor`` is the data rate the node transmitted at
+    (``None`` falls back to the model's shared params) -- the network
+    server's ADR loop retunes it per node, which moves the node's decode
+    floor along the SF sensitivity ladder.
     """
 
     node_id: int
     snr_db: float
     n_payload_bits: int = 160
     channel: int = 0
+    spreading_factor: int | None = None
 
 
 class PhyModel:
@@ -69,10 +74,15 @@ class SingleUserPhy(PhyModel):
     decode_snr_db: float | None = None
     capture_margin_db: float | None = None
 
-    def _threshold(self) -> float:
+    def _threshold(self, spreading_factor: int | None = None) -> float:
         if self.decode_snr_db is not None:
             return self.decode_snr_db
-        return DEFAULT_DECODE_SNR_DB.get(self.params.spreading_factor, -15.0)
+        sf = (
+            spreading_factor
+            if spreading_factor is not None
+            else self.params.spreading_factor
+        )
+        return DEFAULT_DECODE_SNR_DB.get(sf, -15.0)
 
     def resolve(self, transmissions: list[Transmission], rng: RngLike = None) -> set[int]:
         """See :meth:`PhyModel.resolve`."""
@@ -80,7 +90,9 @@ class SingleUserPhy(PhyModel):
             return set()
         if len(transmissions) == 1:
             tx = transmissions[0]
-            return {tx.node_id} if tx.snr_db >= self._threshold() else set()
+            if tx.snr_db >= self._threshold(tx.spreading_factor):
+                return {tx.node_id}
+            return set()
         if self.capture_margin_db is not None:
             # Optional capture effect: the strongest survives if it
             # dominates the sum of the rest by the margin.
@@ -133,10 +145,15 @@ class ChoirPhyModel(PhyModel):
     collateral_symbol_error: float = 0.05
     max_decodable: int | None = None
 
-    def _threshold(self) -> float:
+    def _threshold(self, spreading_factor: int | None = None) -> float:
         if self.decode_snr_db is not None:
             return self.decode_snr_db
-        return DEFAULT_DECODE_SNR_DB.get(self.params.spreading_factor, -15.0)
+        sf = (
+            spreading_factor
+            if spreading_factor is not None
+            else self.params.spreading_factor
+        )
+        return DEFAULT_DECODE_SNR_DB.get(sf, -15.0)
 
     def resolve(self, transmissions: list[Transmission], rng: RngLike = None) -> set[int]:
         """See :meth:`PhyModel.resolve`."""
@@ -165,7 +182,7 @@ class ChoirPhyModel(PhyModel):
             survivors = survivors[: self.max_decodable]
         for rank, i in enumerate(survivors):
             tx = transmissions[i]
-            if tx.snr_db < self._threshold():
+            if tx.snr_db < self._threshold(tx.spreading_factor):
                 continue
             if strongest - tx.snr_db > self.near_far_limit_db:
                 continue
@@ -183,7 +200,12 @@ class ChoirPhyModel(PhyModel):
                 p_symbol_error = self.collateral_symbol_error
             else:
                 p_symbol_error = min(self.symbol_error_scale * n_interferers, 0.9)
-            n_symbols = max(tx.n_payload_bits // self.params.spreading_factor, 1)
+            sf_bits = (
+                tx.spreading_factor
+                if tx.spreading_factor is not None
+                else self.params.spreading_factor
+            )
+            n_symbols = max(tx.n_payload_bits // sf_bits, 1)
             # Hamming(8,4)+interleaving tolerates scattered symbol errors up
             # to ~6% of symbols; beyond that the packet CRC fails.
             tolerated = max(int(0.06 * n_symbols), 1)
@@ -209,10 +231,15 @@ class MuMimoPhyModel(PhyModel):
     zf_penalty_db: float = 3.0
     decode_snr_db: float | None = None
 
-    def _threshold(self) -> float:
+    def _threshold(self, spreading_factor: int | None = None) -> float:
         if self.decode_snr_db is not None:
             return self.decode_snr_db
-        return DEFAULT_DECODE_SNR_DB.get(self.params.spreading_factor, -15.0)
+        sf = (
+            spreading_factor
+            if spreading_factor is not None
+            else self.params.spreading_factor
+        )
+        return DEFAULT_DECODE_SNR_DB.get(sf, -15.0)
 
     def resolve(self, transmissions: list[Transmission], rng: RngLike = None) -> set[int]:
         """See :meth:`PhyModel.resolve`."""
@@ -224,7 +251,7 @@ class MuMimoPhyModel(PhyModel):
         return {
             t.node_id
             for t in transmissions
-            if t.snr_db - penalty >= self._threshold()
+            if t.snr_db - penalty >= self._threshold(t.spreading_factor)
         }
 
 
@@ -246,7 +273,13 @@ class ComposedPhy(PhyModel):
         """See :meth:`PhyModel.resolve`."""
         gain = 10.0 * np.log10(self.n_antennas)
         boosted = [
-            Transmission(t.node_id, t.snr_db + gain, t.n_payload_bits)
+            Transmission(
+                t.node_id,
+                t.snr_db + gain,
+                t.n_payload_bits,
+                channel=t.channel,
+                spreading_factor=t.spreading_factor,
+            )
             for t in transmissions
         ]
         diversity_model = ChoirPhyModel(

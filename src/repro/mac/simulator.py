@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -94,6 +95,24 @@ class _Packet:
     attempts: int = 0
 
 
+@dataclass(frozen=True)
+class SlotResult:
+    """What one contended slot looked like, for external observers.
+
+    The network server's closed ADR loop consumes these: each attempted
+    transmission (with the SF the node actually used) plus which node ids
+    the PHY decoded, stamped with the slot's delivery time.  Only slots
+    with at least one attempted transmission are reported.
+    """
+
+    slot: int
+    now_s: float
+    delivery_s: float
+    transmissions: tuple[Transmission, ...]
+    decoded: frozenset[int]
+    delivered: tuple[int, ...]
+
+
 class NetworkSimulator:
     """Run one MAC + PHY combination over a node population.
 
@@ -134,6 +153,9 @@ class NetworkSimulator:
             cfg.node_id: deque() for cfg in nodes
         }
         self._next_arrival: dict[int, float] = {}
+        # Downlink-programmed per-node SF overrides (the ADR loop's knob);
+        # NodeConfig.spreading_factor seeds the initial assignment.
+        self._sf_override: dict[int, int] = {}
         airtime = self.packet_airtime_s(nodes[0].payload_bits if nodes else 160)
         self.slot_s = airtime + (
             slot_overhead_s
@@ -160,6 +182,39 @@ class NetworkSimulator:
         self._next_arrival[node.node_id] = next_time
 
     # ------------------------------------------------------------------
+    # Downlink command ingestion (the network server's ADR loop)
+    # ------------------------------------------------------------------
+    def node_sf(self, node_id: int) -> int:
+        """The spreading factor ``node_id`` currently transmits at.
+
+        Downlink overrides (:meth:`apply_downlink`) win over the node's
+        configured ``spreading_factor``, which wins over the shared
+        network params.
+        """
+        override = self._sf_override.get(node_id)
+        if override is not None:
+            return override
+        configured = self.nodes[node_id].spreading_factor
+        if configured is not None:
+            return configured
+        return self.params.spreading_factor
+
+    def apply_downlink(self, node_id: int, spreading_factor: int) -> None:
+        """Program ``node_id`` to a new data rate (LinkADRReq emulation).
+
+        Takes effect from the node's next transmission: its decode floor
+        moves along the SF sensitivity ladder via
+        :attr:`Transmission.spreading_factor`.
+        """
+        if node_id not in self.nodes:
+            raise ValueError(f"unknown node_id {node_id}")
+        if not 7 <= spreading_factor <= 12:
+            raise ValueError(
+                f"spreading_factor must be 7..12, got {spreading_factor}"
+            )
+        self._sf_override[node_id] = spreading_factor
+
+    # ------------------------------------------------------------------
     def _resolve_by_channel(self, transmissions: list[Transmission]) -> set[int]:
         """Resolve a slot's transmissions channel by channel.
 
@@ -179,8 +234,19 @@ class NetworkSimulator:
         return decoded
 
     # ------------------------------------------------------------------
-    def run(self, duration_s: float) -> MacMetrics:
-        """Simulate ``duration_s`` of network time and return the metrics."""
+    def run(
+        self,
+        duration_s: float,
+        on_slot: Callable[[SlotResult], None] | None = None,
+    ) -> MacMetrics:
+        """Simulate ``duration_s`` of network time and return the metrics.
+
+        ``on_slot`` (when given) observes every slot that carried at
+        least one transmission, *after* the PHY resolved it and the MAC
+        was told -- the hook the network server's closed loop hangs off:
+        it may call :meth:`apply_downlink` from inside the callback and
+        the new assignment applies from the next slot on.
+        """
         metrics = MacMetrics()
         n_slots = max(int(duration_s / self.slot_s), 1)
         for slot in range(n_slots):
@@ -205,10 +271,12 @@ class NetworkSimulator:
                         snr_db=self.nodes[nid].snr_db,
                         n_payload_bits=self.nodes[nid].payload_bits,
                         channel=self.nodes[nid].channel,
+                        spreading_factor=self.node_sf(nid),
                     )
                 )
             decoded = self._resolve_by_channel(transmissions)
             delivery_time = now + self.slot_s
+            delivered: list[int] = []
             for nid in attempted:
                 if nid not in decoded:
                     continue
@@ -219,6 +287,18 @@ class NetworkSimulator:
                 metrics.per_node_delivered[nid] = (
                     metrics.per_node_delivered.get(nid, 0) + 1
                 )
+                delivered.append(nid)
             self.mac.on_result(slot, list(attempted), decoded)
+            if on_slot is not None:
+                on_slot(
+                    SlotResult(
+                        slot=slot,
+                        now_s=now,
+                        delivery_s=delivery_time,
+                        transmissions=tuple(transmissions),
+                        decoded=frozenset(decoded),
+                        delivered=tuple(delivered),
+                    )
+                )
         metrics.duration_s = n_slots * self.slot_s
         return metrics

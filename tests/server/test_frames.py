@@ -1,0 +1,105 @@
+"""Frame records, the payload header codec, and report conversion."""
+
+import pytest
+
+from repro.server.frames import (
+    FCNT_PERIOD,
+    DownlinkCommand,
+    UplinkFrame,
+    decode_uplink_payload,
+    encode_uplink_payload,
+    uplink_from_outcome,
+)
+from repro.gateway.workers import DecodeOutcome
+
+
+def make_outcome(payload, crc_ok=True, start_sample=0, score=1.0, **kwargs):
+    return DecodeOutcome(
+        job_id=kwargs.pop("job_id", 0),
+        start_sample=start_sample,
+        users=(),
+        payload=payload,
+        crc_ok=crc_ok,
+        queue_wait_s=0.0,
+        decode_s=0.0,
+        detection_score=score,
+        **kwargs,
+    )
+
+
+class TestUplinkFrame:
+    def test_key_is_devaddr_fcnt(self):
+        frame = UplinkFrame(
+            gateway_id=1, device_addr=7, fcnt=42, snr_db=3.0, received_s=0.5
+        )
+        assert frame.key == (7, 42)
+
+    def test_rejects_out_of_range_fcnt(self):
+        with pytest.raises(ValueError, match="fcnt"):
+            UplinkFrame(
+                gateway_id=0,
+                device_addr=0,
+                fcnt=FCNT_PERIOD,
+                snr_db=0.0,
+                received_s=0.0,
+            )
+
+    def test_rejects_negative_gateway(self):
+        with pytest.raises(ValueError, match="gateway_id"):
+            UplinkFrame(
+                gateway_id=-1, device_addr=0, fcnt=0, snr_db=0.0, received_s=0.0
+            )
+
+
+class TestDownlinkCommand:
+    def test_sf_range_enforced(self):
+        with pytest.raises(ValueError, match="spreading_factor"):
+            DownlinkCommand(device_addr=0, spreading_factor=6)
+        DownlinkCommand(device_addr=0, spreading_factor=7)
+
+
+class TestPayloadCodec:
+    def test_round_trip(self):
+        payload = encode_uplink_payload(0x1234, 0xBEEF, payload_len=8)
+        assert len(payload) == 8
+        assert decode_uplink_payload(payload) == (0x1234, 0xBEEF)
+
+    def test_fcnt_truncates_to_16_bits(self):
+        payload = encode_uplink_payload(1, FCNT_PERIOD + 5)
+        assert decode_uplink_payload(payload) == (1, 5)
+
+    def test_short_payload_rejected(self):
+        with pytest.raises(ValueError, match="too short"):
+            decode_uplink_payload(b"\x00\x01")
+        with pytest.raises(ValueError, match="payload_len"):
+            encode_uplink_payload(0, 0, payload_len=2)
+
+
+class TestUplinkFromOutcome:
+    def test_crc_ok_outcome_converts(self):
+        outcome = make_outcome(
+            encode_uplink_payload(9, 100, 8), start_sample=125_000, score=4.5
+        )
+        frame = uplink_from_outcome(outcome, gateway_id=2, sample_rate=125_000.0)
+        assert frame is not None
+        assert frame.device_addr == 9
+        assert frame.fcnt == 100
+        assert frame.gateway_id == 2
+        assert frame.received_s == pytest.approx(1.0)
+        # Without a calibrated estimator the detection score stands in.
+        assert frame.snr_db == pytest.approx(4.5)
+
+    def test_failed_or_short_outcomes_skipped(self):
+        assert uplink_from_outcome(make_outcome(None, crc_ok=False), 0, 1.0) is None
+        assert (
+            uplink_from_outcome(
+                make_outcome(b"\x00\x01\x02\x03", crc_ok=False), 0, 1.0
+            )
+            is None
+        )
+        assert uplink_from_outcome(make_outcome(b"\x00\x01"), 0, 1.0) is None
+
+    def test_explicit_snr_overrides_score(self):
+        outcome = make_outcome(encode_uplink_payload(1, 2))
+        frame = uplink_from_outcome(outcome, 0, 1.0, snr_db=-7.5)
+        assert frame is not None and frame.snr_db == pytest.approx(-7.5)
