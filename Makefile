@@ -1,6 +1,6 @@
 # Developer workflow for the Choir reproduction.
 #
-#   make lint          repo-specific AST rules (R001-R011) + ruff, if installed
+#   make lint          repo-specific AST rules (R001-R012) + ruff, if installed
 #   make analyze       the AST dataflow engine alone, with a JSON findings report
 #   make typecheck     mypy per the gradual-strictness table in pyproject.toml
 #   make test          the tier-1 suite (includes the static-analysis gate)
@@ -9,11 +9,13 @@
 #   make ci            what .github/workflows/ci.yml runs, locally
 #   make bench-gateway streaming-gateway throughput -> BENCH_gateway.json
 #   make bench-decode  per-packet decode latency vs SF/users -> $(BENCH_DECODE_OUT)
+#   make bench-cascade tiered vs full decode on a mixed workload -> $(BENCH_CASCADE_OUT)
 #   make bench-check   regression gate vs the committed BENCH_decode.json (+-25%)
 #
 # Benchmark knobs (CI overrides these so it never rewrites the committed
 # baseline and gets extra slack for shared-runner jitter):
 #   BENCH_DECODE_OUT   where bench-decode writes its report
+#   BENCH_CASCADE_OUT  where bench-cascade writes its report
 #   BENCH_BASELINE     baseline bench-check gates against
 #   BENCH_CANDIDATE    pre-recorded report to gate (empty = re-run fresh)
 #   BENCH_TOLERANCE    allowed fractional slowdown (0.25 = +-25%)
@@ -23,6 +25,7 @@ PYTHON   ?= python
 PYTHONPATH := src
 
 BENCH_DECODE_OUT ?= BENCH_decode.json
+BENCH_CASCADE_OUT ?= BENCH_cascade.json
 BENCH_BASELINE   ?= BENCH_decode.json
 BENCH_CANDIDATE  ?=
 BENCH_TOLERANCE  ?= 0.25
@@ -30,7 +33,7 @@ BENCH_SLACK      ?= 0.002
 
 ANALYZE_OUT ?= analysis_findings.json
 
-.PHONY: lint analyze typecheck test soak check ci bench-gateway bench-decode bench-check
+.PHONY: lint analyze typecheck test soak check ci bench-gateway bench-decode bench-cascade bench-check
 
 lint:
 	$(PYTHON) tools/repro_lint.py --engine=ast src tools
@@ -40,7 +43,7 @@ lint:
 		echo "ruff not installed (pip install -e '.[lint]'); skipping"; \
 	fi
 
-# Concurrency & determinism audit (DESIGN.md Sec. 14): rules R001-R011
+# Concurrency & determinism audit (DESIGN.md Sec. 14): rules R001-R012
 # over the source tree, findings also written as a JSON artifact.
 analyze:
 	$(PYTHON) tools/repro_lint.py --engine=ast --json $(ANALYZE_OUT) src tools
@@ -72,12 +75,21 @@ ci:
 	$(MAKE) test
 	CI=1 $(MAKE) bench-decode BENCH_DECODE_OUT=BENCH_decode.ci.json
 	$(MAKE) bench-check BENCH_CANDIDATE=BENCH_decode.ci.json BENCH_SLACK=0.05
+	CI=1 $(MAKE) bench-cascade BENCH_CASCADE_OUT=BENCH_cascade.ci.json
+	$(MAKE) bench-check BENCH_BASELINE=BENCH_cascade.json BENCH_CANDIDATE=BENCH_cascade.ci.json BENCH_SLACK=0.05
 
+# The committed baseline is the 8-channel EU868 mixed-SF sharded run
+# (the configuration the ROADMAP's realtime target is stated against).
 bench-gateway:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/bench_report.py --out BENCH_gateway.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/bench_report.py \
+		--channels 8 --sf-set 7,8 --nodes 8 --duration 1.0 --workers 2 \
+		--out BENCH_gateway.json
 
 bench-decode:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/bench_decode.py --out $(BENCH_DECODE_OUT)
+
+bench-cascade:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/bench_cascade.py --out $(BENCH_CASCADE_OUT)
 
 bench-check:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/bench_report.py \

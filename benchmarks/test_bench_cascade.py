@@ -1,0 +1,94 @@
+"""Speedup and parity gates for the tiered decode cascade.
+
+Re-runs the committed ``BENCH_cascade.json`` configuration -- the
+single-user-dominated mixed workload (clean windows plus a 2-4-user
+collided tail) -- and gates the cascade's admission ticket:
+
+* **speedup**: total decode time under ``"cascade"`` must stay at least
+  3x faster than ``"full"`` (wall-clock, so CI=1 softens it to a loud
+  warning via :func:`benchmarks.perf.perf_gate`);
+* **parity** (correctness, never softened): the cascade recovers every
+  payload the full path recovers, on the bench workload and fresh
+  reruns alike;
+* **escalation**: collided windows do escalate (the discriminator is
+  alive, not classifying everything clean), and clean windows mostly
+  stay on Tier 0.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+from benchmarks.perf import perf_gate
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_cascade", ROOT / "tools" / "bench_cascade.py"
+)
+assert _spec is not None and _spec.loader is not None
+bench_cascade = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_cascade)
+
+
+def test_cascade_speedup_and_parity_vs_committed_baseline():
+    baseline = json.loads((ROOT / "BENCH_cascade.json").read_text())
+    result = bench_cascade.run_benchmark(**baseline["config"])
+
+    cascade = result["tiers"]["cascade"]
+    full = result["tiers"]["full"]
+    print(
+        f"\ncascade speedup {result['speedup']:.2f}x"
+        f" (baseline {baseline['speedup']:.2f}x),"
+        f" escalation rate {cascade['escalation_rate']:.0%},"
+        f" tier0 p50 {cascade['tier0_latency_s']['p50_s'] * 1e3:.2f}ms"
+        f" vs full p50 {full['latency_s']['p50_s'] * 1e3:.2f}ms"
+    )
+
+    # Wall-clock gate: the ISSUE's >= 3x criterion (report-only on CI).
+    perf_gate(
+        result["speedup"] >= 3.0,
+        f"cascade speedup {result['speedup']:.2f}x fell below the 3x floor",
+    )
+
+    # Correctness gates -- never softened.  The cascade must not lose a
+    # packet the full path recovers, here or in the committed baseline.
+    assert result["parity"]["recovered_by_full_only"] == 0
+    assert baseline["parity"]["recovered_by_full_only"] == 0
+    assert cascade["recovered"] >= full["recovered"]
+
+    # The decode outcomes are deterministic per config, so the counts
+    # must reproduce the committed baseline exactly (latencies may not).
+    base_cascade = baseline["tiers"]["cascade"]
+    assert cascade["recovered"] == base_cascade["recovered"]
+    assert cascade["escalated"] == base_cascade["escalated"]
+    assert cascade["escalation_reasons"] == base_cascade["escalation_reasons"]
+
+    # The discriminator is alive: every collided window escalated, and
+    # escalations stay a minority on this single-user-dominated mix.
+    n_collided = result["workload"]["n_collided"]
+    assert cascade["escalated"] >= n_collided
+    assert cascade["escalation_rate"] <= 0.5
+
+
+def test_cascade_report_shape_matches_gate_expectations():
+    """The committed report carries every field the CI gate flattens."""
+    baseline = json.loads((ROOT / "BENCH_cascade.json").read_text())
+    assert baseline["benchmark"] == "cascade"
+    assert baseline["speedup"] >= 3.0
+    for tier in ("full", "cascade"):
+        for key in ("p50_s", "p95_s", "p99_s", "mean_s", "max_s"):
+            assert key in baseline["tiers"][tier]["latency_s"]
+    cascade = baseline["tiers"]["cascade"]
+    for field in (
+        "tier0_ok",
+        "escalated",
+        "escalation_rate",
+        "escalation_reasons",
+        "tier0_latency_s",
+        "full_latency_s",
+    ):
+        assert field in cascade
+    assert cascade["realtime_factor"] > baseline["tiers"]["full"]["realtime_factor"]

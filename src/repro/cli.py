@@ -188,6 +188,7 @@ def cmd_gateway(args: argparse.Namespace) -> int:
             executor=args.executor,
             queue_capacity=args.queue_capacity,
             drop_policy=args.drop_policy,
+            decode_tier=args.decode_tier,
             seed=args.seed,
             trace=bool(args.trace_out),
             trace_sample_rate=args.trace_sample_rate,
@@ -226,6 +227,7 @@ def cmd_gateway(args: argparse.Namespace) -> int:
             executor=args.executor,
             queue_capacity=args.queue_capacity,
             drop_policy=args.drop_policy,
+            decode_tier=args.decode_tier,
             seed=args.seed,
             trace=bool(args.trace_out),
             trace_sample_rate=args.trace_sample_rate,
@@ -285,7 +287,9 @@ def cmd_server(args: argparse.Namespace) -> int:
     ]
     server_config = (
         ServerConfig(
-            dedup_window_s=args.dedup_window, adr_initial_sf=args.initial_sf
+            dedup_window_s=args.dedup_window,
+            adr_initial_sf=args.initial_sf,
+            decode_tier=args.decode_tier,
         )
         if args.dedup_window is not None
         else None  # build_scenario defaults the window to two slots
@@ -296,6 +300,7 @@ def cmd_server(args: argparse.Namespace) -> int:
         initial_sf=args.initial_sf,
         seed=args.seed,
         server_config=server_config,
+        decode_tier=args.decode_tier,
     )
     if args.state_in:
         with open(args.state_in) as handle:
@@ -305,7 +310,7 @@ def cmd_server(args: argparse.Namespace) -> int:
         f"closed-loop scenario: {args.gateways} gateway(s), {args.nodes} "
         f"node(s) at {args.snr_hi:.0f}/{args.snr_lo:.0f} dB, initial SF"
         f"{args.initial_sf}, {args.duration:.1f}s simulated, "
-        f"{args.ingest} ingest"
+        f"{args.ingest} ingest, {server.config.decode_tier} decode tier"
     )
     report = run_closed_loop(
         sim, phy, server, args.duration, ingest=args.ingest
@@ -413,6 +418,13 @@ def main(argv: list[str] | None = None) -> int:
     gw.add_argument("--seed", type=int, default=0, help="master seed")
     gw.add_argument("--queue-capacity", type=int, default=8)
     gw.add_argument("--drop-policy", choices=("newest", "oldest", "block"), default="newest")
+    gw.add_argument(
+        "--decode-tier",
+        choices=("full", "cascade", "fast"),
+        default="full",
+        help="decode pipeline per window: full Choir, tiered cascade, or"
+        " Tier-0 fast path only",
+    )
     gw.add_argument("--input", default=None, help="IQ capture to replay (.npy or raw complex64)")
     gw.add_argument("--telemetry-out", default=None, help="write telemetry JSON-lines here")
     gw.add_argument(
@@ -470,6 +482,13 @@ def main(argv: list[str] | None = None) -> int:
         help="ingest transport (all three are deterministic and agree)",
     )
     srv.add_argument("--seed", type=int, default=0, help="master seed")
+    srv.add_argument(
+        "--decode-tier",
+        choices=("full", "cascade", "fast"),
+        default="full",
+        help="decode pipeline the fronting IQ gateways run (recorded in"
+        " the server config; the packet-level scenario reports it)",
+    )
     srv.add_argument(
         "--metrics-out",
         default=None,

@@ -24,6 +24,11 @@ Pipeline, mirroring Secs. 4-7 of the paper:
    joint decoding of correlated team transmissions (Sec. 7.2, Eqn. 6).
 8. :mod:`repro.core.decoder` -- :class:`ChoirDecoder`, the end-to-end
    receiver tying all of it together.
+9. :mod:`repro.core.fastpath` / :mod:`repro.core.cascade` -- the tiered
+   decode cascade: a single-user O(N log N) Tier-0 decoder with a
+   collision discriminator, escalating ambiguous/collided/CRC-failed
+   windows to the full Choir pipeline (``build_pipeline`` selects the
+   tier).
 """
 
 from repro.core.dechirp import dechirp_windows, oversampled_spectrum
@@ -44,6 +49,19 @@ from repro.core.decoder import (
     DecodedUser,
     DecodeMethod,
     TeamDecodeMethod,
+)
+from repro.core.cascade import (
+    DECODE_TIERS,
+    CascadePipeline,
+    ChoirPipeline,
+    UserFrame,
+    WindowDecode,
+    build_pipeline,
+)
+from repro.core.fastpath import (
+    CascadeThresholds,
+    FastPathDecoder,
+    PreambleEvidence,
 )
 from repro.core.multisf import (
     MultiSfDecoder,
@@ -81,6 +99,15 @@ __all__ = [
     "TeamDecodeMethod",
     "DECODE_METHODS",
     "TEAM_DECODE_METHODS",
+    "DECODE_TIERS",
+    "CascadePipeline",
+    "ChoirPipeline",
+    "UserFrame",
+    "WindowDecode",
+    "build_pipeline",
+    "CascadeThresholds",
+    "FastPathDecoder",
+    "PreambleEvidence",
     "MultiSfDecoder",
     "SfBranchResult",
     "cross_sf_interference_penalty_db",

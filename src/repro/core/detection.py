@@ -159,9 +159,21 @@ def align_to_window_grid(
     if samples.size < (params.preamble_len + 1) * n:
         return 0, 0.0
     step = max(n // n_offsets, 1)
+    max_windows: int | None = None
+    if candidate_range is not None:
+        lo, hi = candidate_range
+        if lo <= 0 < hi:
+            # A candidate at start ``offset + w*n < hi`` only reads the
+            # accumulation span ``spectra[w+1 : w+1+span]``; dechirping
+            # windows past ``(hi-1)//n + span`` is pure waste (it was the
+            # dominant cost of short bounded searches).  Safe to truncate
+            # because the candidate at start 0 is always scored and in
+            # range, so the bounded set below cannot be empty and the
+            # unbounded fallback cannot trigger.
+            max_windows = (hi - 1) // n + 1 + span
     candidates: list[tuple[int, float]] = []  # (start_sample, score)
     for offset in range(0, n, step):
-        windows = dechirp_windows(params, samples, start=offset)
+        windows = dechirp_windows(params, samples, n_windows=max_windows, start=offset)
         spectra = np.abs(oversampled_spectrum(windows, oversample)) ** 2
         n_starts = windows.shape[0] - span
         for w in range(max(n_starts, 0)):

@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.core.cascade import DECODE_TIERS
 from repro.core.detection import sliding_packet_search
 from repro.gateway.ring import SampleRing
 from repro.gateway.sources import SampleSource
@@ -68,6 +69,11 @@ class GatewayConfig:
         Route decode residual searches through the batched
         :class:`repro.core.engine.ResidualEngine` paths (default); the
         scalar reference loops are selected with ``False``.
+    decode_tier:
+        Which pipeline decodes each window: ``"full"`` (default),
+        ``"cascade"`` (Tier-0 fast path with escalation to the full
+        Choir pipeline) or ``"fast"`` (Tier 0 only); see
+        :mod:`repro.core.cascade`.
     seed:
         Master seed; per-job decode RNGs derive from it.
     trace:
@@ -95,10 +101,17 @@ class GatewayConfig:
     synchronize: bool = True
     max_users: Optional[int] = 4
     use_engine: bool = True
+    decode_tier: str = "full"
     seed: Optional[int] = None
     trace: bool = False
     trace_sample_rate: float = 1.0
     trace_always_sample_failures: bool = True
+
+    def __post_init__(self) -> None:
+        if self.decode_tier not in DECODE_TIERS:
+            raise ValueError(
+                f"decode_tier must be one of {DECODE_TIERS}, got {self.decode_tier!r}"
+            )
 
     def trace_config(self) -> TraceConfig:
         """The sampling policy implied by the trace fields."""
@@ -191,6 +204,40 @@ class GatewayReport:
             f" max={1e3 * state['max_s']:7.2f}ms"
         )
 
+    def _counter(self, name: str) -> int:
+        state = self.telemetry.get(name)
+        return int(state.get("value", 0)) if state is not None else 0
+
+    def _tier_lines(self) -> List[str]:
+        """The tiered-decode section: tier split plus escalation reasons.
+
+        Empty (section omitted) on ``decode_tier="full"`` runs, which
+        never touch the ``decode.tier0.*`` instruments.
+        """
+        attempts = self._counter("decode.tier0.attempts")
+        if attempts == 0:
+            return []
+        escalated = self._counter("decode.escalated")
+        lines = [
+            "tiered decode",
+            f"  tier0        {self._counter('decode.tier0.ok')} ok of"
+            f" {attempts} windows"
+            f" ({escalated} escalated,"
+            f" {100.0 * escalated / attempts:.0f}% escalation rate)",
+        ]
+        prefix = "decode.escalated."
+        reasons = {
+            name[len(prefix):]: int(state.get("value", 0))
+            for name, state in self.telemetry.items()
+            if name.startswith(prefix)
+        }
+        if reasons:
+            lines.append("  escalation reasons")
+            width = max(len(reason) for reason in reasons)
+            for reason in sorted(reasons):
+                lines.append(f"    {reason.ljust(width)}  {reasons[reason]}")
+        return lines
+
     def summary(self) -> str:
         """Human-readable run summary (what ``repro gateway`` prints)."""
         lines = [
@@ -211,6 +258,7 @@ class GatewayReport:
         ]
         if self.decode_errors:
             lines.append(f"  errors       {self.decode_errors}")
+        lines.extend(self._tier_lines())
         if self.shards:
             lines.append("per-shard recovery")
             for label in sorted(self.shards):
@@ -234,6 +282,12 @@ class GatewayReport:
         lines.append(self._stage_line("detect", "detect.scan_s"))
         lines.append(self._stage_line("queue-wait", "decode.queue_wait_s"))
         lines.append(self._stage_line("decode", "decode.decode_s"))
+        if "decode.tier0.decode_s" in self.telemetry:
+            lines.append(self._stage_line("  tier0", "decode.tier0.decode_s"))
+        if "decode.full.decode_s" in self.telemetry and self._counter(
+            "decode.tier0.attempts"
+        ):
+            lines.append(self._stage_line("  full", "decode.full.decode_s"))
         return "\n".join(lines)
 
 
@@ -471,6 +525,7 @@ class Gateway:
                 seed=config.seed,
                 spreading_factor=params.spreading_factor,
                 payload_len=config.payload_len,
+                decode_tier=config.decode_tier,
                 sample_rate=recorder.config.sample_rate,
                 always_sample_failures=recorder.config.always_sample_failures,
             )
@@ -498,6 +553,7 @@ class Gateway:
             sync_search_symbols=3,
             max_users=config.max_users,
             use_engine=config.use_engine,
+            decode_tier=config.decode_tier,
             rng=config.seed,
             telemetry=telemetry,
             trace_recorder=recorder,

@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.core.cascade import DECODE_TIERS
 from repro.gateway.channelizer import DEFAULT_TAPS_PER_BRANCH, PolyphaseChannelizer
 from repro.gateway.ring import SampleRing
 from repro.gateway.runtime import GatewayReport, StreamScanner
@@ -63,9 +64,11 @@ class ShardedGatewayConfig:
     ring_symbols:
         Per-channel ring capacity in symbols of the *largest* configured
         SF (0 sizes automatically to four of its frames).
-    detection_pfa, synchronize, max_users, use_engine, seed:
+    detection_pfa, synchronize, max_users, use_engine, decode_tier, seed:
         As in :class:`repro.gateway.runtime.GatewayConfig`; ``seed`` is
-        the master seed all per-shard decode RNG keys derive from.
+        the master seed all per-shard decode RNG keys derive from, and
+        ``decode_tier`` selects the decode pipeline every shard's jobs
+        run through (see :mod:`repro.core.cascade`).
     taps_per_branch:
         Prototype filter length per channelizer branch.
     trace, trace_sample_rate, trace_always_sample_failures:
@@ -89,6 +92,7 @@ class ShardedGatewayConfig:
     synchronize: bool = True
     max_users: Optional[int] = 4
     use_engine: bool = True
+    decode_tier: str = "full"
     seed: Optional[int] = None
     taps_per_branch: int = DEFAULT_TAPS_PER_BRANCH
     trace: bool = False
@@ -105,6 +109,10 @@ class ShardedGatewayConfig:
     def __post_init__(self) -> None:
         if not self.sf_set:
             raise ValueError("sf_set must name at least one spreading factor")
+        if self.decode_tier not in DECODE_TIERS:
+            raise ValueError(
+                f"decode_tier must be one of {DECODE_TIERS}, got {self.decode_tier!r}"
+            )
         object.__setattr__(self, "sf_set", tuple(sorted(set(self.sf_set))))
 
     def shard_params(self, spreading_factor: int) -> LoRaParams:
@@ -198,6 +206,7 @@ class ShardedGateway:
                 n_channels=config.plan.n_channels,
                 sf_set=list(config.sf_set),
                 payload_len=config.payload_len,
+                decode_tier=config.decode_tier,
                 sample_rate=recorder.config.sample_rate,
                 always_sample_failures=recorder.config.always_sample_failures,
             )
@@ -220,6 +229,7 @@ class ShardedGateway:
             sync_search_symbols=3,
             max_users=config.max_users,
             use_engine=config.use_engine,
+            decode_tier=config.decode_tier,
             rng=config.seed,
             telemetry=telemetry,
             trace_recorder=recorder,

@@ -41,10 +41,8 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.decoder import ChoirDecoder
-from repro.core.detection import align_to_window_grid
+from repro.core.cascade import DECODE_TIERS, build_pipeline
 from repro.gateway.telemetry import Telemetry, clock, shard_label
-from repro.phy.packet import LoRaFramer
 from repro.phy.params import LoRaParams
 from repro.trace import context as trace_context
 from repro.trace.model import PacketTrace, TraceBuilder
@@ -104,6 +102,11 @@ class DecodeOutcome:
     the worker (merged into the pool registry on arrival), and ``trace``
     is the retained provenance span tree -- both travel with the outcome
     so the process executor loses neither.
+
+    ``tier`` names the pipeline tier that produced ``users`` (``"full"``
+    or ``"tier0"``); ``escalation_reason`` is set when Tier 0 declined
+    the window (see :mod:`repro.core.cascade`), so forensics can tell
+    "the fast path lost it" from "the full path lost it" structurally.
     """
 
     job_id: int
@@ -119,6 +122,8 @@ class DecodeOutcome:
     channel: int = 0
     spreading_factor: Optional[int] = None
     rng_key: Optional[Tuple[int, ...]] = None
+    tier: str = "full"
+    escalation_reason: Optional[str] = None
     telemetry_delta: Optional[Dict[str, Dict[str, Any]]] = None
     trace: Optional[PacketTrace] = None
 
@@ -133,30 +138,6 @@ class DecodeOutcome:
         return self.rng_key if self.rng_key is not None else (self.job_id,)
 
 
-def _decode_at(
-    decoder: ChoirDecoder,
-    framer: LoRaFramer,
-    job: DecodeJob,
-    offset: int,
-    max_users: Optional[int],
-) -> List[UserResult]:
-    """Decode ``job.samples[offset:]`` and CRC-check every user found."""
-    users = decoder.decode(job.samples[offset:], job.n_data_symbols, max_users=max_users)
-    results: List[UserResult] = []
-    for user in users:
-        if user.symbols.size < framer.n_symbols_for_payload(job.payload_len):
-            continue
-        frame = user.decode_payload(framer, job.payload_len)
-        results.append(
-            UserResult(
-                offset_bins=user.offset_bins,
-                payload=frame.payload,
-                crc_ok=frame.crc_ok,
-            )
-        )
-    return results
-
-
 def decode_packet_window(
     job: DecodeJob,
     params: LoRaParams,
@@ -166,21 +147,23 @@ def decode_packet_window(
     sync_search_symbols: int = 0,
     max_users: Optional[int] = None,
     use_engine: bool = True,
+    decode_tier: str = "full",
     trace_directive: Optional[TraceDirective] = None,
 ) -> DecodeOutcome:
     """Decode one packet window with a job-keyed deterministic RNG.
 
-    When ``synchronize`` is set, the window is first snapped to the
-    preamble grid with :func:`repro.core.detection.align_to_window_grid`;
-    ``sync_search_symbols`` (when nonzero) bounds that search to the first
-    so-many symbols of the window -- the streaming gateway cuts windows
-    with one symbol of lead before the detected start, so the true
-    boundary always lies within the first two.  If no user passes CRC at
-    the estimated alignment, a small ladder of alternative alignments is
-    retried (CRC as the oracle): the alignment ridge is degenerate inside
-    the phase-continuous preamble, and the per-user delay search only
-    covers a sub-window range, so an estimate a fraction of a window off
-    can sink an otherwise decodable packet.
+    The decode itself is delegated to the tier pipeline named by
+    ``decode_tier`` (:func:`repro.core.cascade.build_pipeline`): the
+    default ``"full"`` pipeline snaps the window to the preamble grid
+    (``sync_search_symbols`` bounds that search to the first so-many
+    symbols -- the streaming gateway cuts windows with two symbols of
+    lead, so the true boundary always lies within the first three) and
+    retries a small ladder of alternative alignments with CRC as the
+    oracle; ``"cascade"`` tries the Tier-0 fast path first and escalates
+    to the full pipeline on collision evidence or CRC failure; ``"fast"``
+    is Tier 0 alone.  This function owns the job plumbing around the
+    pipeline: RNG derivation, the trace builder, job-local telemetry,
+    and the outcome record.
 
     Module-level (rather than a pool method) so the process executor can
     ship it to workers; everything it touches -- including the trace
@@ -209,54 +192,28 @@ def decode_packet_window(
             detection_score=job.detection_score,
         )
     local = Telemetry()
-    decoder = ChoirDecoder(
-        params, use_engine=use_engine, rng=derive_rng(base_seed, *rng_key)
+    pipeline = build_pipeline(
+        decode_tier,
+        params,
+        rng=derive_rng(base_seed, *rng_key),
+        use_engine=use_engine,
+        synchronize=synchronize,
+        coding_rate=coding_rate,
+        sync_search_symbols=sync_search_symbols,
+        max_users=max_users,
     )
-    framer = LoRaFramer(params, coding_rate=coding_rate)
-    n = params.samples_per_symbol
     with trace_context.use_builder(builder):
-        if synchronize:
-            candidate_range = (
-                (0, sync_search_symbols * n) if sync_search_symbols > 0 else None
+        window = pipeline.decode_window(
+            job.samples, job.n_data_symbols, job.payload_len, instruments=local
+        )
+        results = [
+            UserResult(
+                offset_bins=u.offset_bins, payload=u.payload, crc_ok=u.crc_ok
             )
-            with trace_context.span("align"), local.timer("decode.align_s"):
-                base, align_score = align_to_window_grid(
-                    params,
-                    job.samples,
-                    candidate_range=candidate_range,
-                )
-                trace_context.annotate(offset=base, score=float(align_score))
-            # The decoder's sweet spot is a grid a fraction of a window
-            # *after* the true boundary (the small data leak is absorbed by
-            # the boundary-glitch model), while the ridge's "latest" pick can
-            # overshoot it by a variable amount.  Quarter-window ladder steps
-            # cover the overshoot spread (biased earlier) without gaps.
-            offsets = [base]
-            for delta in (-n // 4, n // 4, -n // 2, -3 * n // 4):
-                candidate = base + delta
-                if candidate >= 0 and candidate not in offsets:
-                    offsets.append(candidate)
-        else:
-            offsets = [0]
-        results: List[UserResult] = []
-        retries = 0
-        for attempt, offset in enumerate(offsets):
-            with trace_context.span("attempt", index=attempt, offset=int(offset)):
-                local.counter("decode.attempts").inc()
-                attempt_results = _decode_at(decoder, framer, job, offset, max_users)
-                trace_context.add_event(
-                    "attempt.result",
-                    n_users=len(attempt_results),
-                    n_crc_ok=sum(1 for r in attempt_results if r.crc_ok),
-                )
-            if attempt == 0:
-                results = attempt_results
-            else:
-                retries += 1
-            if any(r.crc_ok for r in attempt_results):
-                results = attempt_results
-                break
+            for u in window.users
+        ]
         verified = [r for r in results if r.crc_ok]
+        retries = window.sync_retries
         local.counter("decode.users_found").inc(len(results))
         trace_context.add_event(
             "result",
@@ -298,6 +255,8 @@ def decode_packet_window(
         channel=job.channel,
         spreading_factor=sharded_sf,
         rng_key=job.rng_key,
+        tier=window.tier,
+        escalation_reason=window.escalation_reason,
         telemetry_delta=local.state(),
         trace=trace,
     )
@@ -332,6 +291,11 @@ class DecodeWorkerPool:
         Route each decoder's residual searches through the batched
         :class:`repro.core.engine.ResidualEngine` paths (default); the
         scalar reference loops are selected with ``False``.
+    decode_tier:
+        Which pipeline decodes each window -- ``"full"`` (default, the
+        classic path), ``"cascade"`` (Tier-0 fast path, full Choir on
+        escalation) or ``"fast"`` (Tier 0 only); see
+        :mod:`repro.core.cascade`.
     rng:
         Pool seed; each job's decoder RNG is derived from it by job id.
     telemetry:
@@ -362,6 +326,7 @@ class DecodeWorkerPool:
         sync_search_symbols: int = 0,
         max_users: Optional[int] = None,
         use_engine: bool = True,
+        decode_tier: str = "full",
         rng: RngLike = None,
         telemetry: Optional[Telemetry] = None,
         trace_recorder: Optional[TraceRecorder] = None,
@@ -369,6 +334,10 @@ class DecodeWorkerPool:
     ) -> None:
         if executor not in EXECUTORS:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        if decode_tier not in DECODE_TIERS:
+            raise ValueError(
+                f"decode_tier must be one of {DECODE_TIERS}, got {decode_tier!r}"
+            )
         if drop_policy not in DROP_POLICIES:
             raise ValueError(
                 f"drop_policy must be one of {DROP_POLICIES}, got {drop_policy!r}"
@@ -387,6 +356,7 @@ class DecodeWorkerPool:
         self.sync_search_symbols = sync_search_symbols
         self.max_users = max_users
         self.use_engine = use_engine
+        self.decode_tier = decode_tier
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.trace_recorder = trace_recorder
         self.on_outcome = on_outcome
@@ -460,6 +430,7 @@ class DecodeWorkerPool:
                 sync_search_symbols=self.sync_search_symbols,
                 max_users=self.max_users,
                 use_engine=self.use_engine,
+                decode_tier=self.decode_tier,
                 trace_directive=self._directive(job),
             )
         except Exception as exc:  # defensive: a worker must never die
@@ -481,6 +452,12 @@ class DecodeWorkerPool:
             self.telemetry.merge(outcome.telemetry_delta)
         self.telemetry.histogram("decode.queue_wait_s").record(outcome.queue_wait_s)
         self.telemetry.histogram("decode.decode_s").record(outcome.decode_s)
+        if outcome.error is None:
+            # Per-tier latency: "full" here covers both the classic path
+            # and cascade escalations (the whole job paid the full cost).
+            self.telemetry.histogram(f"decode.{outcome.tier}.decode_s").record(
+                outcome.decode_s
+            )
         if outcome.sync_retries:
             self.telemetry.counter("decode.sync_retries").inc(outcome.sync_retries)
         if outcome.crc_ok:
@@ -497,6 +474,10 @@ class DecodeWorkerPool:
                 self.telemetry.counter(f"{label}.decode.crc_failed").inc()
             else:
                 self.telemetry.counter(f"{label}.decode.errors").inc()
+            if outcome.error is None and outcome.tier == "tier0" and outcome.crc_ok:
+                self.telemetry.counter(f"{label}.decode.tier0.ok").inc()
+            if outcome.escalation_reason is not None and outcome.tier == "full":
+                self.telemetry.counter(f"{label}.decode.escalated").inc()
         if self.trace_recorder is not None:
             self.trace_recorder.record_outcome(
                 job_id=outcome.job_id,
@@ -509,6 +490,8 @@ class DecodeWorkerPool:
                 n_users=outcome.n_users,
                 sync_retries=outcome.sync_retries,
                 error=outcome.error,
+                tier=outcome.tier,
+                escalation_reason=outcome.escalation_reason,
                 payload=outcome.payload,
                 users=[
                     (u.offset_bins, u.payload.hex(), u.crc_ok)
@@ -604,6 +587,7 @@ class DecodeWorkerPool:
             sync_search_symbols=self.sync_search_symbols,
             max_users=self.max_users,
             use_engine=self.use_engine,
+            decode_tier=self.decode_tier,
             trace_directive=self._directive(job),
         )
         with self._lock:

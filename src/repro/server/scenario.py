@@ -284,6 +284,7 @@ def build_scenario(
     near_offset_db: float = 0.0,
     far_offset_db: float = -4.0,
     seed: int = 0,
+    decode_tier: str = "full",
 ) -> Tuple[NetworkSimulator, MultiGatewayPhy, NetworkServer]:
     """Assemble a canonical overlapping 2+-gateway deployment.
 
@@ -291,7 +292,10 @@ def build_scenario(
     room to move in both directions); an :class:`OracleMac` serializes
     transmissions so convergence depends on link quality, not collision
     luck.  ``node_snrs_db[i]`` is node ``i``'s baseline SNR before
-    gateway offsets.
+    gateway offsets.  ``decode_tier`` stamps the default
+    :class:`ServerConfig` with the decode pipeline the fronting IQ
+    gateways run (ignored when ``server_config`` is supplied -- that
+    config's own field wins).
     """
     params = params or LoRaParams(spreading_factor=initial_sf)
     node_ids = list(range(len(node_snrs_db)))
@@ -313,7 +317,9 @@ def build_scenario(
         params=params, phy=phy, mac=OracleMac(), nodes=nodes, rng=seed
     )
     config = server_config or ServerConfig(
-        dedup_window_s=2.0 * sim.slot_s, adr_initial_sf=initial_sf
+        dedup_window_s=2.0 * sim.slot_s,
+        adr_initial_sf=initial_sf,
+        decode_tier=decode_tier,
     )
     return sim, phy, NetworkServer(config=config)
 

@@ -29,6 +29,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.core.cascade import DECODE_TIERS
 from repro.gateway.telemetry import Telemetry
 from repro.mac.adr import DEFAULT_ASSIGNMENT_MARGIN_DB
 from repro.server.adr import AdrEngine
@@ -53,7 +54,12 @@ class ServerConfig:
     full, ``"oldest"`` drops the queue head to admit it, ``"block"``
     applies backpressure to the producer).  ``max_delivered_log`` caps
     the in-memory delivered-uplink log (``None`` keeps everything --
-    fine for tests, unsuitable for soak runs).
+    fine for tests, unsuitable for soak runs).  ``decode_tier`` records
+    which decode pipeline the IQ gateways fronting this server run
+    (``"full"``, ``"cascade"`` or ``"fast"``; see
+    :mod:`repro.core.cascade`) -- the protocol scenario itself decodes
+    at packet level, so the field is deployment metadata the server
+    validates and reports, not a switch it acts on.
     """
 
     dedup_window_s: float = DEFAULT_WINDOW_S
@@ -69,6 +75,7 @@ class ServerConfig:
     adjust_power: bool = True
     queue_capacity: int = 64
     drop_policy: str = "newest"
+    decode_tier: str = "full"
     max_delivered_log: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -76,6 +83,11 @@ class ServerConfig:
             raise ValueError(
                 f"drop_policy must be one of {DROP_POLICIES}, "
                 f"got {self.drop_policy!r}"
+            )
+        if self.decode_tier not in DECODE_TIERS:
+            raise ValueError(
+                f"decode_tier must be one of {DECODE_TIERS}, "
+                f"got {self.decode_tier!r}"
             )
         if self.queue_capacity < 1:
             raise ValueError(

@@ -32,6 +32,8 @@ RULES: dict[str, str] = {
     "via derive_rng/ensure_rng",
     "R011": "implicit complex64 -> complex128 upcast in a core//phy/ hot "
     "kernel (float64/complex128 operand mixed into complex64 data)",
+    "R012": "repro.core.fastpath used from gateway//server/ code; tier "
+    "selection and escalation belong to repro.core.cascade.build_pipeline",
 }
 
 

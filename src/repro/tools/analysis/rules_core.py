@@ -1,6 +1,6 @@
-"""Rules R001-R008, migrated from the legacy single-file scanner.
+"""Rules R001-R008 (legacy scanner ports) plus R012 (cascade layering).
 
-One visitor collects all eight rules in a single traversal of the shared
+One visitor collects all of them in a single traversal of the shared
 :class:`repro.tools.analysis.model.ModuleModel` tree.  Diagnostics are
 byte-compatible with the pre-engine scanner: same codes, same anchor
 lines, same messages (the per-rule alias bookkeeping the old checker
@@ -26,6 +26,11 @@ _R007_ALLOWED_NAMES = frozenset({"chanest.py", "engine.py"})
 #: ``gateway/`` files allowed to call ``time.perf_counter`` directly: the
 #: telemetry module that wraps it as :func:`clock`.
 _R008_ALLOWED_NAMES = frozenset({"telemetry.py"})
+
+#: The module every escalation decision lives behind: gateway//server/
+#: code must reach Tier 0 through :func:`repro.core.cascade.build_pipeline`
+#: rather than importing/calling the fast path directly (R012).
+_FASTPATH_MODULE: Tuple[str, ...] = ("repro", "core", "fastpath")
 
 #: Terminal attribute names that make an operand a *property of* an
 #: offset/bin array (its size, shape, ...) rather than the quantity itself.
@@ -61,6 +66,9 @@ class CoreRulesVisitor(ast.NodeVisitor):
             "gateway" in path.parent.parts
             and "trace" not in path.parent.parts
             and path.name not in _R008_ALLOWED_NAMES
+        )
+        self._fastpath_scope = any(
+            part in ("gateway", "server") for part in path.parent.parts
         )
         # Class nesting depth, to distinguish methods from nested closures.
         self._scope_stack: List[ast.AST] = [model.tree]
@@ -110,6 +118,50 @@ class CoreRulesVisitor(ast.NodeVisitor):
                     f"direct call to {spelled} in gateway/; use "
                     "repro.gateway.telemetry.clock",
                 )
+            if (
+                self._fastpath_scope
+                and resolved[: len(_FASTPATH_MODULE)] == _FASTPATH_MODULE
+            ):
+                self._report(
+                    "R012",
+                    node.lineno,
+                    f"direct call to {spelled} outside the cascade; select "
+                    "tiers via repro.core.cascade.build_pipeline",
+                )
+        self.generic_visit(node)
+
+    # -- R012: escalation decisions stay inside the cascade ------------
+
+    def _check_fastpath_import(self, line: int, module: Tuple[str, ...]) -> None:
+        if (
+            self._fastpath_scope
+            and module[: len(_FASTPATH_MODULE)] == _FASTPATH_MODULE
+        ):
+            self._report(
+                "R012",
+                line,
+                "repro.core.fastpath imported outside the cascade; select "
+                "tiers via repro.core.cascade.build_pipeline",
+            )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        """R012: `import repro.core.fastpath` in gateway//server/ code."""
+        for alias in node.names:
+            self._check_fastpath_import(node.lineno, tuple(alias.name.split(".")))
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        """R012: `from repro.core.fastpath import ...` (and
+        `from repro.core import fastpath`) in gateway//server/ code."""
+        if node.module is None or node.level:
+            self.generic_visit(node)
+            return
+        base = tuple(node.module.split("."))
+        if base[: len(_FASTPATH_MODULE)] == _FASTPATH_MODULE:
+            self._check_fastpath_import(node.lineno, base)
+        else:
+            for alias in node.names:
+                self._check_fastpath_import(node.lineno, base + (alias.name,))
         self.generic_visit(node)
 
     # -- R002: future annotations --------------------------------------
@@ -267,7 +319,7 @@ class CoreRulesVisitor(ast.NodeVisitor):
 
 
 def check_core_rules(model: ModuleModel) -> Iterator[Diagnostic]:
-    """Run R001-R008 over one module model."""
+    """Run R001-R008 and R012 over one module model."""
     visitor = CoreRulesVisitor(model)
     visitor.visit(model.tree)
     return iter(visitor.diagnostics)

@@ -54,6 +54,17 @@ def sic_tier_reason(tier: int) -> str:
     return f"sic-tier-{tier}-residual-floor"
 
 
+def tier0_reason(escalation_reason: str) -> str:
+    """The drop reason for a fast-path decode with no escalation target.
+
+    Only the never-escalate ``fast`` decode tier produces these: under
+    ``cascade`` every declined window re-runs on the full pipeline and is
+    classified by the ordinary taxonomy (with ``escalation_reason``
+    attached as context rather than as the verdict).
+    """
+    return f"tier0-{escalation_reason}"
+
+
 #: Alignment-span score below which a failed decode is called misaligned:
 #: the ridge statistic (max/median of the accumulated span) sits in the
 #: noise plateau, so the grid search never locked onto a preamble.
@@ -80,6 +91,8 @@ class PostMortem:
     stage_reached: str
     job_id: Optional[int]
     detail: str = ""
+    tier: Optional[str] = None
+    escalation_reason: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready form (what ``repro forensics --json`` emits)."""
@@ -95,6 +108,8 @@ class PostMortem:
             "stage_reached": self.stage_reached,
             "job_id": self.job_id,
             "detail": self.detail,
+            "tier": self.tier,
+            "escalation_reason": self.escalation_reason,
         }
 
 
@@ -141,13 +156,20 @@ class ForensicsReport:
                 f" payload={packet.payload or '?':<10s}"
             )
             if packet.recovered:
-                lines.append(f"{head} RECOVERED (job {packet.job_id})")
+                tier = f" [{packet.tier}]" if packet.tier else ""
+                lines.append(f"{head} RECOVERED (job {packet.job_id}){tier}")
             else:
                 job = f" job {packet.job_id}" if packet.job_id is not None else ""
                 detail = f": {packet.detail}" if packet.detail else ""
+                tier = f" [{packet.tier}]" if packet.tier else ""
+                escalated = (
+                    f" (escalated: {packet.escalation_reason})"
+                    if packet.escalation_reason
+                    else ""
+                )
                 lines.append(
                     f"{head} LOST at {packet.stage_reached}"
-                    f" -- {packet.reason}{job}{detail}"
+                    f" -- {packet.reason}{job}{detail}{tier}{escalated}"
                 )
         if self.histogram:
             lines.append("drop-reason histogram")
@@ -217,6 +239,14 @@ def classify_outcome(
     error = outcome.get("error")
     if error:
         return DECODE_ERROR, "decode", str(error)
+    if outcome.get("tier") == "tier0" and outcome.get("escalation_reason"):
+        # The never-escalate fast tier declined or misdecoded the window;
+        # the fast path itself is the terminal stage.
+        return (
+            tier0_reason(str(outcome["escalation_reason"])),
+            "tier0",
+            "fast path declined, no escalation target",
+        )
     if int(outcome.get("n_users", 0)) == 0:
         tiers, residual = _sic_tiers(trace)
         detail = (
@@ -291,6 +321,8 @@ def analyze(data: Dict[str, Any]) -> ForensicsReport:
                         reason=None,
                         stage_reached="recovered",
                         job_id=winner.get("job_id"),
+                        tier=winner.get("tier"),
+                        escalation_reason=winner.get("escalation_reason"),
                     )
                 )
                 continue
@@ -356,6 +388,8 @@ def analyze(data: Dict[str, Any]) -> ForensicsReport:
                     stage_reached=stage,
                     job_id=outcome.get("job_id"),
                     detail=detail,
+                    tier=outcome.get("tier"),
+                    escalation_reason=outcome.get("escalation_reason"),
                 )
             )
     else:
@@ -375,6 +409,8 @@ def analyze(data: Dict[str, Any]) -> ForensicsReport:
                         reason=None,
                         stage_reached="recovered",
                         job_id=outcome.get("job_id"),
+                        tier=outcome.get("tier"),
+                        escalation_reason=outcome.get("escalation_reason"),
                     )
                 )
                 continue
@@ -392,6 +428,8 @@ def analyze(data: Dict[str, Any]) -> ForensicsReport:
                     stage_reached=stage,
                     job_id=outcome.get("job_id"),
                     detail=detail,
+                    tier=outcome.get("tier"),
+                    escalation_reason=outcome.get("escalation_reason"),
                 )
             )
     return ForensicsReport(

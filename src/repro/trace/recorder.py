@@ -162,6 +162,8 @@ class TraceRecorder:
         error: Optional[str],
         payload: Optional[bytes],
         users: Sequence[Tuple[float, str, bool]] = (),
+        tier: str = "full",
+        escalation_reason: Optional[str] = None,
         trace: Optional[PacketTrace] = None,
     ) -> None:
         """Record one decode outcome; keep its trace per the directive.
@@ -169,7 +171,9 @@ class TraceRecorder:
         ``users`` rows are ``(offset_bins, payload_hex, crc_ok)``
         triples, one per disentangled user -- the forensics layer uses
         the fractional parts of the offsets to recognize near-collided
-        signatures.
+        signatures.  ``tier`` / ``escalation_reason`` carry the decode
+        cascade's verdict (which pipeline produced the outcome, and why
+        Tier 0 declined the window, when it did).
         """
         row: Dict[str, Any] = {
             "job_id": job_id,
@@ -182,6 +186,8 @@ class TraceRecorder:
             "n_users": n_users,
             "sync_retries": sync_retries,
             "error": error,
+            "tier": tier,
+            "escalation_reason": escalation_reason,
             "payload": payload.hex() if payload is not None else None,
             "users": [
                 {"offset_bins": off, "payload": hex_payload, "crc_ok": ok}

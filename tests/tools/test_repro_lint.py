@@ -353,6 +353,56 @@ class TestR008PerfCounterInGateway:
         assert codes_for(source, path="src/repro/gateway/runtime.py") == []
 
 
+class TestR012CascadeLayering:
+    def test_flags_from_import_in_gateway(self):
+        source = """
+            from repro.core.fastpath import FastPathDecoder
+            """
+        assert codes_for(source, path="src/repro/gateway/workers.py") == ["R012"]
+
+    def test_flags_plain_import_in_server(self):
+        source = """
+            import repro.core.fastpath
+            """
+        assert codes_for(source, path="src/repro/server/server.py") == ["R012"]
+
+    def test_flags_submodule_import_from_package(self):
+        source = """
+            from repro.core import fastpath
+            """
+        assert codes_for(source, path="src/repro/gateway/runtime.py") == ["R012"]
+
+    def test_flags_resolved_call_through_alias(self):
+        source = """
+            from repro.core.fastpath import FastPathDecoder as FP
+            decoder = FP(params)
+            """
+        assert codes_for(source, path="src/repro/gateway/sharded.py") == [
+            "R012",
+            "R012",
+        ]
+
+    def test_allows_cascade_entry_point(self):
+        source = """
+            from repro.core.cascade import DECODE_TIERS, build_pipeline
+            pipeline = build_pipeline("cascade", params)
+            """
+        assert codes_for(source, path="src/repro/gateway/workers.py") == []
+
+    def test_not_enforced_inside_core(self):
+        source = """
+            from repro.core.fastpath import FastPathDecoder
+            decoder = FastPathDecoder(params)
+            """
+        assert codes_for(source, path="src/repro/core/cascade.py") == []
+
+    def test_noqa_suppresses(self):
+        source = """
+            from repro.core.fastpath import FastPathDecoder  # noqa: R012
+            """
+        assert codes_for(source, path="src/repro/gateway/workers.py") == []
+
+
 class TestDiagnosticsAndCli:
     def test_diagnostic_format_is_file_line_code(self):
         diagnostics = lint_source(
@@ -366,7 +416,7 @@ class TestDiagnosticsAndCli:
         diagnostics = lint_source("def broken(:\n", Path("src/repro/core/x.py"))
         assert [d.code for d in diagnostics] == ["E999"]
 
-    def test_rule_catalog_covers_r001_through_r011(self):
+    def test_rule_catalog_covers_r001_through_r012(self):
         assert sorted(RULES) == [
             "R001",
             "R002",
@@ -379,6 +429,7 @@ class TestDiagnosticsAndCli:
             "R009",
             "R010",
             "R011",
+            "R012",
         ]
 
     def test_lint_paths_walks_directories(self, tmp_path):

@@ -1,7 +1,7 @@
 """Tests for the packet-forensics classifier and the post-mortem report.
 
 The end-to-end class replays the standard 20-packet benchmark scenario
-(the committed ``BENCH_gateway.json`` config) with failure-only trace
+(2 nodes at 0.5 s over 5 s, SF7) with failure-only trace
 sampling and checks the acceptance property: every non-recovered packet
 gets a drop reason from the taxonomy -- ``unknown`` never appears.
 """
@@ -249,7 +249,7 @@ class TestBenchScenario:
 
     @pytest.fixture(scope="class")
     def bench_report(self):
-        # Mirrors the committed BENCH_gateway.json config: 2 nodes at
+        # The standard single-channel bench scenario: 2 nodes at
         # 0.5 s over 5 s -> 20 transmitted packets, seed 0, SF7.
         source = SyntheticTrafficSource(
             PARAMS,

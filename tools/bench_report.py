@@ -206,6 +206,15 @@ def latency_metrics(report: dict) -> dict[str, float]:
             label = f"sf{case['spreading_factor']}.k{case['n_users']}"
             for key in COMPARE_KEYS:
                 metrics[f"{label}.{key}"] = float(case["latency_s"][key])
+    elif report.get("benchmark") == "cascade":
+        for tier, entry in report.get("tiers", {}).items():
+            for key in COMPARE_KEYS:
+                metrics[f"{tier}.{key}"] = float(entry["latency_s"][key])
+            for sub in ("tier0", "full"):
+                hist = entry.get(f"{sub}_latency_s")
+                if hist is not None:
+                    for key in COMPARE_KEYS:
+                        metrics[f"{tier}.{sub}.{key}"] = float(hist[key])
     else:
         for stage, hist in report.get("stages", {}).items():
             for key in COMPARE_KEYS:
@@ -222,6 +231,11 @@ def rerun_from(baseline: dict) -> dict:
         import bench_decode
 
         return bench_decode.run_benchmark(**config)
+    if baseline.get("benchmark") == "cascade":
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        import bench_cascade
+
+        return bench_cascade.run_benchmark(**config)
     return run_benchmark(**config)
 
 
