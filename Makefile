@@ -7,33 +7,50 @@
 #   make soak          full-length server soak (bounded-memory proof)
 #   make check         all of the above
 #   make ci            what .github/workflows/ci.yml runs, locally
+#   make campaign      scaled capacity sweep (Choir vs standard LoRa) with
+#                      the ordering assertion -- what the CI campaign job runs
 #   make bench-gateway streaming-gateway throughput -> BENCH_gateway.json
 #   make bench-decode  per-packet decode latency vs SF/users -> $(BENCH_DECODE_OUT)
 #   make bench-cascade tiered vs full decode on a mixed workload -> $(BENCH_CASCADE_OUT)
+#   make bench-capacity capacity sweep baseline -> $(BENCH_CAPACITY_OUT)
 #   make bench-check   regression gate vs the committed BENCH_decode.json (+-25%)
 #
 # Benchmark knobs (CI overrides these so it never rewrites the committed
 # baseline and gets extra slack for shared-runner jitter):
 #   BENCH_DECODE_OUT   where bench-decode writes its report
 #   BENCH_CASCADE_OUT  where bench-cascade writes its report
+#   BENCH_CAPACITY_OUT where bench-capacity writes its report
 #   BENCH_BASELINE     baseline bench-check gates against
 #   BENCH_CANDIDATE    pre-recorded report to gate (empty = re-run fresh)
 #   BENCH_TOLERANCE    allowed fractional slowdown (0.25 = +-25%)
 #   BENCH_SLACK        absolute grace in seconds on top of the tolerance
+#
+# Campaign knobs (defaults are the CI scale; the committed scenario's own
+# sweep section is the full 100/300/1000-node campaign):
+#   CAMPAIGN_SCENARIO  scenario file the sweep loads
+#   CAMPAIGN_NODES     node counts swept
+#   CAMPAIGN_DURATION  simulated air seconds per sweep point
 
 PYTHON   ?= python
 PYTHONPATH := src
 
 BENCH_DECODE_OUT ?= BENCH_decode.json
 BENCH_CASCADE_OUT ?= BENCH_cascade.json
+BENCH_CAPACITY_OUT ?= BENCH_capacity.json
 BENCH_BASELINE   ?= BENCH_decode.json
 BENCH_CANDIDATE  ?=
 BENCH_TOLERANCE  ?= 0.25
 BENCH_SLACK      ?= 0.002
 
+CAMPAIGN_SCENARIO ?= scenarios/eu868_urban.yaml
+CAMPAIGN_NODES    ?= 50 200 800
+CAMPAIGN_DURATION ?= 10
+CAMPAIGN_JSON     ?= capacity_curve.json
+CAMPAIGN_CSV      ?= capacity_curve.csv
+
 ANALYZE_OUT ?= analysis_findings.json
 
-.PHONY: lint analyze typecheck test soak check ci bench-gateway bench-decode bench-cascade bench-check
+.PHONY: lint analyze typecheck test soak check ci campaign bench-gateway bench-decode bench-cascade bench-capacity bench-check
 
 lint:
 	$(PYTHON) tools/repro_lint.py --engine=ast src tools
@@ -77,6 +94,20 @@ ci:
 	$(MAKE) bench-check BENCH_CANDIDATE=BENCH_decode.ci.json BENCH_SLACK=0.05
 	CI=1 $(MAKE) bench-cascade BENCH_CASCADE_OUT=BENCH_cascade.ci.json
 	$(MAKE) bench-check BENCH_BASELINE=BENCH_cascade.json BENCH_CANDIDATE=BENCH_cascade.ci.json BENCH_SLACK=0.05
+	$(MAKE) campaign
+	CI=1 $(MAKE) bench-capacity BENCH_CAPACITY_OUT=BENCH_capacity.ci.json
+	$(MAKE) bench-check BENCH_BASELINE=BENCH_capacity.json BENCH_CANDIDATE=BENCH_capacity.ci.json BENCH_TOLERANCE=0.5 BENCH_SLACK=0.05
+
+# The CI campaign job: scaled node-count sweep over the committed urban
+# scenario, with the Choir-vs-standard capacity ordering asserted at
+# every point (strictly above from 200 nodes on) and the curve written
+# as plot-ready JSON + CSV artifacts.
+campaign:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro campaign \
+		--scenario $(CAMPAIGN_SCENARIO) \
+		--nodes $(CAMPAIGN_NODES) --duration $(CAMPAIGN_DURATION) \
+		--json-out $(CAMPAIGN_JSON) --csv-out $(CAMPAIGN_CSV) \
+		--assert-ordering
 
 # The committed baseline is the 8-channel EU868 mixed-SF sharded run
 # (the configuration the ROADMAP's realtime target is stated against).
@@ -90,6 +121,9 @@ bench-decode:
 
 bench-cascade:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/bench_cascade.py --out $(BENCH_CASCADE_OUT)
+
+bench-capacity:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/bench_capacity.py --out $(BENCH_CAPACITY_OUT)
 
 bench-check:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/bench_report.py \

@@ -9,6 +9,7 @@ Usage::
     python -m repro gateway --trace-out trace.json     # + provenance trace
     python -m repro forensics trace.json               # per-packet post-mortem
     python -m repro server --gateways 2 --duration 120  # closed ADR loop
+    python -m repro campaign --scenario scenarios/eu868_urban.yaml  # capacity sweep
 
 Each experiment prints the same rows/series the paper's figure reports;
 ASCII charts accompany the series-shaped ones.  ``gateway`` runs the
@@ -350,6 +351,80 @@ def cmd_server(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Run the node-count capacity sweep described by a scenario file."""
+    from repro.scenario import (
+        ScenarioError,
+        load_scenario,
+        run_campaign,
+    )
+
+    try:
+        spec = load_scenario(args.scenario)
+    except ScenarioError as exc:
+        print(f"scenario error: {exc}", file=sys.stderr)
+        return 2
+    node_counts = args.nodes if args.nodes else None
+    counts = node_counts if node_counts is not None else list(spec.sweep.node_counts)
+    duration = args.duration if args.duration is not None else spec.sweep.duration_s
+    print(
+        f"campaign '{spec.name}': sweeping "
+        f"{', '.join(str(n) for n in counts)} node(s) for {duration:.0f}s "
+        f"simulated air time each, {spec.plan.n_channels}-channel "
+        f"{spec.plan.region} plan, choir tier '{spec.gateway.decode_tier}' "
+        f"vs baseline tier '{spec.baseline.decode_tier}' "
+        f"(max_users={spec.baseline.max_users})"
+    )
+
+    def _progress(point) -> None:
+        print(
+            f"  n={point.n_nodes}: offered G={point.offered_load_erlangs:.3f}, "
+            f"choir {point.choir.delivery_rate:.3f} "
+            f"({point.choir.packets_delivered}/{point.choir.packets_offered}), "
+            f"baseline {point.baseline.delivery_rate:.3f} "
+            f"({point.baseline.packets_delivered}/"
+            f"{point.baseline.packets_offered}), "
+            f"active peak {point.source_active_peak}"
+        )
+        sys.stdout.flush()
+
+    try:
+        curve = run_campaign(
+            spec,
+            node_counts=node_counts,
+            duration_s=args.duration,
+            seed=args.seed,
+            on_point=_progress,
+        )
+    except ScenarioError as exc:
+        print(f"scenario error: {exc}", file=sys.stderr)
+        return 2
+    print()
+    print(curve.chart())
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            handle.write(curve.to_json() + "\n")
+        print(f"curve JSON written to {args.json_out}")
+    if args.csv_out:
+        with open(args.csv_out, "w") as handle:
+            handle.write(curve.to_csv())
+        print(f"curve CSV written to {args.csv_out}")
+    if args.assert_ordering:
+        problems = curve.ordering_violations(strict_above=args.strict_above)
+        if problems:
+            print(
+                "capacity ordering assertion failed:\n  "
+                + "\n  ".join(problems),
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            "capacity ordering holds: choir >= baseline at every point, "
+            f"strictly above at n >= {args.strict_above}"
+        )
+    return 0
+
+
 def cmd_run(names: list[str]) -> int:
     """Run the named experiments and print their tables."""
     targets = list(EXPERIMENTS) if names == ["all"] else names
@@ -505,6 +580,50 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="exit 1 unless ADR moved a node faster AND one slower (CI gate)",
     )
+    camp = sub.add_parser(
+        "campaign",
+        help="run a scenario file's node-count capacity sweep"
+        " (Choir vs standard LoRa)",
+    )
+    camp.add_argument(
+        "--scenario",
+        required=True,
+        help="scenario file (.yaml/.yml/.json; see scenarios/)",
+    )
+    camp.add_argument(
+        "--nodes",
+        type=int,
+        nargs="+",
+        default=None,
+        help="override the sweep's node counts (e.g. --nodes 50 200 800)",
+    )
+    camp.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="override simulated air seconds per sweep point",
+    )
+    camp.add_argument(
+        "--seed", type=int, default=None, help="override the sweep seed"
+    )
+    camp.add_argument(
+        "--json-out", default=None, help="write the capacity curve JSON here"
+    )
+    camp.add_argument(
+        "--csv-out", default=None, help="write the plot-ready CSV here"
+    )
+    camp.add_argument(
+        "--assert-ordering",
+        action="store_true",
+        help="exit 1 unless choir delivery >= baseline at every point"
+        " (strictly above at n >= --strict-above); the CI capacity gate",
+    )
+    camp.add_argument(
+        "--strict-above",
+        type=int,
+        default=200,
+        help="node count from which choir must be strictly above baseline",
+    )
     forensics_parser = sub.add_parser(
         "forensics",
         help="per-packet post-mortem of a trace written with --trace-out",
@@ -524,6 +643,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_gateway(args)
     if args.command == "server":
         return cmd_server(args)
+    if args.command == "campaign":
+        return cmd_campaign(args)
     if args.command == "forensics":
         from repro.trace.forensics import main as forensics_main
 

@@ -17,18 +17,42 @@ Two producers of the chunked baseband stream a base station sees:
 Sources yield chunks of a configurable size; the gateway never sees more
 than one chunk at a time, which is what makes the runtime streaming
 rather than batch.
+
+Two rendering modes share one scheduler and one waveform path:
+
+* ``materialize=True`` (default) -- the whole schedule (payload bytes and
+  start samples) is drawn up front and every node's radio is constructed
+  eagerly, so ``source.transmitted`` is complete before the first chunk
+  is pulled.  Memory scales with the population; right for tests and
+  small benchmarks.
+* ``materialize=False`` -- *streaming-windowed*: an event heap over the
+  per-node frame schedules pops only the frames that overlap the chunk
+  being rendered, radios exist only while their node is rendering (board
+  state -- oscillator, timing, RNG stream position -- is suspended into a
+  few-hundred-byte dormant record between frames), and finished waveforms
+  are dropped as the stream head passes them.  Peak memory is
+  O(concurrently-airborne frames), not O(population), which is what makes
+  10^4-node capacity campaigns and soak runs possible.  The two modes are
+  sample-for-sample identical for a fixed seed and chunk size (pinned by
+  tests): phases are drawn per node in population order, payloads in
+  global ``(start_sample, node_id)`` arrival order, and per-node radio
+  streams are position-preserved across suspend/resume.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Iterator, List, Optional, Protocol
+from typing import Callable, Dict, Iterator, List, Optional, Protocol, Tuple
 
 import numpy as np
 
 from repro.channel.noise import awgn
 from repro.gateway.channelizer import upconvert_to_channel
+from repro.gateway.telemetry import Telemetry
+from repro.hardware.clock import TimingModel
+from repro.hardware.oscillator import OscillatorModel
 from repro.hardware.radio import LoRaRadio
 from repro.mac.simulator import NodeConfig
 from repro.phy.packet import LoRaFramer
@@ -72,6 +96,114 @@ class TransmittedPacket:
     def frame_samples(self, params: LoRaParams) -> int:
         """Nominal frame length in samples (preamble + data)."""
         return (params.preamble_len + self.n_data_symbols) * params.samples_per_symbol
+
+
+@dataclass(frozen=True)
+class _NodeSchedule:
+    """One node's arithmetic-progression frame schedule, in stream units.
+
+    ``tail`` is the fit bound the legacy scheduler charged past the start
+    (frame plus one guard symbol, scaled to stream units), so a frame is
+    scheduled only while ``start + tail <= duration_samples``.
+    """
+
+    index: int
+    node_id: int
+    snr_db: float
+    channel: int
+    spreading_factor: Optional[int]
+    n_symbols: int
+    first_start: int
+    step: int
+    tail: int
+
+
+@dataclass
+class _DormantRadio:
+    """Suspended board state of one node between frames (streaming mode).
+
+    Holds exactly what :class:`repro.hardware.LoRaRadio` cannot re-derive:
+    the sampled hardware models and the position of the per-packet draw
+    stream, so a resumed radio renders the node's next frame with the
+    same draws the persistent radio would have used.
+    """
+
+    oscillator: OscillatorModel
+    timing: TimingModel
+    rng_state: Dict[str, object]
+
+
+class _TrafficScheduler:
+    """Event heap over the per-node schedules, popping frames in air order.
+
+    Payload bytes are drawn *at pop time* from the shared schedule RNG.
+    Pops happen in global ``(start_sample, node_id, population_index)``
+    order -- exactly the order the materialized path sorts arrivals into
+    before drawing payloads -- so lazily- and eagerly-driven schedules
+    consume identical draw sequences and emit identical packets.
+    """
+
+    def __init__(
+        self,
+        schedules: List[_NodeSchedule],
+        duration_samples: int,
+        schedule_rng: np.random.Generator,
+        payload_len: int,
+        payload_fn: Optional[Callable[[int, int], bytes]],
+    ) -> None:
+        self._schedules = schedules
+        self._duration = duration_samples
+        self._rng = schedule_rng
+        self._payload_len = payload_len
+        self._payload_fn = payload_fn
+        self._seq_by_node: Dict[int, int] = {}
+        self.n_scheduled = 0
+        self._heap: List[Tuple[int, int, int]] = []
+        for sched in schedules:
+            if sched.first_start + sched.tail <= duration_samples:
+                heapq.heappush(
+                    self._heap, (sched.first_start, sched.node_id, sched.index)
+                )
+
+    def _payload(self, node_id: int) -> bytes:
+        """One packet's payload: the custom function, or the random draw."""
+        if self._payload_fn is None:
+            return bytes(
+                self._rng.integers(0, 256, self._payload_len, dtype=np.uint8)
+            )
+        seq = self._seq_by_node.get(node_id, 0)
+        self._seq_by_node[node_id] = seq + 1
+        payload = self._payload_fn(node_id, seq)
+        if len(payload) != self._payload_len:
+            raise ValueError(
+                f"payload_fn returned {len(payload)} bytes for node "
+                f"{node_id}, expected payload_len={self._payload_len}"
+            )
+        return payload
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every fitting frame has been popped."""
+        return not self._heap
+
+    def pop_until(self, end_sample: int) -> Iterator[TransmittedPacket]:
+        """Yield (in air order) every scheduled frame starting before ``end``."""
+        while self._heap and self._heap[0][0] < end_sample:
+            start, node_id, index = heapq.heappop(self._heap)
+            sched = self._schedules[index]
+            nxt = start + sched.step
+            if nxt + sched.tail <= self._duration:
+                heapq.heappush(self._heap, (nxt, node_id, index))
+            self.n_scheduled += 1
+            yield TransmittedPacket(
+                node_id=node_id,
+                payload=self._payload(node_id),
+                start_sample=start,
+                n_data_symbols=sched.n_symbols,
+                snr_db=sched.snr_db,
+                channel=sched.channel,
+                spreading_factor=sched.spreading_factor,
+            )
 
 
 class SyntheticTrafficSource:
@@ -121,6 +253,29 @@ class SyntheticTrafficSource:
         devaddr/fcnt headers onto synthesized uplinks.  Returned bytes
         must be exactly ``payload_len`` long.  The default (``None``)
         leaves the legacy random-payload draw sequence untouched.
+    materialize:
+        ``True`` (default) drains the scheduler at construction --
+        ``transmitted`` is complete immediately and every radio persists
+        for the whole run, the legacy population-scale memory profile.
+        ``False`` streams: frames are scheduled, rendered and discarded
+        as the chunk cursor passes them, radios live only while rendering
+        (suspended to :class:`_DormantRadio` records between frames), and
+        memory stays O(concurrently-airborne frames).  The emitted stream
+        is identical either way.
+    record_ground_truth:
+        Streaming mode only: ``False`` stops ``transmitted`` from
+        accumulating per-packet truth rows (``packets_scheduled`` still
+        counts), for soak runs where even metadata must stay bounded.
+    max_active_nodes:
+        Streaming-mode memory guard: hard cap on concurrently resident
+        rendered frames.  Exceeding it raises ``RuntimeError`` instead of
+        quietly growing -- a saturated mis-configuration (thousands of
+        overlapping frames) fails fast rather than OOMing the host.
+    telemetry:
+        Optional :class:`repro.gateway.telemetry.Telemetry` registry;
+        the source publishes ``source.active_frames`` (current resident
+        rendered frames), ``source.active_peak`` (its high-water mark)
+        and the ``source.packets`` counter into it.
     """
 
     def __init__(
@@ -134,20 +289,33 @@ class SyntheticTrafficSource:
         plan: ChannelPlan | None = None,
         rng: RngLike = None,
         payload_fn: Optional[Callable[[int, int], bytes]] = None,
+        materialize: bool = True,
+        record_ground_truth: bool = True,
+        max_active_nodes: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if duration_s <= 0:
             raise ValueError(f"duration_s must be positive, got {duration_s}")
         if chunk_samples <= 0:
             raise ValueError(f"chunk_samples must be positive, got {chunk_samples}")
+        if max_active_nodes is not None and max_active_nodes < 1:
+            raise ValueError(
+                f"max_active_nodes must be positive, got {max_active_nodes}"
+            )
         self.params = params
         self.plan = plan
         self.payload_len = payload_len
         self.payload_fn = payload_fn
         self.chunk_samples = int(chunk_samples)
         self.noise_power = noise_power
+        self.materialize = materialize
+        self._record_ground_truth = record_ground_truth
+        self._max_active = max_active_nodes
+        self._telemetry = telemetry
         framer = LoRaFramer(params)
         self.n_data_symbols = framer.n_symbols_for_payload(payload_len)
         seq = as_seed_sequence(rng)
+        self._seed_seq = seq
         schedule_rng = derive_rng(seq, 0)
         self._noise_rng = derive_rng(seq, 1)
         if plan is None:
@@ -158,92 +326,83 @@ class SyntheticTrafficSource:
                         f"ChannelPlan (node {cfg.node_id})"
                     )
             self.duration_samples = int(round(duration_s * params.sample_rate))
-            self._init_single(params, nodes, schedule_rng, seq)
+            schedules = self._schedules_single(params, nodes, schedule_rng)
         else:
             for cfg in nodes:
                 plan.validate_channel(cfg.channel)
             self.duration_samples = int(round(duration_s * plan.wideband_rate))
-            self._init_wideband(plan, nodes, schedule_rng, seq)
-        self._rendered: Dict[int, np.ndarray] = {}
+            schedules = self._schedules_wideband(plan, nodes, schedule_rng)
+        self._scheduler = _TrafficScheduler(
+            schedules, self.duration_samples, schedule_rng, payload_len, payload_fn
+        )
+        #: Rendered frames currently overlapping the stream head, keyed by
+        #: admission order: ``{seq: (start_sample, waveform)}``.
+        self._rendered: Dict[int, Tuple[int, np.ndarray]] = {}
+        self._render_seq = 0
         self._next_to_render = 0
-
-    def _make_payload(
-        self,
-        node_id: int,
-        seq_by_node: Dict[int, int],
-        schedule_rng: np.random.Generator,
-    ) -> bytes:
-        """One packet's payload: the custom function, or the random draw."""
-        if self.payload_fn is None:
-            return bytes(
-                schedule_rng.integers(0, 256, self.payload_len, dtype=np.uint8)
+        self._radios: Dict[int, LoRaRadio] = {}
+        self._dormant: Dict[int, _DormantRadio] = {}
+        #: High-water mark of concurrently resident rendered frames.
+        self.active_peak = 0
+        if materialize:
+            self.transmitted: List[TransmittedPacket] = list(
+                self._scheduler.pop_until(self.duration_samples)
             )
-        seq = seq_by_node.get(node_id, 0)
-        seq_by_node[node_id] = seq + 1
-        payload = self.payload_fn(node_id, seq)
-        if len(payload) != self.payload_len:
-            raise ValueError(
-                f"payload_fn returned {len(payload)} bytes for node "
-                f"{node_id}, expected payload_len={self.payload_len}"
-            )
-        return payload
+            for cfg in nodes:
+                if cfg.node_id not in self._radios:
+                    self._radios[cfg.node_id] = self._build_radio(cfg.node_id)
+        else:
+            self.transmitted = []
 
-    def _init_single(
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _schedules_single(
         self,
         params: LoRaParams,
         nodes: List[NodeConfig],
         schedule_rng: np.random.Generator,
-        seq: np.random.SeedSequence,
-    ) -> None:
+    ) -> List[_NodeSchedule]:
         """Legacy narrowband schedule; RNG draw order is frozen (see tests)."""
-        self._radios: Dict[int, LoRaRadio] = {
-            cfg.node_id: LoRaRadio(
-                params, node_id=cfg.node_id, rng=derive_rng(seq, 2, cfg.node_id)
-            )
-            for cfg in nodes
+        self._node_params: Dict[int, LoRaParams] = {
+            cfg.node_id: params for cfg in nodes
         }
         self._node_symbols: Dict[int, int] = {
             cfg.node_id: self.n_data_symbols for cfg in nodes
         }
         n = params.samples_per_symbol
         frame_samples = (params.preamble_len + self.n_data_symbols) * n
-        arrivals: List[tuple[int, NodeConfig]] = []
-        for cfg in nodes:
+        schedules: List[_NodeSchedule] = []
+        for index, cfg in enumerate(nodes):
             if cfg.period_s is None:
                 # Saturated: back-to-back frames separated by one guard
                 # symbol (the beacon-slot overhead the MAC model charges).
-                slot = frame_samples + n
-                phase = int(schedule_rng.integers(0, slot))
-                starts = range(phase, self.duration_samples, slot)
+                step = frame_samples + n
+                phase = int(schedule_rng.integers(0, step))
             else:
-                period = max(int(round(cfg.period_s * params.sample_rate)), 1)
-                phase = int(schedule_rng.integers(0, period))
-                starts = range(phase, self.duration_samples, period)
-            arrivals.extend(
-                (start, cfg)
-                for start in starts
-                if start + frame_samples + n <= self.duration_samples
+                step = max(int(round(cfg.period_s * params.sample_rate)), 1)
+                phase = int(schedule_rng.integers(0, step))
+            schedules.append(
+                _NodeSchedule(
+                    index=index,
+                    node_id=cfg.node_id,
+                    snr_db=cfg.snr_db,
+                    channel=0,
+                    spreading_factor=None,
+                    n_symbols=self.n_data_symbols,
+                    first_start=phase,
+                    step=step,
+                    tail=frame_samples + n,
+                )
             )
-        arrivals.sort(key=lambda item: (item[0], item[1].node_id))
-        seq_by_node: Dict[int, int] = {}
-        self.transmitted: List[TransmittedPacket] = [
-            TransmittedPacket(
-                node_id=cfg.node_id,
-                payload=self._make_payload(cfg.node_id, seq_by_node, schedule_rng),
-                start_sample=start,
-                n_data_symbols=self.n_data_symbols,
-                snr_db=cfg.snr_db,
-            )
-            for start, cfg in arrivals
-        ]
+        return schedules
 
-    def _init_wideband(
+    def _schedules_wideband(
         self,
         plan: ChannelPlan,
         nodes: List[NodeConfig],
         schedule_rng: np.random.Generator,
-        seq: np.random.SeedSequence,
-    ) -> None:
+    ) -> List[_NodeSchedule]:
         """Multi-channel schedule: narrowband frames placed on the plan.
 
         Scheduling runs in narrowband units and scales by the oversample
@@ -252,7 +411,7 @@ class SyntheticTrafficSource:
         narrowband render.
         """
         m = plan.oversample_factor
-        self._radios = {}
+        self._node_params = {}
         self._node_symbols = {}
         node_frames: Dict[int, int] = {}
         for cfg in nodes:
@@ -262,48 +421,134 @@ class SyntheticTrafficSource:
                 else self.params.spreading_factor
             )
             node_params = plan.channel_params(sf, preamble_len=self.params.preamble_len)
-            self._radios[cfg.node_id] = LoRaRadio(
-                node_params, node_id=cfg.node_id, rng=derive_rng(seq, 2, cfg.node_id)
-            )
+            self._node_params[cfg.node_id] = node_params
             n_symbols = LoRaFramer(node_params).n_symbols_for_payload(self.payload_len)
             self._node_symbols[cfg.node_id] = n_symbols
             node_frames[cfg.node_id] = (
                 node_params.preamble_len + n_symbols
             ) * node_params.samples_per_symbol
-        arrivals: List[tuple[int, NodeConfig]] = []
-        for cfg in nodes:
-            node_params = self._radios[cfg.node_id].params
+        schedules: List[_NodeSchedule] = []
+        for index, cfg in enumerate(nodes):
+            node_params = self._node_params[cfg.node_id]
             n = node_params.samples_per_symbol
             frame_nb = node_frames[cfg.node_id]
             if cfg.period_s is None:
-                slot_nb = frame_nb + n
-                phase = int(schedule_rng.integers(0, slot_nb))
-                starts = range(phase * m, self.duration_samples, slot_nb * m)
+                step_nb = frame_nb + n
+                phase = int(schedule_rng.integers(0, step_nb))
             else:
-                period_nb = max(int(round(cfg.period_s * node_params.sample_rate)), 1)
-                phase = int(schedule_rng.integers(0, period_nb))
-                starts = range(phase * m, self.duration_samples, period_nb * m)
-            arrivals.extend(
-                (start, cfg)
-                for start in starts
-                if start + (frame_nb + n) * m <= self.duration_samples
+                step_nb = max(int(round(cfg.period_s * node_params.sample_rate)), 1)
+                phase = int(schedule_rng.integers(0, step_nb))
+            schedules.append(
+                _NodeSchedule(
+                    index=index,
+                    node_id=cfg.node_id,
+                    snr_db=cfg.snr_db,
+                    channel=cfg.channel,
+                    spreading_factor=node_params.spreading_factor,
+                    n_symbols=self._node_symbols[cfg.node_id],
+                    first_start=phase * m,
+                    step=step_nb * m,
+                    tail=(frame_nb + n) * m,
+                )
             )
-        arrivals.sort(key=lambda item: (item[0], item[1].node_id))
-        seq_by_node: Dict[int, int] = {}
-        self.transmitted = [
-            TransmittedPacket(
-                node_id=cfg.node_id,
-                payload=self._make_payload(cfg.node_id, seq_by_node, schedule_rng),
-                start_sample=start,
-                n_data_symbols=self._node_symbols[cfg.node_id],
-                snr_db=cfg.snr_db,
-                channel=cfg.channel,
-                spreading_factor=self._radios[cfg.node_id].params.spreading_factor,
-            )
-            for start, cfg in arrivals
-        ]
+        return schedules
 
     # ------------------------------------------------------------------
+    # Radio lifecycle
+    # ------------------------------------------------------------------
+    def _build_radio(self, node_id: int) -> LoRaRadio:
+        """A node's persistent radio, with its dedicated derived RNG stream."""
+        return LoRaRadio(
+            self._node_params[node_id],
+            node_id=node_id,
+            rng=derive_rng(self._seed_seq, 2, node_id),
+        )
+
+    def _acquire_radio(self, node_id: int) -> LoRaRadio:
+        """The node's radio: persistent, resumed from dormancy, or fresh."""
+        radio = self._radios.get(node_id)
+        if radio is not None:
+            return radio
+        dormant = self._dormant.pop(node_id, None)
+        if dormant is None:
+            radio = self._build_radio(node_id)
+        else:
+            # ensure_rng cannot restore a saved bit-generator state; the
+            # seed below is discarded the moment .state is assigned
+            resumed = np.random.Generator(np.random.PCG64(0))  # noqa: R001
+            resumed.bit_generator.state = dormant.rng_state
+            radio = LoRaRadio(
+                self._node_params[node_id],
+                oscillator=dormant.oscillator,
+                timing=dormant.timing,
+                node_id=node_id,
+                rng=resumed,
+            )
+        self._radios[node_id] = radio
+        return radio
+
+    def _suspend_radio(self, node_id: int) -> None:
+        """Park a streaming-mode radio: keep only the resumable board state."""
+        radio = self._radios.pop(node_id)
+        self._dormant[node_id] = _DormantRadio(
+            oscillator=radio.oscillator,
+            timing=radio.timing,
+            rng_state=radio.rng_state,
+        )
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def _waveform_for(self, packet: TransmittedPacket) -> np.ndarray:
+        """Render one frame through the node's (possibly resumed) radio."""
+        radio = self._acquire_radio(packet.node_id)
+        snr_lin = db_to_linear(packet.snr_db) * max(self.noise_power, 1e-30)
+        if self.plan is None:
+            amplitude = float(np.sqrt(snr_lin))
+            waveform, _, _ = radio.transmit_payload(
+                packet.payload, amplitude=amplitude
+            )
+        else:
+            # Per-channel noise after the analysis bank is roughly
+            # noise_power / M, so scale the narrowband amplitude to
+            # keep snr_db literal on the channelized stream.
+            amplitude = float(np.sqrt(snr_lin / self.plan.oversample_factor))
+            narrowband, _, _ = radio.transmit_payload(
+                packet.payload, amplitude=amplitude
+            )
+            waveform = upconvert_to_channel(
+                narrowband,
+                self.plan,
+                packet.channel,
+                start_sample=packet.start_sample,
+            )
+        if not self.materialize:
+            self._suspend_radio(packet.node_id)
+        return waveform
+
+    def _admit(self, packet: TransmittedPacket) -> None:
+        """Render ``packet`` into the resident set, guarding its size."""
+        if self._max_active is not None and len(self._rendered) >= self._max_active:
+            raise RuntimeError(
+                f"source active-set overflow: admitting a frame for node "
+                f"{packet.node_id} would exceed max_active_nodes="
+                f"{self._max_active} concurrently rendered frames "
+                f"({len(self._rendered)} resident); the offered load is "
+                "far past the configured concurrency bound"
+            )
+        self._rendered[self._render_seq] = (
+            packet.start_sample,
+            self._waveform_for(packet),
+        )
+        self._render_seq += 1
+        active = len(self._rendered)
+        if active > self.active_peak:
+            self.active_peak = active
+        if self._telemetry is not None:
+            self._telemetry.counter("source.packets").inc()
+            self._telemetry.gauge("source.active_frames").set(active)
+            self._telemetry.gauge("source.active_peak").set(self.active_peak)
+
     def _render_upto(self, end_sample: int) -> None:
         """Render (in schedule order) every packet starting before ``end``.
 
@@ -311,47 +556,38 @@ class SyntheticTrafficSource:
         so per-radio random phase draws are reproducible for any chunk
         size.
         """
-        while (
-            self._next_to_render < len(self.transmitted)
-            and self.transmitted[self._next_to_render].start_sample < end_sample
-        ):
-            packet = self.transmitted[self._next_to_render]
-            radio = self._radios[packet.node_id]
-            snr_lin = db_to_linear(packet.snr_db) * max(self.noise_power, 1e-30)
-            if self.plan is None:
-                amplitude = float(np.sqrt(snr_lin))
-                waveform, _, _ = radio.transmit_payload(
-                    packet.payload, amplitude=amplitude
-                )
-            else:
-                # Per-channel noise after the analysis bank is roughly
-                # noise_power / M, so scale the narrowband amplitude to
-                # keep snr_db literal on the channelized stream.
-                amplitude = float(np.sqrt(snr_lin / self.plan.oversample_factor))
-                narrowband, _, _ = radio.transmit_payload(
-                    packet.payload, amplitude=amplitude
-                )
-                waveform = upconvert_to_channel(
-                    narrowband,
-                    self.plan,
-                    packet.channel,
-                    start_sample=packet.start_sample,
-                )
-            self._rendered[self._next_to_render] = waveform
-            self._next_to_render += 1
+        if self.materialize:
+            while (
+                self._next_to_render < len(self.transmitted)
+                and self.transmitted[self._next_to_render].start_sample < end_sample
+            ):
+                packet = self.transmitted[self._next_to_render]
+                self._next_to_render += 1
+                self._admit(packet)
+        else:
+            for packet in self._scheduler.pop_until(end_sample):
+                if self._record_ground_truth:
+                    self.transmitted.append(packet)
+                self._admit(packet)
 
     def chunks(self) -> Iterator[np.ndarray]:
         """Yield the noisy stream chunk by chunk."""
         for a in range(0, self.duration_samples, self.chunk_samples):
             b = min(a + self.chunk_samples, self.duration_samples)
+            # Retire frames fully behind the stream head *before* admitting
+            # new ones, so the active set (and its guard) reflects live
+            # overlap, not chunk-boundary bookkeeping.
+            for key, (start, waveform) in list(self._rendered.items()):
+                if start + waveform.size <= a:
+                    del self._rendered[key]
             self._render_upto(b)
+            if self._telemetry is not None:
+                self._telemetry.gauge("source.active_frames").set(
+                    len(self._rendered)
+                )
             chunk = np.zeros(b - a, dtype=complex)
-            for index, waveform in list(self._rendered.items()):
-                start = self.transmitted[index].start_sample
+            for start, waveform in self._rendered.values():
                 end = start + waveform.size
-                if end <= a:
-                    del self._rendered[index]  # fully behind the stream head
-                    continue
                 if start >= b:
                     continue
                 lo, hi = max(start, a), min(end, b)
@@ -360,6 +596,14 @@ class SyntheticTrafficSource:
                 chunk = awgn(chunk, self.noise_power, rng=self._noise_rng)
             yield chunk
 
+    # ------------------------------------------------------------------
+    @property
+    def packets_scheduled(self) -> int:
+        """Frames scheduled so far (total offered load once exhausted)."""
+        if self.materialize:
+            return len(self.transmitted)
+        return self._scheduler.n_scheduled
+
     def ground_truth(self) -> List[Dict[str, object]]:
         """Per-packet truth rows for the trace/forensics layer.
 
@@ -367,12 +611,14 @@ class SyntheticTrafficSource:
         narrowband samples (a wideband plan's starts divide exactly by
         its oversample factor, since scheduling runs on the decimation
         grid), so forensics can match detections to transmissions
-        without knowing the channelizer geometry.
+        without knowing the channelizer geometry.  In streaming mode the
+        rows cover only the frames scheduled so far -- complete once the
+        stream has been consumed, empty before it starts.
         """
         m = 1 if self.plan is None else self.plan.oversample_factor
         rows: List[Dict[str, object]] = []
         for packet in self.transmitted:
-            node_params = self._radios[packet.node_id].params
+            node_params = self._node_params[packet.node_id]
             rows.append(
                 {
                     "node_id": packet.node_id,

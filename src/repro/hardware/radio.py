@@ -89,6 +89,20 @@ class LoRaRadio:
         return self._framer
 
     @property
+    def rng_state(self) -> dict:
+        """Resumable position of the per-packet draw stream.
+
+        A radio reconstructed with the same ``oscillator``/``timing``
+        models and a generator restored to this state renders exactly the
+        frames this one would have -- the streaming traffic source uses
+        it to park idle boards between transmissions without perturbing
+        their draw sequences.
+        """
+        state = self._rng.bit_generator.state
+        assert isinstance(state, dict)
+        return state
+
+    @property
     def tx_power_linear(self) -> float:
         """Transmit power as a linear amplitude-squared scale (1 mW ref)."""
         return float(db_to_linear(self.tx_power_dbm))

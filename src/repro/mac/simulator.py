@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.mac.phy import PhyModel, Transmission
 from repro.mac.protocols import AlohaMac, Mac
-from repro.phy.params import LoRaParams
+from repro.phy.params import VALID_SPREADING_FACTORS, LoRaParams
 from repro.utils import RngLike, ensure_rng
 
 
@@ -53,6 +53,28 @@ class NodeConfig:
     period_s: float | None = None
     channel: int = 0
     spreading_factor: int | None = None
+
+    def __post_init__(self) -> None:
+        # Validated here (not in each consumer) so the scenario loader can
+        # surface a population-spec mistake with the node that carries it.
+        if self.node_id < 0:
+            raise ValueError(f"node_id must be >= 0, got {self.node_id}")
+        if self.payload_bits <= 0:
+            raise ValueError(f"payload_bits must be positive, got {self.payload_bits}")
+        if self.period_s is not None and self.period_s <= 0:
+            raise ValueError(
+                f"period_s must be positive or None (saturated), got {self.period_s}"
+            )
+        if self.channel < 0:
+            raise ValueError(f"channel must be >= 0, got {self.channel}")
+        if (
+            self.spreading_factor is not None
+            and self.spreading_factor not in VALID_SPREADING_FACTORS
+        ):
+            raise ValueError(
+                f"spreading_factor must be one of {VALID_SPREADING_FACTORS}, "
+                f"got {self.spreading_factor}"
+            )
 
 
 @dataclass

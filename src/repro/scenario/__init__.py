@@ -1,0 +1,70 @@
+"""Declarative scenarios and the city-scale capacity campaign.
+
+``repro.scenario`` is the harness layer above the simulation stack: a
+scenario file (YAML/JSON) describes one urban deployment -- geometry,
+population, traffic, channel plan, gateway shape, decode tiers -- and the
+campaign runner sweeps it across node counts to produce the paper's
+Sec. 8 capacity-vs-offered-load comparison between Choir and standard
+LoRa.  See DESIGN.md Sec. 17.
+"""
+
+from repro.scenario.build import (
+    build_gateway,
+    build_gateway_config,
+    build_nodes,
+    build_plan,
+    build_source,
+    node_snrs,
+    offered_load_erlangs,
+    report_digest,
+    source_seed,
+)
+from repro.scenario.campaign import (
+    CapacityCurve,
+    SweepPoint,
+    VariantResult,
+    delivered_count,
+    run_campaign,
+    run_point,
+    run_variant,
+)
+from repro.scenario.loader import load_scenario, parse_scenario_text
+from repro.scenario.spec import (
+    BaselineSpec,
+    GatewaySpec,
+    GeometrySpec,
+    PlanSpec,
+    ScenarioError,
+    ScenarioSpec,
+    SweepSpec,
+    TrafficSpec,
+)
+
+__all__ = [
+    "BaselineSpec",
+    "CapacityCurve",
+    "GatewaySpec",
+    "GeometrySpec",
+    "PlanSpec",
+    "ScenarioError",
+    "ScenarioSpec",
+    "SweepPoint",
+    "SweepSpec",
+    "TrafficSpec",
+    "VariantResult",
+    "build_gateway",
+    "build_gateway_config",
+    "build_nodes",
+    "build_plan",
+    "build_source",
+    "delivered_count",
+    "load_scenario",
+    "node_snrs",
+    "offered_load_erlangs",
+    "parse_scenario_text",
+    "report_digest",
+    "run_campaign",
+    "run_point",
+    "run_variant",
+    "source_seed",
+]

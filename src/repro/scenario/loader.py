@@ -1,0 +1,71 @@
+"""Scenario file loading: YAML/JSON on disk -> validated ScenarioSpec.
+
+The loader is deliberately thin: parse the file into a plain dict, hand
+it to :meth:`ScenarioSpec.from_dict`, and stamp every resulting
+:class:`ScenarioError` with the file path so CI logs read
+``scenarios/eu868_urban.yaml: traffic.period_s: expected a number``.
+YAML support rides on PyYAML when present; ``.json`` scenarios always
+work, so the harness degrades gracefully on minimal installs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+from repro.scenario.spec import ScenarioError, ScenarioSpec
+
+try:  # pragma: no cover - exercised implicitly by every YAML test
+    import yaml as _yaml
+except ImportError:  # pragma: no cover - YAML-less installs fall back to JSON
+    _yaml = None
+
+YAML_SUFFIXES = (".yaml", ".yml")
+
+
+def parse_scenario_text(text: str, *, source: str = "<string>") -> ScenarioSpec:
+    """Parse scenario YAML/JSON source text into a validated spec.
+
+    JSON is a YAML subset, so with PyYAML available one parser covers
+    both; without it, JSON alone is attempted.  Errors -- syntax or
+    schema -- come back as :class:`ScenarioError` tagged with ``source``.
+    """
+    data: Any
+    if _yaml is not None:
+        try:
+            data = _yaml.safe_load(text)
+        except _yaml.YAMLError as exc:
+            raise ScenarioError(f"invalid YAML: {exc}", source=source) from exc
+    else:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(
+                f"invalid JSON (install PyYAML for YAML scenarios): {exc}",
+                source=source,
+            ) from exc
+    if data is None:
+        raise ScenarioError("scenario document is empty", source=source)
+    try:
+        return ScenarioSpec.from_dict(data)
+    except ScenarioError as exc:
+        raise exc.with_source(source) from None
+
+
+def load_scenario(path: Union[str, Path]) -> ScenarioSpec:
+    """Load and validate the scenario file at ``path``.
+
+    ``.yaml``/``.yml`` requires PyYAML; ``.json`` never does.  Missing
+    files and schema violations both surface as :class:`ScenarioError`
+    carrying the path.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise ScenarioError("scenario file not found", source=str(path))
+    if path.suffix.lower() in YAML_SUFFIXES and _yaml is None:
+        raise ScenarioError(
+            "PyYAML is not installed; convert the scenario to .json",
+            source=str(path),
+        )
+    return parse_scenario_text(path.read_text(), source=str(path))

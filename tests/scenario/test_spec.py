@@ -1,0 +1,157 @@
+"""ScenarioSpec validation: typed errors with key context, strict keys."""
+
+import pytest
+
+from repro.scenario import ScenarioError, ScenarioSpec
+from repro.scenario.spec import (
+    BaselineSpec,
+    GatewaySpec,
+    GeometrySpec,
+    PlanSpec,
+    SweepSpec,
+    TrafficSpec,
+)
+
+
+def minimal() -> dict:
+    return {"name": "t"}
+
+
+class TestRequiredAndTypes:
+    def test_minimal_dict_parses_with_defaults(self):
+        spec = ScenarioSpec.from_dict(minimal())
+        assert spec.name == "t"
+        assert spec.plan.n_channels == 8
+        assert spec.gateway.decode_tier == "cascade"
+        assert spec.baseline.max_users == 1
+
+    def test_missing_name_is_an_error_with_key(self):
+        with pytest.raises(ScenarioError) as err:
+            ScenarioSpec.from_dict({})
+        assert err.value.key == "name"
+        assert "name" in str(err.value)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ScenarioError):
+            ScenarioSpec.from_dict({"name": ""})
+
+    def test_non_mapping_top_level_rejected(self):
+        with pytest.raises(ScenarioError) as err:
+            ScenarioSpec.from_dict(["not", "a", "mapping"])
+        assert "mapping" in str(err.value)
+
+    def test_wrong_type_carries_dotted_key(self):
+        with pytest.raises(ScenarioError) as err:
+            ScenarioSpec.from_dict(
+                {"name": "t", "traffic": {"period_s": "often"}}
+            )
+        assert err.value.key == "traffic.period_s"
+        assert "traffic.period_s" in str(err.value)
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(ScenarioError) as err:
+            ScenarioSpec.from_dict({"name": "t", "plan": {"n_channels": True}})
+        assert err.value.key == "plan.n_channels"
+
+    def test_node_counts_must_be_int_list(self):
+        with pytest.raises(ScenarioError) as err:
+            ScenarioSpec.from_dict(
+                {"name": "t", "sweep": {"node_counts": [100, "many"]}}
+            )
+        assert err.value.key == "sweep.node_counts[1]"
+
+
+class TestUnknownKeys:
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ScenarioError) as err:
+            ScenarioSpec.from_dict({"name": "t", "geomtry": {}})
+        assert "geomtry" in str(err.value)
+
+    def test_unknown_section_key_rejected_with_path(self):
+        with pytest.raises(ScenarioError) as err:
+            ScenarioSpec.from_dict(
+                {"name": "t", "traffic": {"perriod_s": 20.0}}
+            )
+        assert err.value.key == "traffic.perriod_s"
+        assert "unknown key" in str(err.value)
+
+
+class TestDomainValidation:
+    @pytest.mark.parametrize(
+        "section,payload,key",
+        [
+            ("geometry", {"layout": "hexgrid"}, "geometry.layout"),
+            ("geometry", {"cell_radius_m": -1.0}, "geometry.cell_radius_m"),
+            (
+                "geometry",
+                {"cell_radius_m": 10.0, "min_distance_m": 20.0},
+                "geometry.min_distance_m",
+            ),
+            ("traffic", {"period_s": 0.0}, "traffic.period_s"),
+            ("traffic", {"payload_len": 0}, "traffic.payload_len"),
+            ("traffic", {"spreading_factors": [5]}, "traffic.spreading_factors"),
+            ("traffic", {"channel_policy": "hash"}, "traffic.channel_policy"),
+            ("plan", {"region": "us915"}, "plan.region"),
+            ("plan", {"n_channels": 0}, "plan.n_channels"),
+            ("gateway", {"executor": "fork"}, "gateway.executor"),
+            ("gateway", {"workers": 0}, "gateway.workers"),
+            ("gateway", {"decode_tier": "turbo"}, "gateway.decode_tier"),
+            ("gateway", {"detection_pfa": 1.5}, "gateway.detection_pfa"),
+            ("gateway", {"max_users": 0}, "gateway.max_users"),
+            ("baseline", {"decode_tier": "nope"}, "baseline.decode_tier"),
+            ("sweep", {"node_counts": [0]}, "sweep.node_counts"),
+            ("sweep", {"duration_s": -5.0}, "sweep.duration_s"),
+            ("sweep", {"max_active_frames": 0}, "sweep.max_active_frames"),
+        ],
+    )
+    def test_bad_value_names_its_key(self, section, payload, key):
+        with pytest.raises(ScenarioError) as err:
+            ScenarioSpec.from_dict({"name": "t", section: payload})
+        assert err.value.key == key
+
+    def test_saturated_traffic_allowed(self):
+        spec = ScenarioSpec.from_dict(
+            {"name": "t", "traffic": {"period_s": None}}
+        )
+        assert spec.traffic.period_s is None
+
+    def test_unbounded_max_users_allowed(self):
+        spec = ScenarioSpec.from_dict(
+            {"name": "t", "gateway": {"max_users": None}}
+        )
+        assert spec.gateway.max_users is None
+
+
+class TestRoundTrip:
+    def test_default_spec_round_trips(self):
+        spec = ScenarioSpec(name="rt")
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_customized_spec_round_trips(self):
+        spec = ScenarioSpec(
+            name="rt",
+            description="custom",
+            geometry=GeometrySpec(
+                layout="fixed-snr", snr_db=9.0, shadowing_sigma_db=2.0
+            ),
+            traffic=TrafficSpec(
+                period_s=None, payload_len=12, spreading_factors=(7, 8)
+            ),
+            plan=PlanSpec(n_channels=4),
+            gateway=GatewaySpec(
+                executor="serial", workers=1, decode_tier="full", max_users=None
+            ),
+            baseline=BaselineSpec(decode_tier="fast", max_users=1),
+            sweep=SweepSpec(node_counts=(10, 20), duration_s=3.0, seed=7),
+        )
+        again = ScenarioSpec.from_dict(spec.to_dict())
+        assert again == spec
+        # and the dict projection itself is stable
+        assert again.to_dict() == spec.to_dict()
+
+    def test_round_trip_preserves_tuple_types(self):
+        spec = ScenarioSpec.from_dict(
+            {"name": "t", "traffic": {"spreading_factors": [8, 7]}}
+        )
+        assert spec.traffic.spreading_factors == (8, 7)
+        assert isinstance(spec.sweep.node_counts, tuple)

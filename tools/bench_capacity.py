@@ -1,0 +1,140 @@
+"""Capacity-campaign benchmark: run the sweep, write BENCH_capacity.json.
+
+Runs the committed scenario's node-count sweep (scaled for CI) through
+both decoder variants and records, per sweep point, the two numbers the
+capacity gate cares about -- each framed lower-is-better so the shared
+``bench_report.py --compare`` machinery (which only fails on *increases*)
+gates them directly:
+
+* ``choir_loss_rate`` -- ``1 - delivery_rate`` of the Choir cascade.  A
+  decode regression shows up as packets lost, and the comparator flags
+  the rise; a deterministic seed makes the rerun value exact.
+* ``wall_per_stream_s`` -- wall seconds burned per simulated stream
+  second (the reciprocal of the realtime factor, summed over both
+  variants).  A throughput regression makes the sweep slower per unit of
+  air time.
+
+The report also stores each point's raw delivery rates and the ordering
+margin for humans; the comparator ignores those.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_capacity.py                 # defaults
+    PYTHONPATH=src python tools/bench_capacity.py --nodes 50 200 800 \
+        --duration 10 --out BENCH_capacity.json
+    PYTHONPATH=src python tools/bench_report.py --compare BENCH_capacity.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.scenario import load_scenario, run_campaign  # noqa: E402
+
+DEFAULT_SCENARIO = "scenarios/eu868_urban.yaml"
+DEFAULT_NODE_COUNTS = (50, 200, 800)
+DEFAULT_DURATION_S = 10.0
+
+
+def run_benchmark(
+    scenario: str = DEFAULT_SCENARIO,
+    node_counts: tuple[int, ...] | list[int] = DEFAULT_NODE_COUNTS,
+    duration_s: float = DEFAULT_DURATION_S,
+    seed: int = 0,
+    strict_above: int = 200,
+) -> dict:
+    """Run one scaled capacity campaign and return the JSON-ready dict.
+
+    The scenario path is stored relative to the repo root inside
+    ``config`` so ``--compare`` reruns resolve it from any CWD.
+    """
+    scenario_path = Path(scenario)
+    if not scenario_path.is_file():
+        scenario_path = Path(__file__).resolve().parent.parent / scenario
+    spec = load_scenario(scenario_path)
+    curve = run_campaign(
+        spec, node_counts=list(node_counts), duration_s=duration_s, seed=seed
+    )
+    points = []
+    for p in curve.points:
+        wall = p.choir.wall_s + p.baseline.wall_s
+        points.append(
+            {
+                "n_nodes": p.n_nodes,
+                "offered_load_erlangs": p.offered_load_erlangs,
+                "choir_loss_rate": 1.0 - p.choir.delivery_rate,
+                "wall_per_stream_s": wall / p.duration_s,
+                "choir_delivery_rate": p.choir.delivery_rate,
+                "baseline_delivery_rate": p.baseline.delivery_rate,
+                "capacity_gain": (
+                    p.capacity_gain if p.capacity_gain != float("inf") else None
+                ),
+                "packets_offered": p.choir.packets_offered,
+                "source_active_peak": p.source_active_peak,
+            }
+        )
+    return {
+        "benchmark": "capacity",
+        "config": {
+            "scenario": scenario,
+            "node_counts": list(node_counts),
+            "duration_s": duration_s,
+            "seed": seed,
+            "strict_above": strict_above,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "scenario_name": spec.name,
+        "ordering_violations": curve.ordering_violations(
+            strict_above=strict_above
+        ),
+        "points": points,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", default=DEFAULT_SCENARIO)
+    parser.add_argument(
+        "--nodes", type=int, nargs="+", default=list(DEFAULT_NODE_COUNTS)
+    )
+    parser.add_argument("--duration", type=float, default=DEFAULT_DURATION_S)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--strict-above", type=int, default=200)
+    parser.add_argument("--out", default="BENCH_capacity.json")
+    args = parser.parse_args(argv)
+    result = run_benchmark(
+        scenario=args.scenario,
+        node_counts=args.nodes,
+        duration_s=args.duration,
+        seed=args.seed,
+        strict_above=args.strict_above,
+    )
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    for point in result["points"]:
+        print(
+            f"  n={point['n_nodes']}: choir {point['choir_delivery_rate']:.3f}"
+            f" vs baseline {point['baseline_delivery_rate']:.3f} delivery,"
+            f" {point['wall_per_stream_s']:.2f} wall-s per stream-s,"
+            f" active peak {point['source_active_peak']}"
+        )
+    if result["ordering_violations"]:
+        print("ORDERING VIOLATIONS:", file=sys.stderr)
+        for violation in result["ordering_violations"]:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

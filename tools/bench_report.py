@@ -6,9 +6,10 @@ hardware with: packets/s and samples/s of sustained throughput, the
 realtime factor, and per-stage latency percentiles straight from the
 telemetry layer.
 
-Also hosts the regression gate shared with ``tools/bench_decode.py``:
+Also hosts the regression gate shared with ``tools/bench_decode.py``,
+``tools/bench_cascade.py`` and ``tools/bench_capacity.py``:
 ``--compare baseline.json`` re-runs the benchmark named inside the
-baseline (or reads ``--candidate``) and fails if any latency percentile
+baseline (or reads ``--candidate``) and fails if any gated metric
 exceeds the baseline by more than ``--tolerance`` (default 25%).
 
 Usage::
@@ -215,6 +216,18 @@ def latency_metrics(report: dict) -> dict[str, float]:
                 if hist is not None:
                     for key in COMPARE_KEYS:
                         metrics[f"{tier}.{sub}.{key}"] = float(hist[key])
+    elif report.get("benchmark") == "capacity":
+        # Both metrics are lower-is-better by construction (loss rather
+        # than delivery, wall-per-stream rather than realtime factor), so
+        # the increase-only comparator gates capacity and throughput
+        # regressions alike.  loss_rate is a fraction, not seconds; the
+        # comparator's ms formatting is cosmetic.
+        for point in report.get("points", ()):
+            label = f"n{point['n_nodes']}"
+            metrics[f"{label}.loss_rate"] = float(point["choir_loss_rate"])
+            metrics[f"{label}.wall_per_stream_s"] = float(
+                point["wall_per_stream_s"]
+            )
     else:
         for stage, hist in report.get("stages", {}).items():
             for key in COMPARE_KEYS:
@@ -236,6 +249,11 @@ def rerun_from(baseline: dict) -> dict:
         import bench_cascade
 
         return bench_cascade.run_benchmark(**config)
+    if baseline.get("benchmark") == "capacity":
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        import bench_capacity
+
+        return bench_capacity.run_benchmark(**config)
     return run_benchmark(**config)
 
 
