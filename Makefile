@@ -1,6 +1,6 @@
 # Developer workflow for the Choir reproduction.
 #
-#   make lint          repo-specific AST rules (R001-R012) + ruff, if installed
+#   make lint          repo-specific AST rules (R001-R013) + ruff, if installed
 #   make analyze       the AST dataflow engine alone, with a JSON findings report
 #   make typecheck     mypy per the gradual-strictness table in pyproject.toml
 #   make test          the tier-1 suite (includes the static-analysis gate)
@@ -14,6 +14,8 @@
 #   make bench-cascade tiered vs full decode on a mixed workload -> $(BENCH_CASCADE_OUT)
 #   make bench-capacity capacity sweep baseline -> $(BENCH_CAPACITY_OUT)
 #   make bench-check   regression gate vs the committed BENCH_decode.json (+-25%)
+#   make bench-profile profiled gateway run -> run manifest + collapsed stacks
+#   make profile-check `repro diff` gate vs the committed BENCH_profile.json
 #
 # Benchmark knobs (CI overrides these so it never rewrites the committed
 # baseline and gets extra slack for shared-runner jitter):
@@ -24,6 +26,13 @@
 #   BENCH_CANDIDATE    pre-recorded report to gate (empty = re-run fresh)
 #   BENCH_TOLERANCE    allowed fractional slowdown (0.25 = +-25%)
 #   BENCH_SLACK        absolute grace in seconds on top of the tolerance
+#   BENCH_PROFILE_OUT  where bench-profile writes the run manifest
+#   BENCH_STACKS_OUT   where bench-profile writes the collapsed stacks
+#   PROFILE_BASELINE   manifest profile-check diffs against
+#   PROFILE_CANDIDATE  candidate manifest profile-check gates
+#   PROFILE_TOLERANCE  allowed fractional drift per metric (wall times are
+#                      machine-dependent, so this is deliberately wide)
+#   PROFILE_SLACK      absolute grace on top of the tolerance
 #
 # Campaign knobs (defaults are the CI scale; the committed scenario's own
 # sweep section is the full 100/300/1000-node campaign):
@@ -42,15 +51,24 @@ BENCH_CANDIDATE  ?=
 BENCH_TOLERANCE  ?= 0.25
 BENCH_SLACK      ?= 0.002
 
+BENCH_PROFILE_OUT ?= BENCH_profile.json
+BENCH_STACKS_OUT  ?= profile_stacks.txt
+PROFILE_BASELINE  ?= BENCH_profile.json
+PROFILE_CANDIDATE ?= BENCH_profile.ci.json
+PROFILE_TOLERANCE ?= 3.0
+PROFILE_SLACK     ?= 0.05
+
 CAMPAIGN_SCENARIO ?= scenarios/eu868_urban.yaml
 CAMPAIGN_NODES    ?= 50 200 800
 CAMPAIGN_DURATION ?= 10
 CAMPAIGN_JSON     ?= capacity_curve.json
 CAMPAIGN_CSV      ?= capacity_curve.csv
+CAMPAIGN_MANIFEST ?= campaign_manifest.json
+CAMPAIGN_STACKS   ?= campaign_stacks.txt
 
 ANALYZE_OUT ?= analysis_findings.json
 
-.PHONY: lint analyze typecheck test soak check ci campaign bench-gateway bench-decode bench-cascade bench-capacity bench-check
+.PHONY: lint analyze typecheck test soak check ci campaign bench-gateway bench-decode bench-cascade bench-capacity bench-check bench-profile profile-check
 
 lint:
 	$(PYTHON) tools/repro_lint.py --engine=ast src tools
@@ -60,7 +78,7 @@ lint:
 		echo "ruff not installed (pip install -e '.[lint]'); skipping"; \
 	fi
 
-# Concurrency & determinism audit (DESIGN.md Sec. 14): rules R001-R012
+# Concurrency & determinism audit (DESIGN.md Sec. 14): rules R001-R013
 # over the source tree, findings also written as a JSON artifact.
 analyze:
 	$(PYTHON) tools/repro_lint.py --engine=ast --json $(ANALYZE_OUT) src tools
@@ -97,16 +115,20 @@ ci:
 	$(MAKE) campaign
 	CI=1 $(MAKE) bench-capacity BENCH_CAPACITY_OUT=BENCH_capacity.ci.json
 	$(MAKE) bench-check BENCH_BASELINE=BENCH_capacity.json BENCH_CANDIDATE=BENCH_capacity.ci.json BENCH_TOLERANCE=0.5 BENCH_SLACK=0.05
+	CI=1 $(MAKE) bench-profile BENCH_PROFILE_OUT=BENCH_profile.ci.json BENCH_STACKS_OUT=profile_stacks.ci.txt
+	$(MAKE) profile-check PROFILE_CANDIDATE=BENCH_profile.ci.json
 
 # The CI campaign job: scaled node-count sweep over the committed urban
 # scenario, with the Choir-vs-standard capacity ordering asserted at
 # every point (strictly above from 200 nodes on) and the curve written
-# as plot-ready JSON + CSV artifacts.
+# as plot-ready JSON + CSV artifacts, plus the sweep's run manifest and
+# collapsed kernel stacks (where did the campaign's time go).
 campaign:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro campaign \
 		--scenario $(CAMPAIGN_SCENARIO) \
 		--nodes $(CAMPAIGN_NODES) --duration $(CAMPAIGN_DURATION) \
 		--json-out $(CAMPAIGN_JSON) --csv-out $(CAMPAIGN_CSV) \
+		--profile-out $(CAMPAIGN_MANIFEST) --stacks-out $(CAMPAIGN_STACKS) \
 		--assert-ordering
 
 # The committed baseline is the 8-channel EU868 mixed-SF sharded run
@@ -130,3 +152,23 @@ bench-check:
 		--compare $(BENCH_BASELINE) --tolerance $(BENCH_TOLERANCE) \
 		--slack $(BENCH_SLACK) \
 		$(if $(BENCH_CANDIDATE),--candidate $(BENCH_CANDIDATE),)
+
+# The committed BENCH_gateway.json config rerun with the kernel profiler
+# on: writes the diffable run manifest plus flamegraph-ready collapsed
+# stacks.  The bench report itself goes to a scratch file so the
+# committed unprofiled baseline is never overwritten.
+bench-profile:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/bench_report.py \
+		--channels 8 --sf-set 7,8 --nodes 8 --duration 1.0 --workers 2 \
+		--out BENCH_gateway.profiled.json \
+		--profile-out $(BENCH_PROFILE_OUT) --stacks-out $(BENCH_STACKS_OUT)
+
+# Diff a fresh manifest against the committed BENCH_profile.json.
+# Strict mode: a kernel disappearing from the table (instrumentation
+# silently dropped) fails the gate just like a slowdown; the wide
+# tolerance absorbs machine-speed differences on wall metrics.
+profile-check:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro diff \
+		$(PROFILE_BASELINE) $(PROFILE_CANDIDATE) \
+		--tolerance $(PROFILE_TOLERANCE) --slack $(PROFILE_SLACK) \
+		--assert-no-regression

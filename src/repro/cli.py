@@ -10,6 +10,8 @@ Usage::
     python -m repro forensics trace.json               # per-packet post-mortem
     python -m repro server --gateways 2 --duration 120  # closed ADR loop
     python -m repro campaign --scenario scenarios/eu868_urban.yaml  # capacity sweep
+    python -m repro gateway --profile-out run.json     # kernel profile + manifest
+    python -m repro diff baseline.json candidate.json  # threshold-verdict diff
 
 Each experiment prints the same rows/series the paper's figure reports;
 ASCII charts accompany the series-shaped ones.  ``gateway`` runs the
@@ -158,6 +160,48 @@ def _parse_sf_set(text: str) -> tuple[int, ...]:
     return values
 
 
+def _write_profile_artifacts(
+    args: argparse.Namespace,
+    kind: str,
+    config: dict,
+    seed,
+    digest=None,
+    telemetry=None,
+    profiler=None,
+    resources=None,
+    extra_metrics=None,
+    points=None,
+) -> None:
+    """Write the run manifest / collapsed stacks the profile flags asked for."""
+    if getattr(args, "profile_out", None):
+        from repro.profile import build_manifest
+
+        manifest = build_manifest(
+            kind,
+            config,
+            seed=seed,
+            digest=digest,
+            telemetry=telemetry,
+            profiler=profiler,
+            resources=resources,
+            extra_metrics=extra_metrics,
+            points=points,
+        )
+        manifest.write(args.profile_out)
+        print(
+            f"run manifest written to {args.profile_out}"
+            f" ({len(manifest.metrics)} comparable metric(s);"
+            f" diff with `python -m repro diff`)"
+        )
+    if getattr(args, "stacks_out", None) and profiler is not None:
+        with open(args.stacks_out, "w") as handle:
+            handle.write(profiler.collapsed())
+        print(
+            f"collapsed stacks written to {args.stacks_out}"
+            " (flamegraph.pl / speedscope ready)"
+        )
+
+
 def cmd_gateway(args: argparse.Namespace) -> int:
     """Run the streaming gateway and print its telemetry summary."""
     from repro.gateway import (
@@ -175,6 +219,7 @@ def cmd_gateway(args: argparse.Namespace) -> int:
     sf_set = args.sf_set if args.sf_set is not None else (args.sf,)
     multi_channel = args.channels > 1 or len(sf_set) > 1
     params = LoRaParams(spreading_factor=sf_set[0])
+    profile = bool(args.profile_out or args.stacks_out)
     gateway: Gateway | ShardedGateway
     if multi_channel:
         if args.input is not None:
@@ -193,6 +238,8 @@ def cmd_gateway(args: argparse.Namespace) -> int:
             seed=args.seed,
             trace=bool(args.trace_out),
             trace_sample_rate=args.trace_sample_rate,
+            profile=profile,
+            profile_alloc=args.profile_alloc,
         )
         nodes = [
             NodeConfig(
@@ -232,6 +279,8 @@ def cmd_gateway(args: argparse.Namespace) -> int:
             seed=args.seed,
             trace=bool(args.trace_out),
             trace_sample_rate=args.trace_sample_rate,
+            profile=profile,
+            profile_alloc=args.profile_alloc,
         )
         if args.input is not None:
             source = IqFileSource(params, args.input)
@@ -270,11 +319,43 @@ def cmd_gateway(args: argparse.Namespace) -> int:
     if args.trace_out and report.trace is not None:
         from repro.trace import write_trace
 
-        write_trace(report.trace, args.trace_out)
+        write_trace(report.trace, args.trace_out, kernel_profile=report.profile)
         print(
             f"trace written to {args.trace_out}"
             f" ({len(report.trace)} packet trace(s);"
             f" inspect with `python -m repro forensics {args.trace_out}`)"
+        )
+    if profile:
+        from repro.scenario.build import report_digest
+
+        run_config = {
+            "duration_s": args.duration,
+            "n_nodes": args.nodes,
+            "period_s": args.period,
+            "snr_db": args.snr,
+            "payload_len": args.payload_len,
+            "n_workers": args.workers,
+            "executor": args.executor,
+            "seed": args.seed,
+            "spreading_factor": args.sf,
+            "n_channels": args.channels,
+            "sf_set": list(sf_set),
+            "decode_tier": args.decode_tier,
+        }
+        _write_profile_artifacts(
+            args,
+            "sharded-gateway" if multi_channel else "gateway",
+            run_config,
+            args.seed,
+            digest=report_digest(report),
+            telemetry=gateway.telemetry,
+            profiler=report.profile,
+            resources=report.resources,
+            extra_metrics={
+                "gateway.realtime_factor": report.realtime_factor,
+                "gateway.wall_s": report.wall_s,
+                "gateway.packets_decoded": float(report.packets_decoded),
+            },
         )
     return 0
 
@@ -313,9 +394,16 @@ def cmd_server(args: argparse.Namespace) -> int:
         f"{args.initial_sf}, {args.duration:.1f}s simulated, "
         f"{args.ingest} ingest, {server.config.decode_tier} decode tier"
     )
+    accountant = None
+    if args.profile_out:
+        from repro.profile.resources import ResourceAccountant
+
+        accountant = ResourceAccountant(alloc_top_n=args.profile_alloc)
+        accountant.start()
     report = run_closed_loop(
         sim, phy, server, args.duration, ingest=args.ingest
     )
+    resources = accountant.stop() if accountant is not None else None
     faster, slower = report.moved_faster(), report.moved_slower()
     print(
         f"ingested {report.server.n_ingested} gateway copies -> "
@@ -341,6 +429,31 @@ def cmd_server(args: argparse.Namespace) -> int:
         with open(args.state_out, "w") as handle:
             handle.write(report.server.sessions_jsonl)
         print(f"session state written to {args.state_out}")
+    if args.profile_out:
+        _write_profile_artifacts(
+            args,
+            "server",
+            {
+                "n_gateways": args.gateways,
+                "n_nodes": args.nodes,
+                "duration_s": args.duration,
+                "snr_hi_db": args.snr_hi,
+                "snr_lo_db": args.snr_lo,
+                "initial_sf": args.initial_sf,
+                "ingest": args.ingest,
+                "seed": args.seed,
+                "decode_tier": args.decode_tier,
+            },
+            args.seed,
+            telemetry=server.telemetry,
+            resources=resources,
+            extra_metrics={
+                "server.ingested": float(report.server.n_ingested),
+                "server.delivered": float(report.server.n_delivered),
+                "server.duplicates": float(report.server.n_duplicates),
+                "server.commands": float(report.n_commands),
+            },
+        )
     if args.assert_adr and (not faster or not slower):
         print(
             "ADR convergence assertion failed: expected at least one node "
@@ -376,7 +489,24 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         f"(max_users={spec.baseline.max_users})"
     )
 
+    profiler = None
+    if args.profile_out or args.stacks_out:
+        from repro.profile import KernelProfiler
+
+        profiler = KernelProfiler()
+
+    # Heartbeat state: completed points weight the ETA by node count
+    # (cost scales superlinearly, but linear already beats uniform).
+    total_weight = float(sum(counts)) or 1.0
+    done_weight = 0.0
+    started_at = time.time()
+
     def _progress(point) -> None:
+        nonlocal done_weight
+        done_weight += point.n_nodes
+        elapsed = time.time() - started_at
+        remaining = total_weight - done_weight
+        eta = elapsed / done_weight * remaining if done_weight else 0.0
         print(
             f"  n={point.n_nodes}: offered G={point.offered_load_erlangs:.3f}, "
             f"choir {point.choir.delivery_rate:.3f} "
@@ -386,8 +516,19 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             f"{point.baseline.packets_offered}), "
             f"active peak {point.source_active_peak}"
         )
+        print(
+            f"    [heartbeat] elapsed {elapsed:.1f}s, eta ~{eta:.0f}s, "
+            f"cpu {point.choir.cpu_s + point.baseline.cpu_s:.1f}s, "
+            f"peak rss {point.choir.max_rss_kb / 1024.0:.0f}MB"
+        )
         sys.stdout.flush()
 
+    accountant = None
+    if args.profile_out:
+        from repro.profile.resources import ResourceAccountant
+
+        accountant = ResourceAccountant(alloc_top_n=args.profile_alloc)
+        accountant.start()
     try:
         curve = run_campaign(
             spec,
@@ -395,10 +536,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             duration_s=args.duration,
             seed=args.seed,
             on_point=_progress,
+            profiler=profiler,
         )
     except ScenarioError as exc:
         print(f"scenario error: {exc}", file=sys.stderr)
         return 2
+    resources = accountant.stop() if accountant is not None else None
     print()
     print(curve.chart())
     if args.json_out:
@@ -409,6 +552,32 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         with open(args.csv_out, "w") as handle:
             handle.write(curve.to_csv())
         print(f"curve CSV written to {args.csv_out}")
+    if args.profile_out or args.stacks_out:
+        point_metrics: dict[str, float] = {}
+        for p in curve.points:
+            for variant in (p.choir, p.baseline):
+                prefix = f"campaign.n{p.n_nodes}.{variant.variant}"
+                point_metrics[f"{prefix}.delivery_rate"] = variant.delivery_rate
+                point_metrics[f"{prefix}.wall_s"] = variant.wall_s
+                point_metrics[f"{prefix}.cpu_s"] = variant.cpu_s
+                point_metrics[f"{prefix}.max_rss_kb"] = float(
+                    variant.max_rss_kb
+                )
+        _write_profile_artifacts(
+            args,
+            "campaign",
+            {
+                "scenario": spec.name,
+                "node_counts": list(counts),
+                "duration_s": duration,
+                "seed": args.seed if args.seed is not None else spec.sweep.seed,
+            },
+            args.seed if args.seed is not None else spec.sweep.seed,
+            profiler=profiler,
+            resources=resources,
+            extra_metrics=point_metrics,
+            points=[p.to_dict() for p in curve.points],
+        )
     if args.assert_ordering:
         problems = curve.ordering_violations(strict_above=args.strict_above)
         if problems:
@@ -423,6 +592,51 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             f"strictly above at n >= {args.strict_above}"
         )
     return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """Compare two run manifests; exit 1 on thresholded regressions."""
+    from repro.profile import diff_metrics, load_manifest
+
+    try:
+        baseline = load_manifest(args.baseline)
+        candidate = load_manifest(args.candidate)
+    except (OSError, ValueError) as exc:
+        print(f"diff error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"baseline : {args.baseline} "
+        f"(kind={baseline.kind}, seed={baseline.seed})"
+    )
+    print(
+        f"candidate: {args.candidate} "
+        f"(kind={candidate.kind}, seed={candidate.seed})"
+    )
+    if baseline.kind != candidate.kind:
+        print(
+            f"note: comparing different run kinds "
+            f"({baseline.kind} vs {candidate.kind})"
+        )
+    report = diff_metrics(
+        baseline.metrics,
+        candidate.metrics,
+        tolerance=args.tolerance,
+        slack=args.slack,
+    )
+    for line in report.lines(show_ok=args.show_ok):
+        print(line)
+    print(report.summary())
+    code = report.exit_code(strict=args.assert_no_regression)
+    if code:
+        tally = len(report.regressions)
+        missing = len(report.missing)
+        parts = [f"{tally} regression(s)"]
+        if args.assert_no_regression and missing:
+            parts.append(f"{missing} missing baseline metric(s)")
+        print("REGRESSION: " + ", ".join(parts), file=sys.stderr)
+    else:
+        print("no regressions")
+    return code
 
 
 def cmd_run(names: list[str]) -> int:
@@ -519,6 +733,26 @@ def main(argv: list[str] | None = None) -> int:
         default=1.0,
         help="fraction of jobs traced unconditionally (failures always kept)",
     )
+    gw.add_argument(
+        "--profile-out",
+        default=None,
+        help="write a diffable run manifest JSON here (enables the kernel"
+        " profiler; compare runs with `python -m repro diff`)",
+    )
+    gw.add_argument(
+        "--profile-alloc",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also record the top-N allocation sites via tracemalloc"
+        " (0 = off; tracing roughly doubles allocator cost)",
+    )
+    gw.add_argument(
+        "--stacks-out",
+        default=None,
+        help="write collapsed kernel stacks here (flamegraph.pl /"
+        " speedscope input; enables the kernel profiler)",
+    )
     srv = sub.add_parser(
         "server",
         help="run the closed-loop multi-gateway network-server scenario",
@@ -580,6 +814,19 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="exit 1 unless ADR moved a node faster AND one slower (CI gate)",
     )
+    srv.add_argument(
+        "--profile-out",
+        default=None,
+        help="write a diffable run manifest JSON here (server runs record"
+        " telemetry and resource usage; no DSP kernels)",
+    )
+    srv.add_argument(
+        "--profile-alloc",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also record the top-N allocation sites via tracemalloc (0 = off)",
+    )
     camp = sub.add_parser(
         "campaign",
         help="run a scenario file's node-count capacity sweep"
@@ -624,6 +871,53 @@ def main(argv: list[str] | None = None) -> int:
         default=200,
         help="node count from which choir must be strictly above baseline",
     )
+    camp.add_argument(
+        "--profile-out",
+        default=None,
+        help="write a diffable run manifest JSON here (whole-campaign kernel"
+        " table, per-point resource curves)",
+    )
+    camp.add_argument(
+        "--profile-alloc",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also record the top-N allocation sites via tracemalloc (0 = off)",
+    )
+    camp.add_argument(
+        "--stacks-out",
+        default=None,
+        help="write the campaign's collapsed kernel stacks here",
+    )
+    diff_parser = sub.add_parser(
+        "diff",
+        help="compare two run manifests written with --profile-out",
+    )
+    diff_parser.add_argument("baseline", help="baseline run manifest JSON")
+    diff_parser.add_argument("candidate", help="candidate run manifest JSON")
+    diff_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="relative drift allowed before a metric is flagged (default 25%%)",
+    )
+    diff_parser.add_argument(
+        "--slack",
+        type=float,
+        default=0.0,
+        help="absolute drift allowed on top of the tolerance (metric units)",
+    )
+    diff_parser.add_argument(
+        "--assert-no-regression",
+        action="store_true",
+        help="strict CI gate: also exit 1 when baseline metrics are missing"
+        " from the candidate",
+    )
+    diff_parser.add_argument(
+        "--show-ok",
+        action="store_true",
+        help="print every compared metric, not just the interesting ones",
+    )
     forensics_parser = sub.add_parser(
         "forensics",
         help="per-packet post-mortem of a trace written with --trace-out",
@@ -645,6 +939,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_server(args)
     if args.command == "campaign":
         return cmd_campaign(args)
+    if args.command == "diff":
+        return cmd_diff(args)
     if args.command == "forensics":
         from repro.trace.forensics import main as forensics_main
 

@@ -14,6 +14,8 @@ import numpy as np
 
 from repro.phy.chirp import downchirp
 from repro.phy.params import LoRaParams
+from repro.profile import context as profile_context
+from repro.profile.profiler import shape_bucket
 
 #: Zero-padding factor the paper uses for its wide FFTs (Sec. 5.1, Fig. 3d).
 DEFAULT_OVERSAMPLE = 10
@@ -97,8 +99,13 @@ def dechirp_windows(
     n_windows = min(n_windows, available)
     if n_windows <= 0:
         return np.zeros((0, n), dtype=complex)
-    segment = samples[start : start + n_windows * n].reshape(n_windows, n)
-    return segment * cached_downchirp(params)[None, :]
+    with profile_context.kernel(
+        "dechirp.windows",
+        f"N{n}.M{shape_bucket(n_windows)}",
+        bytes_touched=16 * n_windows * n,
+    ):
+        segment = samples[start : start + n_windows * n].reshape(n_windows, n)
+        return segment * cached_downchirp(params)[None, :]
 
 
 def oversampled_spectrum(dechirped: np.ndarray, oversample: int = DEFAULT_OVERSAMPLE) -> np.ndarray:
@@ -110,7 +117,15 @@ def oversampled_spectrum(dechirped: np.ndarray, oversample: int = DEFAULT_OVERSA
     """
     dechirped = np.asarray(dechirped)
     n = dechirped.shape[-1]
-    return np.fft.fft(dechirped, n * oversample, axis=-1)
+    n_rows = int(np.prod(dechirped.shape[:-1])) if dechirped.ndim > 1 else 1
+    with profile_context.kernel(
+        "dechirp.fft",
+        f"N{n * oversample}.M{shape_bucket(n_rows)}",
+        fft_count=n_rows,
+        fft_points=n_rows * n * oversample,
+        bytes_touched=16 * n_rows * n * (oversample + 1),
+    ):
+        return np.fft.fft(dechirped, n * oversample, axis=-1)
 
 
 def spectrum_bin_positions(n_bins: int, oversample: int = DEFAULT_OVERSAMPLE) -> np.ndarray:
@@ -128,8 +143,15 @@ def evaluate_spectrum_at(dechirped: np.ndarray, positions_bins: np.ndarray) -> n
     dechirped = np.asarray(dechirped)
     n = dechirped.shape[-1]
     positions_bins = np.atleast_1d(np.asarray(positions_bins, dtype=float))
-    basis = np.exp(-2j * np.pi * np.outer(positions_bins, cached_sample_index(n)) / n)
-    return basis @ dechirped
+    with profile_context.kernel(
+        "dechirp.dtft",
+        f"N{n}.C{shape_bucket(positions_bins.size)}",
+        bytes_touched=16 * positions_bins.size * n,
+    ):
+        basis = np.exp(
+            -2j * np.pi * np.outer(positions_bins, cached_sample_index(n)) / n
+        )
+        return basis @ dechirped
 
 
 def spectrogram(

@@ -48,6 +48,8 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.core.dechirp import cached_sample_index
+from repro.profile import context as profile_context
+from repro.profile.profiler import shape_bucket
 
 #: Relative Schur-complement floor below which a candidate column is
 #: treated as linearly dependent on the fixed users' columns (the fit gain
@@ -164,20 +166,31 @@ class CandidateView:
         self._e_o_conj_t = e_o.conj().T
         self._n_fixed = e_o.shape[1]
         if self._n_fixed:
-            gram = self._e_o_conj_t @ e_o
-            b_o = self._e_o_conj_t @ engine.windows.T  # (J, M)
-            try:
-                # The Gram block is factored ONCE per view; every candidate
-                # batch reuses it as a cached K x K inverse (one small GEMM
-                # per batch instead of a LAPACK solve per trial).
-                self._gram_inv: Optional[np.ndarray] = np.linalg.inv(gram)
-                self._q = self._gram_inv @ b_o
-            except np.linalg.LinAlgError:
-                # Degenerate fixed set: fall back to the pseudo-inverse fit.
-                self._gram_inv = None
-                self._q, *_ = np.linalg.lstsq(e_o, engine.windows.T, rcond=None)
-            self._b_o = b_o
-            self.base_fit = float(np.sum((np.conj(b_o) * self._q).real))
+            with profile_context.kernel(
+                "engine.view_build",
+                f"J{self._n_fixed}.M{engine.n_windows}",
+                bytes_touched=e_o.nbytes + engine.windows.nbytes,
+            ):
+                gram = self._e_o_conj_t @ e_o
+                b_o = self._e_o_conj_t @ engine.windows.T  # (J, M)
+                try:
+                    # The Gram block is factored ONCE per view; every
+                    # candidate batch reuses it as a cached K x K inverse
+                    # (one small GEMM per batch instead of a LAPACK solve
+                    # per trial).
+                    self._gram_inv: Optional[np.ndarray] = np.linalg.inv(
+                        gram
+                    )
+                    self._q = self._gram_inv @ b_o
+                except np.linalg.LinAlgError:
+                    # Degenerate fixed set: fall back to the
+                    # pseudo-inverse fit.
+                    self._gram_inv = None
+                    self._q, *_ = np.linalg.lstsq(
+                        e_o, engine.windows.T, rcond=None
+                    )
+                self._b_o = b_o
+                self.base_fit = float(np.sum((np.conj(b_o) * self._q).real))
         else:
             self._gram_inv = None
             self._b_o = np.zeros((0, engine.n_windows), dtype=complex)
@@ -194,27 +207,35 @@ class CandidateView:
         candidate after projecting out the fixed users' fit.
         """
         engine = self._engine
-        correlations = self._correlations(mus, deltas)
-        if correlations is not None:
-            w, u = correlations
-        else:
-            columns = _candidate_columns(engine.n_samples, mus, deltas)
-            w = np.conj(engine.windows_conj @ columns)  # (M, C)
+        n_cand = max(np.size(mus), 0 if deltas is None else np.size(deltas))
+        with profile_context.kernel(
+            "engine.schur_score",
+            f"M{engine.n_windows}.J{self._n_fixed}.C{shape_bucket(n_cand)}",
+            bytes_touched=16
+            * engine.n_samples
+            * (n_cand + engine.n_windows + self._n_fixed),
+        ):
+            correlations = self._correlations(mus, deltas)
+            if correlations is not None:
+                w, u = correlations
+            else:
+                columns = _candidate_columns(engine.n_samples, mus, deltas)
+                w = np.conj(engine.windows_conj @ columns)  # (M, C)
+                if not self._n_fixed:
+                    s = np.full(columns.shape[1], float(engine.n_samples))
+                    return s, w
+                u = self._e_o_conj_t @ columns  # (J, C)
             if not self._n_fixed:
-                s = np.full(columns.shape[1], float(engine.n_samples))
-                return s, w
-            u = self._e_o_conj_t @ columns  # (J, C)
-        if not self._n_fixed:
-            return np.full(w.shape[1], float(engine.n_samples)), w
-        if self._gram_inv is not None:
-            p = self._gram_inv @ u
-        else:
-            columns = _candidate_columns(engine.n_samples, mus, deltas)
-            p, *_ = np.linalg.lstsq(self._e_o, columns, rcond=None)
-        u_conj = np.conj(u)
-        s = engine.n_samples - np.einsum("jc,jc->c", u_conj, p).real
-        t = w - (u_conj.T @ self._q).T  # (M, C)
-        return s, t
+                return np.full(w.shape[1], float(engine.n_samples)), w
+            if self._gram_inv is not None:
+                p = self._gram_inv @ u
+            else:
+                columns = _candidate_columns(engine.n_samples, mus, deltas)
+                p, *_ = np.linalg.lstsq(self._e_o, columns, rcond=None)
+            u_conj = np.conj(u)
+            s = engine.n_samples - np.einsum("jc,jc->c", u_conj, p).real
+            t = w - (u_conj.T @ self._q).T  # (M, C)
+            return s, t
 
     def _correlations(
         self, mus: np.ndarray, deltas: Optional[np.ndarray]
@@ -429,14 +450,19 @@ class ResidualEngine:
         """Normal-equations LS fit: per-window channels and total fit power."""
         if e.shape[1] == 0:
             return np.zeros((self.n_windows, 0), dtype=complex), 0.0
-        gram = e.conj().T @ e
-        b = e.conj().T @ self.windows.T  # (K, M)
-        try:
-            h = np.linalg.solve(gram, b)
-        except np.linalg.LinAlgError:
-            h, *_ = np.linalg.lstsq(e, self.windows.T, rcond=None)
-        fit = float(np.sum((np.conj(b) * h).real))
-        return h.T, fit
+        with profile_context.kernel(
+            "engine.gram_solve",
+            f"K{e.shape[1]}.M{self.n_windows}",
+            bytes_touched=e.nbytes + self.windows.nbytes,
+        ):
+            gram = e.conj().T @ e
+            b = e.conj().T @ self.windows.T  # (K, M)
+            try:
+                h = np.linalg.solve(gram, b)
+            except np.linalg.LinAlgError:
+                h, *_ = np.linalg.lstsq(e, self.windows.T, rcond=None)
+            fit = float(np.sum((np.conj(b) * h).real))
+            return h.T, fit
 
     # ------------------------------------------------------------------
     # Residual evaluation
@@ -476,6 +502,23 @@ class ResidualEngine:
         n_cand, n_users = candidates.shape
         if n_users == 0:
             return np.full(n_cand, self.energy)
+        with profile_context.kernel(
+            "engine.batched_solve",
+            f"C{shape_bucket(n_cand)}.K{n_users}",
+            bytes_touched=16 * n_cand * self.n_samples * n_users,
+        ):
+            return self._residuals_at_batched(
+                candidates, delays_samples, n_cand, n_users
+            )
+
+    def _residuals_at_batched(
+        self,
+        candidates: np.ndarray,
+        delays_samples: Optional[np.ndarray],
+        n_cand: int,
+        n_users: int,
+    ) -> np.ndarray:
+        """The batched-solve body of :meth:`residuals_at`."""
         n = cached_sample_index(self.n_samples)
         e = np.exp(
             2j * np.pi * n[None, :, None] * candidates[:, None, :] / self.n_samples
@@ -559,6 +602,23 @@ class ResidualEngine:
             if delays_samples is None
             else np.atleast_1d(np.asarray(delays_samples, dtype=float))
         )
+        with profile_context.kernel(
+            "engine.refine", f"K{positions.size}.M{self.n_windows}"
+        ):
+            return self._refine_sweeps(
+                positions, delays, half_width_bins, n_sweeps, tol_bins, n_grid
+            )
+
+    def _refine_sweeps(
+        self,
+        positions: np.ndarray,
+        delays: Optional[np.ndarray],
+        half_width_bins: float,
+        n_sweeps: int,
+        tol_bins: float,
+        n_grid: int,
+    ) -> np.ndarray:
+        """The cyclic sweep body of :meth:`refine`."""
         prev_move = np.full(positions.size, np.inf)
         for sweep in range(n_sweeps):
             moved = np.zeros(positions.size)

@@ -39,6 +39,8 @@ from repro.core.decoder import DecodedUser
 from repro.core.offsets import UserEstimate
 from repro.core.peaks import find_peaks
 from repro.phy.params import LoRaParams
+from repro.profile import context as profile_context
+from repro.profile.profiler import shape_bucket
 from repro.utils import circular_distance
 
 #: Discriminator verdicts (see :meth:`PreambleEvidence.classify`).
@@ -203,29 +205,38 @@ class FastPathDecoder:
                 fractional_spread_bins=0.0,
                 n_windows=n_windows,
             )
-        spectra = np.abs(np.fft.fft(windows, n * oversample, axis=-1)) ** 2
-        accumulated = spectra.mean(axis=0)
-        peak_idx = int(np.argmax(accumulated))
-        mu = _refine_parabolic(accumulated, peak_idx) / oversample % n
-        peak_snr = float(
-            accumulated[peak_idx] / max(float(np.median(accumulated)), 1e-30)
-        )
-        # Per-window argmax wander around the aggregate peak (bins).
-        window_positions = np.argmax(spectra, axis=-1) / oversample
-        deviations = circular_distance(window_positions, mu, period=float(n))
-        spread = float(np.sqrt(np.mean(np.asarray(deviations) ** 2)))
-        # Secondary-peak energy: a second user's tone survives the
-        # accumulation as a distinct sinc the sidelobe-aware peak finder
-        # separates from the primary.
-        peaks = find_peaks(
-            np.sqrt(accumulated).astype(complex),
-            oversample,
-            threshold_snr=4.0,
-            max_peaks=2,
-        )
-        second_ratio = 0.0
-        if len(peaks) >= 2 and peaks[0].magnitude > 0:
-            second_ratio = float((peaks[1].magnitude / peaks[0].magnitude) ** 2)
+        with profile_context.kernel(
+            "fastpath.preamble",
+            f"N{n * oversample}.M{shape_bucket(n_windows)}",
+            fft_count=n_windows,
+            fft_points=n_windows * n * oversample,
+            bytes_touched=16 * n_windows * n * (oversample + 1),
+        ):
+            spectra = np.abs(np.fft.fft(windows, n * oversample, axis=-1)) ** 2
+            accumulated = spectra.mean(axis=0)
+            peak_idx = int(np.argmax(accumulated))
+            mu = _refine_parabolic(accumulated, peak_idx) / oversample % n
+            peak_snr = float(
+                accumulated[peak_idx] / max(float(np.median(accumulated)), 1e-30)
+            )
+            # Per-window argmax wander around the aggregate peak (bins).
+            window_positions = np.argmax(spectra, axis=-1) / oversample
+            deviations = circular_distance(window_positions, mu, period=float(n))
+            spread = float(np.sqrt(np.mean(np.asarray(deviations) ** 2)))
+            # Secondary-peak energy: a second user's tone survives the
+            # accumulation as a distinct sinc the sidelobe-aware peak finder
+            # separates from the primary.
+            peaks = find_peaks(
+                np.sqrt(accumulated).astype(complex),
+                oversample,
+                threshold_snr=4.0,
+                max_peaks=2,
+            )
+            second_ratio = 0.0
+            if len(peaks) >= 2 and peaks[0].magnitude > 0:
+                second_ratio = float(
+                    (peaks[1].magnitude / peaks[0].magnitude) ** 2
+                )
         return PreambleEvidence(
             start_sample=start,
             mu_bins=float(mu),
@@ -256,11 +267,18 @@ class FastPathDecoder:
         windows = dechirp_windows(
             params, samples, n_windows=n_data_symbols, start=data_start
         )
-        derotator = np.exp(
-            -2j * np.pi * evidence.mu_bins * cached_sample_index(n) / n
-        )
-        spectra = np.fft.fft(windows * derotator[None, :], axis=-1)
-        symbols = np.argmax(np.abs(spectra), axis=-1).astype(int)
+        with profile_context.kernel(
+            "fastpath.argmax",
+            f"N{n}.M{shape_bucket(windows.shape[0])}",
+            fft_count=windows.shape[0],
+            fft_points=windows.shape[0] * n,
+            bytes_touched=32 * windows.shape[0] * n,
+        ):
+            derotator = np.exp(
+                -2j * np.pi * evidence.mu_bins * cached_sample_index(n) / n
+            )
+            spectra = np.fft.fft(windows * derotator[None, :], axis=-1)
+            symbols = np.argmax(np.abs(spectra), axis=-1).astype(int)
         # Channel estimates at mu from the accumulated preamble windows:
         # enough signature for downstream consumers (forensics reads the
         # fractional part; magnitudes gate nothing on this tier).

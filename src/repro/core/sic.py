@@ -30,6 +30,7 @@ from repro.core.offsets import (
     refine_offsets,
 )
 from repro.core.residual import residual_power
+from repro.profile import context as profile_context
 from repro.trace import context as trace_context
 from repro.utils import RngLike, circular_distance
 
@@ -322,62 +323,64 @@ def phased_sic(
         remaining_budget = None if max_users is None else max_users - positions.size
         if remaining_budget is not None and remaining_budget <= 0:
             break
-        peaks = coarse_offsets(
-            residual, oversample, threshold_snr=threshold_snr, max_users=remaining_budget
-        )
-        new_positions = [
-            p.position_bins
-            for p in peaks
-            if all(
-                circular_distance(p.position_bins, q, period=n_bins) >= min_separation_bins
-                for q in positions
+        with profile_context.kernel("sic.tier", f"T{tier}"):
+            peaks = coarse_offsets(
+                residual, oversample, threshold_snr=threshold_snr, max_users=remaining_budget
             )
-        ]
-        if not new_positions:
-            break
-        positions = np.concatenate([positions, np.asarray(new_positions, dtype=float)])
-        delays = np.concatenate([delays, np.zeros(len(new_positions))])
-        if refine:
-            positions = refine_offsets(
-                original, positions, delays_samples=delays, method=refine_method, rng=rng
-            )
-            positions, delays = _merge_duplicates(
-                positions, delays, original, min_separation_bins
-            )
-        if estimate_timing:
-            delays = estimate_delays(original, positions, use_engine=use_engine)
+            new_positions = [
+                p.position_bins
+                for p in peaks
+                if all(
+                    circular_distance(p.position_bins, q, period=n_bins) >= min_separation_bins
+                    for q in positions
+                )
+            ]
+            if not new_positions:
+                break
+            positions = np.concatenate([positions, np.asarray(new_positions, dtype=float)])
+            delays = np.concatenate([delays, np.zeros(len(new_positions))])
             if refine:
-                # One more position sweep now that the glitch is modelled.
                 positions = refine_offsets(
-                    original,
-                    positions,
-                    delays_samples=delays,
-                    half_width_bins=0.2,
-                    method=refine_method,
-                    rng=rng,
+                    original, positions, delays_samples=delays, method=refine_method, rng=rng
                 )
                 positions, delays = _merge_duplicates(
                     positions, delays, original, min_separation_bins
                 )
-        channels = estimate_channels(original, positions, delays)
-        recon = reconstruct_tones(positions, channels, n_bins, delays)
-        residual = original - recon
-        # Provenance: per-tier cancellation evidence (Eqn. 3 residual
-        # trajectory) for the forensics post-mortem; no-op untraced.
-        trace_context.add_event(
-            "sic.tier",
-            tier=tier,
-            n_new=len(new_positions),
-            n_users=int(positions.size),
-            residual_power=float(np.mean(np.abs(residual) ** 2)),
-        )
+            if estimate_timing:
+                delays = estimate_delays(original, positions, use_engine=use_engine)
+                if refine:
+                    # One more position sweep now that the glitch is modelled.
+                    positions = refine_offsets(
+                        original,
+                        positions,
+                        delays_samples=delays,
+                        half_width_bins=0.2,
+                        method=refine_method,
+                        rng=rng,
+                    )
+                    positions, delays = _merge_duplicates(
+                        positions, delays, original, min_separation_bins
+                    )
+            channels = estimate_channels(original, positions, delays)
+            recon = reconstruct_tones(positions, channels, n_bins, delays)
+            residual = original - recon
+            # Provenance: per-tier cancellation evidence (Eqn. 3 residual
+            # trajectory) for the forensics post-mortem; no-op untraced.
+            trace_context.add_event(
+                "sic.tier",
+                tier=tier,
+                n_new=len(new_positions),
+                n_users=int(positions.size),
+                residual_power=float(np.mean(np.abs(residual) ** 2)),
+            )
     if positions.size == 0:
         return []
-    positions, delays = _consolidate_clusters(
-        original, positions, delays, use_engine=use_engine
-    )
-    positions, delays = _occam_prune(original, positions, delays)
-    estimates = build_user_estimates(original, positions, delays)
+    with profile_context.kernel("sic.finalize", f"K{positions.size}"):
+        positions, delays = _consolidate_clusters(
+            original, positions, delays, use_engine=use_engine
+        )
+        positions, delays = _occam_prune(original, positions, delays)
+        estimates = build_user_estimates(original, positions, delays)
     # Ghost suppression: residual junk occasionally clears a tier threshold
     # near strong users; anything more than ~34 dB below the strongest
     # channel is far outside the decodable near-far spread and is dropped.

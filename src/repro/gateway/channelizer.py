@@ -36,6 +36,8 @@ from typing import Optional
 import numpy as np
 
 from repro.phy.params import ChannelPlan
+from repro.profile import context as profile_context
+from repro.profile.profiler import shape_bucket
 
 #: Prototype filter taps per polyphase branch.  A chirp occupies its full
 #: channel including the band edges, so what matters is the width of the
@@ -171,14 +173,21 @@ class PolyphaseChannelizer:
         if n_out <= 0:
             self._buffer = buffer
             return np.zeros((m, 0), dtype=complex)
-        # Window i = buffer[i*M : i*M + L]; u[i, p] = sum_t h[tM+p] x[end - (tM+p)]
-        # is the reversed-window dot product folded into M branches.
-        windows = np.lib.stride_tricks.sliding_window_view(buffer, length)[:: m][:n_out]
-        weighted = windows[:, ::-1] * self.taps
-        branches = weighted.reshape(n_out, -1, m).sum(axis=1)
-        spectra = m * np.fft.ifft(branches, axis=1)  # column j = offset j*BW
-        self._buffer = buffer[n_out * m :]
-        return spectra[:, self._bin_of_channel].T.copy()
+        with profile_context.kernel(
+            "channelizer.push",
+            f"M{m}.C{shape_bucket(n_out)}",
+            fft_count=n_out,
+            fft_points=n_out * m,
+            bytes_touched=16 * n_out * (length + 2 * m),
+        ):
+            # Window i = buffer[i*M : i*M + L]; u[i, p] = sum_t h[tM+p] x[end - (tM+p)]
+            # is the reversed-window dot product folded into M branches.
+            windows = np.lib.stride_tricks.sliding_window_view(buffer, length)[:: m][:n_out]
+            weighted = windows[:, ::-1] * self.taps
+            branches = weighted.reshape(n_out, -1, m).sum(axis=1)
+            spectra = m * np.fft.ifft(branches, axis=1)  # column j = offset j*BW
+            self._buffer = buffer[n_out * m :]
+            return spectra[:, self._bin_of_channel].T.copy()
 
     def flush(self) -> np.ndarray:
         """Drain the filter tail; the channelizer accepts no further input."""

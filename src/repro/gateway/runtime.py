@@ -39,6 +39,9 @@ from repro.gateway.telemetry import Telemetry, clock
 from repro.gateway.workers import DecodeJob, DecodeOutcome, DecodeWorkerPool
 from repro.phy.packet import LoRaFramer
 from repro.phy.params import LoRaParams
+from repro.profile import context as profile_context
+from repro.profile.profiler import KernelProfiler
+from repro.profile.resources import ResourceAccountant, ResourceSummary
 from repro.trace.recorder import TraceConfig, TraceRecorder
 
 
@@ -87,6 +90,15 @@ class GatewayConfig:
         Retain the span tree of every job that fails CRC, whatever the
         sample rate -- the mode that keeps forensics complete while
         bounding trace volume on healthy traffic.
+    profile:
+        Attach a :class:`repro.profile.KernelProfiler` to the run:
+        per-kernel wall/FFT/bytes accounting on every executor, folded
+        into telemetry (``profile.kernel.*``) and reported on the
+        :class:`GatewayReport` alongside a resource summary.
+    profile_alloc:
+        With ``profile``, additionally track allocations via
+        ``tracemalloc`` and keep the top so-many sites (0 = off; this
+        is the expensive knob, ~2-4x slowdown).
     """
 
     params: LoRaParams = field(default_factory=LoRaParams)
@@ -106,6 +118,8 @@ class GatewayConfig:
     trace: bool = False
     trace_sample_rate: float = 1.0
     trace_always_sample_failures: bool = True
+    profile: bool = False
+    profile_alloc: int = 0
 
     def __post_init__(self) -> None:
         if self.decode_tier not in DECODE_TIERS:
@@ -155,6 +169,8 @@ class GatewayReport:
     telemetry: Dict[str, Dict[str, Any]]
     shards: Optional[Dict[str, Dict[str, int]]] = None
     trace: Optional[TraceRecorder] = None
+    profile: Optional[KernelProfiler] = None
+    resources: Optional[ResourceSummary] = None
 
     # ------------------------------------------------------------------
     @property
@@ -238,6 +254,31 @@ class GatewayReport:
                 lines.append(f"    {reason.ljust(width)}  {reasons[reason]}")
         return lines
 
+    def _profile_lines(self) -> List[str]:
+        """The kernel-profile section; empty when the run did not profile."""
+        if self.profile is None or not len(self.profile):
+            return []
+        stats = self.profile.stats()
+        total = sum(stat["wall_s"] for stat in stats.values()) or 1.0
+        rows = sorted(
+            stats.items(), key=lambda kv: kv[1]["wall_s"], reverse=True
+        )
+        lines = [f"kernel profile ({1e3 * total:.1f}ms self time)"]
+        for (name, shape), stat in rows[:8]:
+            label = f"{name} {shape}".strip()
+            lines.append(
+                f"  {label:<28} {1e3 * stat['wall_s']:8.2f}ms"
+                f" ({100.0 * stat['wall_s'] / total:4.1f}%)"
+                f" x{stat['calls']}"
+            )
+        if len(rows) > 8:
+            rest = sum(stat["wall_s"] for _, stat in rows[8:])
+            lines.append(
+                f"  {'(other kernels)':<28} {1e3 * rest:8.2f}ms"
+                f" ({100.0 * rest / total:4.1f}%)"
+            )
+        return lines
+
     def summary(self) -> str:
         """Human-readable run summary (what ``repro gateway`` prints)."""
         lines = [
@@ -288,6 +329,19 @@ class GatewayReport:
             "decode.tier0.attempts"
         ):
             lines.append(self._stage_line("  full", "decode.full.decode_s"))
+        lines.extend(self._profile_lines())
+        if self.resources is not None:
+            res = self.resources
+            lines.append(
+                f"resources     cpu={res.cpu_s:.2f}s"
+                f" ({100.0 * res.utilization:.0f}% of wall)"
+                f" peak-rss={res.peak_rss_kb / 1024.0:.0f}MB"
+                + (
+                    f" alloc-peak={res.alloc_peak_kb / 1024.0:.1f}MB"
+                    if res.alloc_peak_kb
+                    else ""
+                )
+            )
         return "\n".join(lines)
 
 
@@ -486,6 +540,7 @@ class Gateway:
         config: GatewayConfig,
         telemetry: Optional[Telemetry] = None,
         trace_recorder: Optional[TraceRecorder] = None,
+        profiler: Optional[KernelProfiler] = None,
         on_outcome: Optional[Callable[[DecodeOutcome], None]] = None,
     ) -> None:
         self.config = config
@@ -494,6 +549,9 @@ class Gateway:
         if trace_recorder is None and config.trace:
             trace_recorder = TraceRecorder(config.trace_config())
         self.trace_recorder = trace_recorder
+        if profiler is None and config.profile:
+            profiler = KernelProfiler()
+        self.profiler = profiler
         n = config.params.samples_per_symbol
         frame = config.frame_samples()
         if config.ring_symbols:
@@ -557,25 +615,46 @@ class Gateway:
             rng=config.seed,
             telemetry=telemetry,
             trace_recorder=recorder,
+            profiler=self.profiler,
             on_outcome=self.on_outcome,
         )
         samples_in = 0
         chunks_in = 0
         evicted = 0
         next_job_id = 0
+        accountant: Optional[ResourceAccountant] = None
+        if self.profiler is not None:
+            accountant = ResourceAccountant(
+                alloc_top_n=config.profile_alloc
+            )
+            accountant.start()
         started = clock()
-        for chunk in source.chunks():
-            with telemetry.timer("ingest.chunk_s"):
-                evicted += ring.append(chunk)
-                samples_in += len(chunk)
-                chunks_in += 1
-                telemetry.counter("ingest.samples").inc(len(chunk))
-            next_job_id = scanner.scan(ring, pool, next_job_id)
-            ring.consume(scanner.release_pos)
-        # Final drain: scan whatever remains after the last chunk.
-        next_job_id = scanner.scan(ring, pool, next_job_id, final=True)
-        outcomes = pool.close()
+        # The run-level ambient profiler covers work done in the ingest
+        # loop itself (detection scans, channelizer pushes on sharded
+        # runs); per-job decode work uses job-local profilers merged by
+        # the pool, so nothing is counted twice.
+        with profile_context.use_profiler(self.profiler):
+            for chunk in source.chunks():
+                with telemetry.timer("ingest.chunk_s"):
+                    evicted += ring.append(chunk)
+                    samples_in += len(chunk)
+                    chunks_in += 1
+                    telemetry.counter("ingest.samples").inc(len(chunk))
+                if self.profiler is not None:
+                    telemetry.gauge("ring.occupancy").set(
+                        len(ring) / self._ring_capacity
+                    )
+                next_job_id = scanner.scan(ring, pool, next_job_id)
+                ring.consume(scanner.release_pos)
+            # Final drain: scan whatever remains after the last chunk.
+            next_job_id = scanner.scan(ring, pool, next_job_id, final=True)
+            outcomes = pool.close()
         wall = clock() - started
+        resources: Optional[ResourceSummary] = None
+        if accountant is not None:
+            resources = accountant.stop()
+        if self.profiler is not None:
+            self.profiler.fold_into(telemetry)
         snapshot = telemetry.snapshot()
         crc_ok = sum(1 for o in outcomes if o.crc_ok)
         errors = sum(1 for o in outcomes if o.error is not None)
@@ -593,4 +672,6 @@ class Gateway:
             outcomes=outcomes,
             telemetry=snapshot,
             trace=recorder,
+            profile=self.profiler,
+            resources=resources,
         )

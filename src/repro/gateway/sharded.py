@@ -41,6 +41,9 @@ from repro.gateway.sources import SampleSource
 from repro.gateway.telemetry import Telemetry, clock, shard_label
 from repro.gateway.workers import DecodeOutcome, DecodeWorkerPool
 from repro.phy.params import ChannelPlan, LoRaParams
+from repro.profile import context as profile_context
+from repro.profile.profiler import KernelProfiler
+from repro.profile.resources import ResourceAccountant, ResourceSummary
 from repro.trace.recorder import TraceConfig, TraceRecorder
 
 
@@ -76,6 +79,12 @@ class ShardedGatewayConfig:
         :class:`repro.gateway.runtime.GatewayConfig`; sampling stays
         deterministic per shard because directives key on
         ``(channel, sf, shard_seq)``.
+    profile, profile_alloc:
+        Kernel/resource profiling, as in
+        :class:`repro.gateway.runtime.GatewayConfig`; the channelizer's
+        pushes are accounted under the run-level ambient profiler, the
+        per-job decode kernels under job-local profilers merged by the
+        pool.
     """
 
     plan: ChannelPlan = field(default_factory=ChannelPlan)
@@ -98,6 +107,8 @@ class ShardedGatewayConfig:
     trace: bool = False
     trace_sample_rate: float = 1.0
     trace_always_sample_failures: bool = True
+    profile: bool = False
+    profile_alloc: int = 0
 
     def trace_config(self) -> TraceConfig:
         """The sampling policy implied by the trace fields."""
@@ -136,6 +147,7 @@ class ShardedGateway:
         config: ShardedGatewayConfig,
         telemetry: Optional[Telemetry] = None,
         trace_recorder: Optional[TraceRecorder] = None,
+        profiler: Optional[KernelProfiler] = None,
         on_outcome: Optional[Callable[[DecodeOutcome], None]] = None,
     ) -> None:
         self.config = config
@@ -144,6 +156,9 @@ class ShardedGateway:
         if trace_recorder is None and config.trace:
             trace_recorder = TraceRecorder(config.trace_config())
         self.trace_recorder = trace_recorder
+        if profiler is None and config.profile:
+            profiler = KernelProfiler()
+        self.profiler = profiler
         # Probe scanners once for frame geometry so the ring capacity can
         # be validated up front (run() builds its own fresh scanners).
         probe = [
@@ -233,6 +248,7 @@ class ShardedGateway:
             rng=config.seed,
             telemetry=telemetry,
             trace_recorder=recorder,
+            profiler=self.profiler,
             on_outcome=self.on_outcome,
         )
         rings = [
@@ -243,6 +259,12 @@ class ShardedGateway:
         chunks_in = 0
         evicted = 0
         next_job_id = 0
+        accountant: Optional[ResourceAccountant] = None
+        if self.profiler is not None:
+            accountant = ResourceAccountant(
+                alloc_top_n=config.profile_alloc
+            )
+            accountant.start()
         started = clock()
 
         def fan_out(bands) -> None:
@@ -252,30 +274,43 @@ class ShardedGateway:
                 if narrow.size:
                     evicted += ring.append(narrow)
                     telemetry.counter(f"ch{channel}.ingest.samples").inc(narrow.size)
+                if self.profiler is not None:
+                    telemetry.gauge("ring.occupancy").set(
+                        len(ring) / self._ring_capacity
+                    )
                 for scanner in scanners[channel]:
                     next_job_id = scanner.scan(ring, pool, next_job_id)
                 ring.consume(
                     min(scanner.release_pos for scanner in scanners[channel])
                 )
 
-        for chunk in source.chunks():
-            with telemetry.timer("ingest.chunk_s"):
-                samples_in += len(chunk)
-                chunks_in += 1
-                telemetry.counter("ingest.samples").inc(len(chunk))
+        # Run-level ambient profiler: covers channelizer pushes and
+        # detection scans done in this (ingest) thread; decode kernels
+        # ride job-local profilers the pool merges.
+        with profile_context.use_profiler(self.profiler):
+            for chunk in source.chunks():
+                with telemetry.timer("ingest.chunk_s"):
+                    samples_in += len(chunk)
+                    chunks_in += 1
+                    telemetry.counter("ingest.samples").inc(len(chunk))
+                with telemetry.timer("channelize.push_s"):
+                    bands = channelizer.push(chunk)
+                fan_out(bands)
+            # End of stream: drain the filter tail, then final-scan each shard
+            # so truncated trailing windows still get a decode attempt.
             with telemetry.timer("channelize.push_s"):
-                bands = channelizer.push(chunk)
-            fan_out(bands)
-        # End of stream: drain the filter tail, then final-scan each shard
-        # so truncated trailing windows still get a decode attempt.
-        with telemetry.timer("channelize.push_s"):
-            tail = channelizer.flush()
-        fan_out(tail)
-        for channel, ring in enumerate(rings):
-            for scanner in scanners[channel]:
-                next_job_id = scanner.scan(ring, pool, next_job_id, final=True)
-        outcomes = pool.close()
+                tail = channelizer.flush()
+            fan_out(tail)
+            for channel, ring in enumerate(rings):
+                for scanner in scanners[channel]:
+                    next_job_id = scanner.scan(ring, pool, next_job_id, final=True)
+            outcomes = pool.close()
         wall = clock() - started
+        resources: Optional[ResourceSummary] = None
+        if accountant is not None:
+            resources = accountant.stop()
+        if self.profiler is not None:
+            self.profiler.fold_into(telemetry)
         crc_ok = sum(1 for o in outcomes if o.crc_ok)
         errors = sum(1 for o in outcomes if o.error is not None)
         shards: Dict[str, Dict[str, int]] = {}
@@ -318,4 +353,6 @@ class ShardedGateway:
             telemetry=telemetry.snapshot(),
             shards=shards,
             trace=recorder,
+            profile=self.profiler,
+            resources=resources,
         )

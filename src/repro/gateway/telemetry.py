@@ -409,7 +409,8 @@ class Telemetry:
         ``repro_decode_crc_ok_total{channel="3",sf="8"}``.  Counters get
         ``_total``; gauges export the level plus a ``_peak`` family;
         duration histograms export as summaries in seconds (quantiles
-        from :data:`SUMMARY_PERCENTILES`, plus ``_count`` and ``_sum``).
+        from :data:`SUMMARY_PERCENTILES`, the observed max as
+        ``quantile="1"``, plus ``_count`` and ``_sum``).
         """
         families: Dict[str, Tuple[str, List[str]]] = {}
 
@@ -443,6 +444,13 @@ class Telemetry:
                 for p in SUMMARY_PERCENTILES:
                     quantile = {"quantile": f"{p / 100.0:g}", **labels}
                     sample(family, "summary", quantile, state[f"p{p:g}_s"])
+                # The exact observed max is the phi=1 quantile.
+                sample(
+                    family,
+                    "summary",
+                    {"quantile": "1", **labels},
+                    state["max_s"],
+                )
                 sample(f"{family}_count", "summary", labels, state["count"])
                 sample(f"{family}_sum", "summary", labels, state["total_s"])
         out: List[str] = []

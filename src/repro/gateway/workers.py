@@ -44,6 +44,9 @@ import numpy as np
 from repro.core.cascade import DECODE_TIERS, build_pipeline
 from repro.gateway.telemetry import Telemetry, clock, shard_label
 from repro.phy.params import LoRaParams
+from repro.profile import context as profile_context
+from repro.profile.profiler import KernelProfiler
+from repro.profile.resources import process_cpu
 from repro.trace import context as trace_context
 from repro.trace.model import PacketTrace, TraceBuilder
 from repro.trace.recorder import TraceDirective, TraceRecorder
@@ -99,9 +102,10 @@ class DecodeOutcome:
     """Result of decoding one packet window.
 
     ``telemetry_delta`` is the job-local registry state recorded inside
-    the worker (merged into the pool registry on arrival), and ``trace``
-    is the retained provenance span tree -- both travel with the outcome
-    so the process executor loses neither.
+    the worker (merged into the pool registry on arrival), ``trace``
+    is the retained provenance span tree, and ``profile_delta`` is the
+    job-local kernel-profiler state (when the pool profiles) -- all
+    travel with the outcome so the process executor loses none of them.
 
     ``tier`` names the pipeline tier that produced ``users`` (``"full"``
     or ``"tier0"``); ``escalation_reason`` is set when Tier 0 declined
@@ -126,6 +130,7 @@ class DecodeOutcome:
     escalation_reason: Optional[str] = None
     telemetry_delta: Optional[Dict[str, Dict[str, Any]]] = None
     trace: Optional[PacketTrace] = None
+    profile_delta: Optional[Dict[str, Any]] = None
 
     @property
     def n_users(self) -> int:
@@ -149,6 +154,7 @@ def decode_packet_window(
     use_engine: bool = True,
     decode_tier: str = "full",
     trace_directive: Optional[TraceDirective] = None,
+    profile: bool = False,
 ) -> DecodeOutcome:
     """Decode one packet window with a job-keyed deterministic RNG.
 
@@ -174,6 +180,12 @@ def decode_packet_window(
     an ``rng_key`` derives its decoder RNG from that key rather than the
     job id -- per-shard sequence numbers keep results independent of how
     shards interleave their submissions.
+
+    With ``profile=True`` a job-local :class:`KernelProfiler` is
+    installed for the decode (so per-kernel wall/FFT/bytes accounting
+    works identically on every executor) and its state ships home as
+    ``profile_delta``; the whole decode runs under a ``decode.window``
+    root kernel, so summed kernel wall times cover the job end to end.
     """
     started = clock()
     if job.params is not None:
@@ -202,10 +214,17 @@ def decode_packet_window(
         sync_search_symbols=sync_search_symbols,
         max_users=max_users,
     )
-    with trace_context.use_builder(builder):
-        window = pipeline.decode_window(
-            job.samples, job.n_data_symbols, job.payload_len, instruments=local
-        )
+    job_profiler = KernelProfiler() if profile else None
+    cpu_started = process_cpu() if profile else 0.0
+    with trace_context.use_builder(builder), profile_context.use_profiler(
+        job_profiler
+    ):
+        with profile_context.kernel(
+            "decode.window", f"sf{params.spreading_factor}"
+        ):
+            window = pipeline.decode_window(
+                job.samples, job.n_data_symbols, job.payload_len, instruments=local
+            )
         results = [
             UserResult(
                 offset_bins=u.offset_bins, payload=u.payload, crc_ok=u.crc_ok
@@ -221,6 +240,8 @@ def decode_packet_window(
             n_users=len(results),
             sync_retries=retries,
         )
+    if job_profiler is not None:
+        job_profiler.add_cpu(max(process_cpu() - cpu_started, 0.0))
     best = verified[0] if verified else (results[0] if results else None)
     crc_ok = bool(verified)
     trace: Optional[PacketTrace] = None
@@ -259,6 +280,9 @@ def decode_packet_window(
         escalation_reason=window.escalation_reason,
         telemetry_delta=local.state(),
         trace=trace,
+        profile_delta=(
+            job_profiler.state() if job_profiler is not None else None
+        ),
     )
 
 
@@ -304,6 +328,12 @@ class DecodeWorkerPool:
         Optional :class:`repro.trace.TraceRecorder`; when set, each
         job's trace directive is computed from its key before dispatch
         and every outcome (with its retained span tree) is recorded.
+    profiler:
+        Optional :class:`repro.profile.KernelProfiler`; when set, every
+        job decodes under a job-local profiler whose state ships back on
+        the outcome and is merged here -- per-kernel totals are
+        identical across executors by construction, exactly like
+        telemetry deltas.
     on_outcome:
         Optional live outcome hook, called once per recorded outcome
         (after aggregation, outside the pool lock) -- the gateway's
@@ -330,6 +360,7 @@ class DecodeWorkerPool:
         rng: RngLike = None,
         telemetry: Optional[Telemetry] = None,
         trace_recorder: Optional[TraceRecorder] = None,
+        profiler: Optional[KernelProfiler] = None,
         on_outcome: Optional[Callable[[DecodeOutcome], None]] = None,
     ) -> None:
         if executor not in EXECUTORS:
@@ -359,6 +390,7 @@ class DecodeWorkerPool:
         self.decode_tier = decode_tier
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.trace_recorder = trace_recorder
+        self.profiler = profiler
         self.on_outcome = on_outcome
         self._base_seed = as_seed_sequence(rng)
         self._outcomes: List[DecodeOutcome] = []
@@ -432,6 +464,7 @@ class DecodeWorkerPool:
                 use_engine=self.use_engine,
                 decode_tier=self.decode_tier,
                 trace_directive=self._directive(job),
+                profile=self.profiler is not None,
             )
         except Exception as exc:  # defensive: a worker must never die
             self.telemetry.counter("decode.errors").inc()
@@ -450,6 +483,8 @@ class DecodeWorkerPool:
             self._outcomes.append(outcome)
         if outcome.telemetry_delta:
             self.telemetry.merge(outcome.telemetry_delta)
+        if outcome.profile_delta and self.profiler is not None:
+            self.profiler.merge_state(outcome.profile_delta)
         self.telemetry.histogram("decode.queue_wait_s").record(outcome.queue_wait_s)
         self.telemetry.histogram("decode.decode_s").record(outcome.decode_s)
         if outcome.error is None:
@@ -589,6 +624,7 @@ class DecodeWorkerPool:
             use_engine=self.use_engine,
             decode_tier=self.decode_tier,
             trace_directive=self._directive(job),
+            profile=self.profiler is not None,
         )
         with self._lock:
             self._futures[job.job_id] = future

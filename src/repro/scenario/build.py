@@ -183,9 +183,19 @@ def build_gateway(
     spec: ScenarioSpec,
     variant: str = "choir",
     telemetry: Optional[Telemetry] = None,
+    profiler: Optional[Any] = None,
 ) -> ShardedGateway:
-    """A ready-to-run gateway for one variant of the comparison."""
-    return ShardedGateway(build_gateway_config(spec, variant), telemetry=telemetry)
+    """A ready-to-run gateway for one variant of the comparison.
+
+    ``profiler`` is an optional :class:`repro.profile.KernelProfiler`
+    shared across points, so a campaign accumulates one kernel table for
+    the whole sweep.
+    """
+    return ShardedGateway(
+        build_gateway_config(spec, variant),
+        telemetry=telemetry,
+        profiler=profiler,
+    )
 
 
 def report_digest(report: Any) -> Dict[str, Any]:

@@ -25,6 +25,8 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from collections import Counter
 
 from repro.gateway.telemetry import Telemetry
+from repro.profile.profiler import KernelProfiler
+from repro.profile.resources import ResourceAccountant
 from repro.scenario.build import (
     build_gateway,
     build_source,
@@ -40,7 +42,13 @@ DEFAULT_STRICT_ABOVE = 200
 
 @dataclass(frozen=True)
 class VariantResult:
-    """One decoder variant's outcome at one sweep point."""
+    """One decoder variant's outcome at one sweep point.
+
+    ``cpu_s`` and ``max_rss_kb`` are the point's resource curve sample:
+    process CPU spent on the variant's run and the process peak RSS as
+    of its end (monotone across a campaign -- the *growth* between
+    points is what a leak would show).
+    """
 
     variant: str
     packets_offered: int
@@ -49,6 +57,8 @@ class VariantResult:
     crc_failures: int
     wall_s: float
     stream_s: float
+    cpu_s: float = 0.0
+    max_rss_kb: int = 0
 
     @property
     def delivery_rate(self) -> float:
@@ -74,6 +84,8 @@ class VariantResult:
             "wall_s": self.wall_s,
             "stream_s": self.stream_s,
             "realtime_factor": self.realtime_factor,
+            "cpu_s": self.cpu_s,
+            "max_rss_kb": self.max_rss_kb,
         }
 
 
@@ -121,19 +133,27 @@ def run_variant(
     variant: str,
     duration_s: Optional[float] = None,
     seed: Optional[int] = None,
+    profiler: Optional[KernelProfiler] = None,
 ) -> Tuple[VariantResult, int]:
     """Run one decoder variant over one freshly synthesized sweep point.
 
     Both variants rebuild the source from the same derived seed, so they
     consume bit-identical air; returns the result and the source's peak
-    resident frame count (the streaming-memory evidence).
+    resident frame count (the streaming-memory evidence).  ``profiler``
+    (optional, shared across points) accumulates the campaign's kernel
+    table; resource accounting (CPU, peak RSS) is always on -- it costs
+    two clock reads per variant.
     """
     telemetry = Telemetry()
     source = build_source(
         spec, n_nodes, seed=seed, duration_s=duration_s, telemetry=telemetry
     )
-    gateway = build_gateway(spec, variant=variant, telemetry=telemetry)
-    report = gateway.run(source)
+    gateway = build_gateway(
+        spec, variant=variant, telemetry=telemetry, profiler=profiler
+    )
+    with ResourceAccountant() as accountant:
+        report = gateway.run(source)
+    resources = accountant.summary
     transmitted = [p.payload.hex() for p in source.transmitted]
     decoded = [p.hex() for p in report.decoded_payloads]
     result = VariantResult(
@@ -144,6 +164,8 @@ def run_variant(
         crc_failures=report.crc_failures,
         wall_s=report.wall_s,
         stream_s=report.stream_s,
+        cpu_s=resources.cpu_s,
+        max_rss_kb=int(resources.peak_rss_kb),
     )
     return result, source.active_peak
 
@@ -153,13 +175,16 @@ def run_point(
     n_nodes: int,
     duration_s: Optional[float] = None,
     seed: Optional[int] = None,
+    profiler: Optional[KernelProfiler] = None,
 ) -> SweepPoint:
     """One sweep point: same air, two decoders, one comparison."""
     choir, peak_choir = run_variant(
-        spec, n_nodes, "choir", duration_s=duration_s, seed=seed
+        spec, n_nodes, "choir", duration_s=duration_s, seed=seed,
+        profiler=profiler,
     )
     baseline, peak_baseline = run_variant(
-        spec, n_nodes, "baseline", duration_s=duration_s, seed=seed
+        spec, n_nodes, "baseline", duration_s=duration_s, seed=seed,
+        profiler=profiler,
     )
     effective_duration = spec.sweep.duration_s if duration_s is None else duration_s
     return SweepPoint(
@@ -272,20 +297,25 @@ def run_campaign(
     duration_s: Optional[float] = None,
     seed: Optional[int] = None,
     on_point: Optional[Callable[[SweepPoint], None]] = None,
+    profiler: Optional[KernelProfiler] = None,
 ) -> CapacityCurve:
     """Run the full sweep and return the capacity curve.
 
     ``node_counts``/``duration_s``/``seed`` override the scenario's sweep
     section (the CI job shrinks the committed scenario this way instead of
     maintaining a second file).  ``on_point`` observes each completed
-    point -- progress reporting for multi-minute sweeps.
+    point -- progress reporting for multi-minute sweeps.  ``profiler``
+    (optional) accumulates one kernel table across every variant of
+    every point, for the campaign's run manifest.
     """
     counts = list(node_counts) if node_counts is not None else list(
         spec.sweep.node_counts
     )
     points: List[SweepPoint] = []
     for n_nodes in counts:
-        point = run_point(spec, n_nodes, duration_s=duration_s, seed=seed)
+        point = run_point(
+            spec, n_nodes, duration_s=duration_s, seed=seed, profiler=profiler
+        )
         points.append(point)
         if on_point is not None:
             on_point(point)

@@ -34,6 +34,8 @@ RULES: dict[str, str] = {
     "kernel (float64/complex128 operand mixed into complex64 data)",
     "R012": "repro.core.fastpath used from gateway//server/ code; tier "
     "selection and escalation belong to repro.core.cascade.build_pipeline",
+    "R013": "tracemalloc/resource/time.process_time outside repro/profile/; "
+    "route resource accounting through repro.profile.resources",
 }
 
 

@@ -1,4 +1,4 @@
-"""Rules R001-R008 (legacy scanner ports) plus R012 (cascade layering).
+"""Rules R001-R008 (legacy scanner ports) plus R012/R013 (layering rules).
 
 One visitor collects all of them in a single traversal of the shared
 :class:`repro.tools.analysis.model.ModuleModel` tree.  Diagnostics are
@@ -31,6 +31,11 @@ _R008_ALLOWED_NAMES = frozenset({"telemetry.py"})
 #: code must reach Tier 0 through :func:`repro.core.cascade.build_pipeline`
 #: rather than importing/calling the fast path directly (R012).
 _FASTPATH_MODULE: Tuple[str, ...] = ("repro", "core", "fastpath")
+
+#: Modules whose use marks a file as doing resource accounting; confined
+#: to ``repro/profile/`` so the places that can perturb timing or start
+#: allocation tracing stay auditable (R013).
+_R013_MODULES = frozenset({"tracemalloc", "resource"})
 
 #: Terminal attribute names that make an operand a *property of* an
 #: offset/bin array (its size, shape, ...) rather than the quantity itself.
@@ -70,6 +75,7 @@ class CoreRulesVisitor(ast.NodeVisitor):
         self._fastpath_scope = any(
             part in ("gateway", "server") for part in path.parent.parts
         )
+        self._resource_scope = "profile" not in path.parent.parts
         # Class nesting depth, to distinguish methods from nested closures.
         self._scope_stack: List[ast.AST] = [model.tree]
 
@@ -128,6 +134,17 @@ class CoreRulesVisitor(ast.NodeVisitor):
                     f"direct call to {spelled} outside the cascade; select "
                     "tiers via repro.core.cascade.build_pipeline",
                 )
+            if self._resource_scope and (
+                resolved == ("time", "process_time")
+                or resolved[0] in _R013_MODULES
+            ):
+                self._report(
+                    "R013",
+                    node.lineno,
+                    f"direct call to {spelled} outside repro/profile/; use "
+                    "repro.profile.resources (ResourceAccountant, "
+                    "process_cpu, peak_rss_kb)",
+                )
         self.generic_visit(node)
 
     # -- R012: escalation decisions stay inside the cascade ------------
@@ -144,19 +161,34 @@ class CoreRulesVisitor(ast.NodeVisitor):
                 "tiers via repro.core.cascade.build_pipeline",
             )
 
+    def _check_resource_import(self, line: int, module: Tuple[str, ...]) -> None:
+        """R013: resource-accounting modules imported outside profile/."""
+        if self._resource_scope and module[0] in _R013_MODULES:
+            self._report(
+                "R013",
+                line,
+                f"`{module[0]}` imported outside repro/profile/; route "
+                "resource accounting through repro.profile.resources",
+            )
+
     def visit_Import(self, node: ast.Import) -> None:
-        """R012: `import repro.core.fastpath` in gateway//server/ code."""
+        """R012/R013: disallowed module imports for this file's layer."""
         for alias in node.names:
-            self._check_fastpath_import(node.lineno, tuple(alias.name.split(".")))
+            chain = tuple(alias.name.split("."))
+            self._check_fastpath_import(node.lineno, chain)
+            self._check_resource_import(node.lineno, chain)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        """R012: `from repro.core.fastpath import ...` (and
-        `from repro.core import fastpath`) in gateway//server/ code."""
+        """R012/R013: `from <module> import ...` forms of the same.
+
+        R012 additionally catches ``from repro.core import fastpath``;
+        R013 flags any ``from tracemalloc//resource/ import ...``."""
         if node.module is None or node.level:
             self.generic_visit(node)
             return
         base = tuple(node.module.split("."))
+        self._check_resource_import(node.lineno, base)
         if base[: len(_FASTPATH_MODULE)] == _FASTPATH_MODULE:
             self._check_fastpath_import(node.lineno, base)
         else:
@@ -319,7 +351,7 @@ class CoreRulesVisitor(ast.NodeVisitor):
 
 
 def check_core_rules(model: ModuleModel) -> Iterator[Diagnostic]:
-    """Run R001-R008 and R012 over one module model."""
+    """Run R001-R008, R012 and R013 over one module model."""
     visitor = CoreRulesVisitor(model)
     visitor.visit(model.tree)
     return iter(visitor.diagnostics)

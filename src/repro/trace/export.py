@@ -98,8 +98,18 @@ def _span_events(
         _span_events(child, base_ts, pid, tid, events)
 
 
-def chrome_trace(recorder: TraceRecorder) -> Dict[str, Any]:
-    """Chrome trace-event JSON with per-shard tracks + embedded raw data."""
+def chrome_trace(
+    recorder: TraceRecorder, kernel_profile: Any = None
+) -> Dict[str, Any]:
+    """Chrome trace-event JSON with per-shard tracks + embedded raw data.
+
+    ``kernel_profile`` (an optional
+    :class:`repro.profile.KernelProfiler`) adds the run's aggregate
+    kernel flame strip as its own track and embeds the raw profile
+    state under the ``reproKernelProfile`` key, so one Perfetto load
+    shows per-packet spans and the where-did-the-time-go summary side
+    by side.
+    """
     data = trace_data(recorder)
     packets = recorder.packets
     # One track (tid) per shard label; unlabeled single-channel traffic
@@ -131,20 +141,37 @@ def chrome_trace(recorder: TraceRecorder) -> Dict[str, Any]:
         _span_events(
             packet.root, recorder.base_ts, pid, tids[packet.label], events
         )
-    return {
+    out: Dict[str, Any] = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
         "reproTrace": data,
     }
+    if kernel_profile is not None and len(kernel_profile):
+        events.extend(kernel_profile.chrome_events(pid=pid))
+        out["reproKernelProfile"] = kernel_profile.state()
+    return out
 
 
-def write_trace(recorder: TraceRecorder, path: Union[str, Path]) -> None:
-    """Write the trace to ``path``; ``.jsonl`` selects JSONL, else Chrome."""
+def write_trace(
+    recorder: TraceRecorder,
+    path: Union[str, Path],
+    kernel_profile: Any = None,
+) -> None:
+    """Write the trace to ``path``; ``.jsonl`` selects JSONL, else Chrome.
+
+    ``kernel_profile`` is merged into the Chrome export (see
+    :func:`chrome_trace`); the JSONL format ignores it.
+    """
     target = Path(path)
     if target.suffix == ".jsonl":
         target.write_text(to_jsonl(recorder))
     else:
-        target.write_text(json.dumps(chrome_trace(recorder), sort_keys=True))
+        target.write_text(
+            json.dumps(
+                chrome_trace(recorder, kernel_profile=kernel_profile),
+                sort_keys=True,
+            )
+        )
 
 
 def _assemble_jsonl(rows: List[Dict[str, Any]]) -> Dict[str, Any]:

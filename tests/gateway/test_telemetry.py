@@ -255,6 +255,20 @@ class TestPrometheus:
         assert parsed["repro_decode_align_seconds_count"] == 1.0
         assert parsed["repro_decode_align_seconds_sum"] == pytest.approx(0.5)
 
+    def test_max_exported_as_quantile_one(self):
+        t = Telemetry()
+        h = t.histogram("decode.align_s")
+        for value in (0.1, 0.2, 0.9):
+            h.record(value)
+        parsed = parse_prometheus_text(t.prometheus())
+        assert parsed['repro_decode_align_seconds{quantile="1"}'] == (
+            pytest.approx(0.9)
+        )
+        # The max rides the same summary family as the percentiles and
+        # survives a text round trip alongside them.
+        assert parsed['repro_decode_align_seconds{quantile="0.5"}'] <= 0.9
+        assert parsed["repro_decode_align_seconds_count"] == 3.0
+
     def test_write_prometheus(self, tmp_path):
         t = Telemetry()
         t.counter("events").inc(2)

@@ -1,0 +1,81 @@
+"""Ambient profiler context: install/no-op semantics and isolation."""
+
+import threading
+
+from repro.profile import KernelProfiler
+from repro.profile import context as profile_context
+
+
+class TestAmbientInstall:
+    def test_inactive_by_default(self):
+        assert profile_context.current() is None
+        assert not profile_context.profile_active()
+
+    def test_use_profiler_installs_and_restores(self):
+        profiler = KernelProfiler()
+        with profile_context.use_profiler(profiler):
+            assert profile_context.current() is profiler
+            assert profile_context.profile_active()
+        assert profile_context.current() is None
+
+    def test_use_profiler_none_is_allowed(self):
+        # One `with` statement serves both the profiled and unprofiled
+        # paths; None just leaves profiling off.
+        with profile_context.use_profiler(None):
+            assert profile_context.current() is None
+            with profile_context.kernel("anything"):
+                pass  # must not raise
+
+    def test_nested_install_restores_outer(self):
+        outer, inner = KernelProfiler(), KernelProfiler()
+        with profile_context.use_profiler(outer):
+            with profile_context.use_profiler(inner):
+                assert profile_context.current() is inner
+            assert profile_context.current() is outer
+
+
+class TestAmbientRecording:
+    def test_kernel_records_into_installed_profiler(self):
+        profiler = KernelProfiler()
+        with profile_context.use_profiler(profiler):
+            with profile_context.kernel("k", "sf7", fft_count=2, fft_points=256):
+                pass
+        stats = profiler.stats()
+        assert stats[("k", "sf7")]["calls"] == 1
+        assert stats[("k", "sf7")]["fft_count"] == 2
+        assert stats[("k", "sf7")]["fft_points"] == 256
+
+    def test_kernel_noop_without_profiler(self):
+        # The profiling-off path: the block still runs, nothing records.
+        ran = False
+        with profile_context.kernel("k"):
+            ran = True
+        assert ran
+
+    def test_add_attributes_to_innermost_frame(self):
+        profiler = KernelProfiler()
+        with profile_context.use_profiler(profiler):
+            with profile_context.kernel("outer"):
+                with profile_context.kernel("inner"):
+                    profile_context.add(fft_count=3, bytes_touched=64)
+        stats = profiler.stats()
+        assert stats[("inner", "")]["fft_count"] == 3
+        assert stats[("inner", "")]["bytes_touched"] == 64
+        assert stats[("outer", "")]["fft_count"] == 0
+
+    def test_add_noop_without_profiler(self):
+        profile_context.add(fft_count=1)  # must not raise
+
+    def test_new_thread_does_not_inherit_profiler(self):
+        # ContextVar semantics: a worker thread starts with a fresh
+        # context, so a run-level profiler never leaks across threads
+        # unless explicitly installed there.
+        profiler = KernelProfiler()
+        seen = []
+        with profile_context.use_profiler(profiler):
+            t = threading.Thread(
+                target=lambda: seen.append(profile_context.current())
+            )
+            t.start()
+            t.join()
+        assert seen == [None]

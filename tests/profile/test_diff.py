@@ -1,0 +1,146 @@
+"""diff_metrics: direction inference, verdicts, exit codes, rendering."""
+
+from repro.profile.diff import (
+    DiffReport,
+    diff_metrics,
+    format_compare_line,
+    format_delta_line,
+    metric_direction,
+)
+
+
+class TestDirectionInference:
+    def test_seconds_and_bytes_are_lower_is_better(self):
+        for name in ("decode.decode_s.total_s", "resources.peak_rss_kb",
+                     "profile.kernel.dechirp.sf7.wall_s", "ring.bytes"):
+            assert metric_direction(name) == "lower"
+
+    def test_loss_tokens_are_lower_is_better(self):
+        for name in ("packets_dropped", "crc_errors", "ring.occupancy.peak",
+                     "pool.queue_depth.peak"):
+            assert metric_direction(name) == "lower"
+
+    def test_throughput_tokens_are_higher_is_better(self):
+        for name in ("gateway.realtime_factor", "choir.delivery_rate",
+                     "gateway.packets_decoded"):
+            assert metric_direction(name) == "higher"
+
+    def test_higher_tokens_beat_lower_suffixes(self):
+        # "..._s" suffix must not misread a rate-of-decoded metric.
+        assert metric_direction("decoded_frames") == "higher"
+
+    def test_unrecognized_is_informational(self):
+        assert metric_direction("gateway.windows") == "info"
+
+
+class TestVerdicts:
+    def test_lower_is_better_thresholds(self):
+        report = diff_metrics(
+            {"a_s": 1.0, "b_s": 1.0, "c_s": 1.0},
+            {"a_s": 1.2, "b_s": 1.3, "c_s": 0.7},
+            tolerance=0.25,
+        )
+        verdicts = {d.name: d.verdict for d in report.deltas}
+        assert verdicts == {"a_s": "ok", "b_s": "slower", "c_s": "faster"}
+
+    def test_higher_is_better_mirrors(self):
+        report = diff_metrics(
+            {"x.delivery_rate": 1.0, "y.delivery_rate": 1.0},
+            {"x.delivery_rate": 0.7, "y.delivery_rate": 1.3},
+            tolerance=0.25,
+        )
+        verdicts = {d.name: d.verdict for d in report.deltas}
+        assert verdicts["x.delivery_rate"] == "slower"
+        assert verdicts["y.delivery_rate"] == "faster"
+
+    def test_info_metrics_never_gate(self):
+        report = diff_metrics({"windows": 10.0}, {"windows": 1000.0})
+        assert report.deltas[0].verdict == "ok"
+        assert report.exit_code() == 0
+
+    def test_slack_is_absolute_grace(self):
+        # 1ms over a 1ms baseline is 2x, but within a 5ms slack.
+        report = diff_metrics(
+            {"tiny_s": 0.001}, {"tiny_s": 0.002}, tolerance=0.25, slack=0.005
+        )
+        assert report.deltas[0].verdict == "ok"
+
+    def test_missing_and_new_keys(self):
+        report = diff_metrics({"gone_s": 1.0}, {"fresh_s": 1.0})
+        assert [d.verdict for d in report.deltas] == ["missing-key", "new-key"]
+
+    def test_direction_override_forces_lower(self):
+        report = diff_metrics(
+            {"delivery_rate": 1.0},
+            {"delivery_rate": 2.0},
+            tolerance=0.25,
+            direction=lambda name: "lower",
+        )
+        assert report.deltas[0].verdict == "slower"
+
+
+class TestExitCodes:
+    def test_clean_report(self):
+        report = diff_metrics({"a_s": 1.0}, {"a_s": 1.0})
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 0
+
+    def test_regression_fails(self):
+        report = diff_metrics({"a_s": 1.0}, {"a_s": 10.0})
+        assert report.exit_code() == 1
+
+    def test_missing_key_fails_only_strict(self):
+        report = diff_metrics({"a_s": 1.0}, {})
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 1
+
+
+class TestRendering:
+    def delta(self, **overrides):
+        report = diff_metrics(
+            {"latency_s": 0.010}, {"latency_s": 0.020}, tolerance=0.25
+        )
+        return report.deltas[0]
+
+    def test_compare_line_is_byte_compatible(self):
+        # The historical bench_report --compare format, to the byte.
+        line = format_compare_line(self.delta())
+        assert line == (
+            "  FAIL latency_s: 20.00ms (baseline 10.00ms, limit 12.50ms)"
+        )
+
+    def test_compare_line_missing_key(self):
+        report = diff_metrics({"latency_s": 0.010}, {})
+        line = format_compare_line(report.deltas[0])
+        assert line == "  FAIL latency_s: missing from candidate"
+
+    def test_delta_line_carries_ratio(self):
+        line = format_delta_line(self.delta())
+        assert "SLOWER" in line and "(2.00x)" in line
+
+    def test_lines_hide_ok_by_default(self):
+        report = diff_metrics(
+            {"a_s": 1.0, "b_s": 1.0}, {"a_s": 1.0, "b_s": 9.0}
+        )
+        assert len(report.lines()) == 1
+        assert len(report.lines(show_ok=True)) == 2
+
+    def test_summary_tally(self):
+        report = diff_metrics(
+            {"a_s": 1.0, "b_s": 1.0, "c_s": 1.0},
+            {"a_s": 9.0, "b_s": 1.0, "d_s": 1.0},
+        )
+        summary = report.summary()
+        assert "1 slower" in summary
+        assert "1 missing" in summary and "1 new" in summary
+
+    def test_report_groupings(self):
+        report = diff_metrics(
+            {"a_s": 1.0, "b_s": 1.0, "c_s": 1.0},
+            {"a_s": 9.0, "b_s": 0.1, "d_s": 1.0},
+        )
+        assert isinstance(report, DiffReport)
+        assert [d.name for d in report.regressions] == ["a_s"]
+        assert [d.name for d in report.improvements] == ["b_s"]
+        assert [d.name for d in report.missing] == ["c_s"]
+        assert [d.name for d in report.new] == ["d_s"]

@@ -1,0 +1,99 @@
+"""R013 fixtures: resource accounting confined to ``repro/profile/``.
+
+``tracemalloc``, ``resource`` and ``time.process_time`` perturb what
+they measure (allocation tracing slows the traced code several-fold),
+so every use routes through :mod:`repro.profile.resources`, where the
+bracketing is explicit and auditable.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.tools.analysis.engine import lint_source
+
+PATH = Path("src/repro/gateway/example.py")
+PROFILE_PATH = Path("src/repro/profile/example.py")
+
+
+def r013(source: str, path: Path = PATH):
+    return [d for d in lint_source(source, path) if d.code == "R013"]
+
+
+class TestPositive:
+    def test_process_time_call(self):
+        source = (
+            "import time\n"
+            "def cost():\n"
+            "    return time.process_time()\n"
+        )
+        found = r013(source)
+        assert len(found) == 1
+        assert "repro.profile.resources" in found[0].message
+
+    def test_process_time_from_import_call(self):
+        source = (
+            "from time import process_time\n"
+            "def cost():\n"
+            "    return process_time()\n"
+        )
+        assert len(r013(source)) == 1
+
+    def test_tracemalloc_import_and_call(self):
+        source = (
+            "import tracemalloc\n"
+            "def trace():\n"
+            "    tracemalloc.start()\n"
+        )
+        # Both the import and the call are flagged: removing the call
+        # should not leave a silent dormant import behind.
+        assert len(r013(source)) == 2
+
+    def test_resource_from_import(self):
+        source = "from resource import getrusage\n"
+        assert len(r013(source)) == 1
+
+    def test_core_files_are_in_scope_too(self):
+        source = (
+            "import time\n"
+            "def cost():\n"
+            "    return time.process_time()\n"
+        )
+        assert len(r013(source, Path("src/repro/core/example.py"))) == 1
+
+
+class TestNegative:
+    def test_profile_package_is_exempt(self):
+        source = (
+            "import time\n"
+            "import tracemalloc\n"
+            "def cost():\n"
+            "    tracemalloc.start()\n"
+            "    return time.process_time()\n"
+        )
+        assert r013(source, PROFILE_PATH) == []
+
+    def test_plain_time_calls_are_fine(self):
+        source = (
+            "import time\n"
+            "def now():\n"
+            "    return time.time()\n"
+        )
+        assert r013(source) == []
+
+    def test_local_resource_variable_not_flagged(self):
+        # A local name `resource` is not the stdlib module; only the
+        # import binding makes the chain resolve.
+        source = (
+            "def use(resource):\n"
+            "    return resource.close()\n"
+        )
+        assert r013(source) == []
+
+    def test_noqa_suppresses(self):
+        source = (
+            "import time\n"
+            "def cost():\n"
+            "    return time.process_time()  # noqa: R013 -- bootstrap probe\n"
+        )
+        assert r013(source) == []

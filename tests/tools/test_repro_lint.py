@@ -416,7 +416,7 @@ class TestDiagnosticsAndCli:
         diagnostics = lint_source("def broken(:\n", Path("src/repro/core/x.py"))
         assert [d.code for d in diagnostics] == ["E999"]
 
-    def test_rule_catalog_covers_r001_through_r012(self):
+    def test_rule_catalog_covers_r001_through_r013(self):
         assert sorted(RULES) == [
             "R001",
             "R002",
@@ -430,6 +430,7 @@ class TestDiagnosticsAndCli:
             "R010",
             "R011",
             "R012",
+            "R013",
         ]
 
     def test_lint_paths_walks_directories(self, tmp_path):

@@ -66,6 +66,9 @@ def run_benchmark(
     telemetry_out: str | None = None,
     metrics_out: str | None = None,
     trace_out: str | None = None,
+    profile: bool = False,
+    profile_out: str | None = None,
+    stacks_out: str | None = None,
 ) -> dict:
     """Run one gateway benchmark and return the JSON-ready result dict.
 
@@ -74,13 +77,17 @@ def run_benchmark(
     single-channel runtime; ``telemetry_out`` additionally dumps the run's
     telemetry registry as JSON-lines (the CI artifact), ``metrics_out``
     writes Prometheus text exposition, and ``trace_out`` enables
-    provenance tracing and writes the trace there.  The output paths are
-    deliberately not part of the recorded ``config``, so ``--compare``
-    reruns stay untraced (tracing costs a little and baselines must stay
+    provenance tracing and writes the trace there.  ``profile`` (or
+    either profile output path) turns on the kernel profiler;
+    ``profile_out`` writes the diffable run manifest and ``stacks_out``
+    the collapsed kernel stacks.  The output paths are deliberately not
+    part of the recorded ``config``, so ``--compare`` reruns stay
+    untraced and unprofiled (both cost a little and baselines must stay
     comparable).
     """
     sfs = tuple(sf_set) if sf_set else (spreading_factor,)
     params = LoRaParams(spreading_factor=sfs[0])
+    profiling = bool(profile or profile_out or stacks_out)
     sharded = n_channels > 1 or len(sfs) > 1
     gateway: Gateway | ShardedGateway
     if sharded:
@@ -112,6 +119,7 @@ def run_benchmark(
                 executor=executor,
                 seed=seed,
                 trace=bool(trace_out),
+                profile=profiling,
             )
         )
     else:
@@ -130,6 +138,7 @@ def run_benchmark(
                 executor=executor,
                 seed=seed,
                 trace=bool(trace_out),
+                profile=profiling,
             )
         )
     report = gateway.run(source)
@@ -192,6 +201,27 @@ def run_benchmark(
     }
     if report.shards is not None:
         result["shards"] = report.shards
+    if profile_out:
+        from repro.profile import build_manifest
+        from repro.scenario.build import report_digest
+
+        manifest = build_manifest(
+            "bench-gateway",
+            result["config"],
+            seed=seed,
+            digest=report_digest(report),
+            telemetry=gateway.telemetry,
+            profiler=report.profile,
+            resources=report.resources,
+            extra_metrics={
+                "gateway.realtime_factor": report.realtime_factor,
+                "gateway.wall_s": report.wall_s,
+                "gateway.packets_decoded": float(report.packets_decoded),
+            },
+        )
+        manifest.write(profile_out)
+    if stacks_out and report.profile is not None:
+        Path(stacks_out).write_text(report.profile.collapsed())
     return result
 
 
@@ -269,24 +299,27 @@ def compare_reports(
     never treated as a regression.  ``slack_s`` is an absolute grace on top
     of the relative limit so sub-10ms metrics, dominated by fixed overhead
     and scheduler jitter, do not flap the gate.
+
+    A thin shell over :func:`repro.profile.diff.diff_metrics` with a
+    forced lower-is-better direction (every gated metric is a latency or
+    a loss); the line format is the historical one, byte for byte.
     """
+    from repro.profile.diff import diff_metrics, format_compare_line
+
+    report = diff_metrics(
+        latency_metrics(baseline),
+        latency_metrics(candidate),
+        tolerance=tolerance,
+        slack=slack_s,
+        direction=lambda name: "lower",
+    )
     regressions = []
-    base = latency_metrics(baseline)
-    cand = latency_metrics(candidate)
-    for name, ref in sorted(base.items()):
-        value = cand.get(name)
-        if value is None:
-            regressions.append(name)
-            print(f"  FAIL {name}: missing from candidate")
+    for delta in report.deltas:
+        if delta.verdict == "new-key":  # historical output ignored these
             continue
-        limit = ref * (1.0 + tolerance) + slack_s
-        verdict = "FAIL" if value > limit else "ok  "
-        print(
-            f"  {verdict} {name}: {value * 1e3:.2f}ms"
-            f" (baseline {ref * 1e3:.2f}ms, limit {limit * 1e3:.2f}ms)"
-        )
-        if value > limit:
-            regressions.append(name)
+        print(format_compare_line(delta))
+        if delta.verdict in ("slower", "missing-key"):
+            regressions.append(delta.name)
     return regressions
 
 
@@ -330,6 +363,17 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="enable provenance tracing and write the trace here"
         " (.jsonl or .json)",
+    )
+    parser.add_argument(
+        "--profile-out",
+        default=None,
+        help="enable the kernel profiler and write a diffable run manifest"
+        " here (compare runs with `python -m repro diff`)",
+    )
+    parser.add_argument(
+        "--stacks-out",
+        default=None,
+        help="enable the kernel profiler and write collapsed stacks here",
     )
     parser.add_argument("--out", default="BENCH_gateway.json")
     parser.add_argument(
@@ -393,6 +437,8 @@ def main(argv: list[str] | None = None) -> int:
         telemetry_out=args.telemetry_out,
         metrics_out=args.metrics_out,
         trace_out=args.trace_out,
+        profile_out=args.profile_out,
+        stacks_out=args.stacks_out,
     )
     Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
     thr = result["throughput"]
